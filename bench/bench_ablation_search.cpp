@@ -1,0 +1,72 @@
+// Search-scheme ablation (Section 4): the authors first tried simulated
+// annealing, found it "produced poor results and seldom converged", and
+// replaced it with the trial-based iterative improvement scheme. This
+// harness reruns that comparison with matched move budgets, plus a pure
+// greedy descent (uphill budget zero) and a sweep of the per-trial uphill
+// allowance.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bench_suite/ewf.h"
+#include "core/annealer.h"
+#include "core/ils.h"
+#include "core/initial.h"
+#include "util/table.h"
+
+using namespace salsa;
+using namespace salsa::benchharness;
+
+int main() {
+  std::printf("Search ablation on EWF @ 17 steps, min+1 registers\n\n");
+  ProblemBundle b = make_problem(make_ewf(), 17, false, 1);
+  Binding start = initial_allocation(*b.problem);
+  const CostBreakdown base = evaluate_cost(start);
+  std::printf("initial allocation: %d muxes, %d connections, cost %.0f\n\n",
+              base.muxes, base.connections, base.total);
+
+  constexpr long kBudget = 60000;  // total proposed moves per scheme
+
+  TextTable t;
+  t.header({"scheme", "muxes", "conns", "cost", "accepted", "uphill"});
+
+  for (int uphill : {0, 10, 40, 200}) {
+    ImproveParams p;
+    p.max_trials = 12;
+    p.moves_per_trial = static_cast<int>(kBudget / p.max_trials);
+    p.uphill_per_trial = uphill;
+    p.seed = 3;
+    const ImproveResult r = improve(start, p);
+    t.row({"iter-improve, uphill=" + std::to_string(uphill),
+           std::to_string(r.cost.muxes), std::to_string(r.cost.connections),
+           fmt(r.cost.total, 0), std::to_string(r.stats.accepted),
+           std::to_string(r.stats.uphill)});
+  }
+  t.separator();
+  for (int kick : {4, 8}) {
+    IlsParams p;
+    p.iterations = 12;
+    p.descent_moves = static_cast<int>(kBudget / (p.iterations + 1));
+    p.kick_moves = kick;
+    p.seed = 3;
+    const ImproveResult r = iterated_local_search(start, p);
+    t.row({"iterated local search, kick=" + std::to_string(kick),
+           std::to_string(r.cost.muxes), std::to_string(r.cost.connections),
+           fmt(r.cost.total, 0), std::to_string(r.stats.accepted),
+           std::to_string(r.stats.uphill)});
+  }
+  t.separator();
+  for (double t0 : {5.0, 30.0, 120.0}) {
+    AnnealParams p;
+    p.num_temps = 12;
+    p.moves_per_temp = static_cast<int>(kBudget / p.num_temps);
+    p.initial_temp = t0;
+    p.cooling = 0.8;
+    p.seed = 3;
+    const ImproveResult r = anneal(start, p);
+    t.row({"annealing, T0=" + fmt(t0, 0), std::to_string(r.cost.muxes),
+           std::to_string(r.cost.connections), fmt(r.cost.total, 0),
+           std::to_string(r.stats.accepted), std::to_string(r.stats.uphill)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

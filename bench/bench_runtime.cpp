@@ -1,0 +1,120 @@
+// CPU-time microbenchmarks (google-benchmark): the paper quotes 8-10 CPU
+// minutes per EWF allocation on a Sun Sparcstation 1 and 12+ minutes for the
+// DCT; this harness measures the corresponding costs on modern hardware —
+// per-move cost evaluation, occupancy recomputation, move application, the
+// constructive initial allocation, full improvement trials, the schedulers,
+// and a datapath simulation step.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "bench_suite/dct.h"
+#include "bench_suite/ewf.h"
+#include "core/initial.h"
+#include "datapath/simulator.h"
+#include "sched/force_directed.h"
+
+using namespace salsa;
+using namespace salsa::benchharness;
+
+namespace {
+
+ProblemBundle& ewf17() {
+  static ProblemBundle b = make_problem(make_ewf(), 17, false, 1);
+  return b;
+}
+
+ProblemBundle& dct9() {
+  static ProblemBundle b = make_problem(make_dct(), 9, false, 2);
+  return b;
+}
+
+void BM_CostEvaluation(benchmark::State& state) {
+  Binding b = initial_allocation(*ewf17().problem);
+  for (auto _ : state) benchmark::DoNotOptimize(evaluate_cost(b).total);
+}
+BENCHMARK(BM_CostEvaluation);
+
+void BM_Occupancy(benchmark::State& state) {
+  Binding b = initial_allocation(*ewf17().problem);
+  for (auto _ : state) benchmark::DoNotOptimize(b.occupancy().fu_user.size());
+}
+BENCHMARK(BM_Occupancy);
+
+void BM_MoveProposeApply(benchmark::State& state) {
+  Binding b = initial_allocation(*ewf17().problem);
+  Rng rng(1);
+  const MoveConfig moves = MoveConfig::salsa_default();
+  for (auto _ : state) {
+    Binding candidate = b;
+    benchmark::DoNotOptimize(apply_random_move(candidate, moves.pick(rng), rng));
+  }
+}
+BENCHMARK(BM_MoveProposeApply);
+
+void BM_InitialAllocation(benchmark::State& state) {
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        initial_allocation(*ewf17().problem, InitialOptions{.seed = ++seed})
+            .regs_used());
+  }
+}
+BENCHMARK(BM_InitialAllocation);
+
+void BM_ImprovementTrial(benchmark::State& state) {
+  Binding b = initial_allocation(*ewf17().problem);
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    ImproveParams p;
+    p.max_trials = 1;
+    p.moves_per_trial = 1000;
+    p.stop_after_stale = 1;
+    p.seed = ++seed;
+    benchmark::DoNotOptimize(improve(b, p).cost.total);
+  }
+}
+BENCHMARK(BM_ImprovementTrial)->Unit(benchmark::kMillisecond);
+
+void BM_FullEwfAllocation(benchmark::State& state) {
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    AllocatorOptions opts;
+    opts.improve = standard_improve(++seed);
+    benchmark::DoNotOptimize(allocate(*ewf17().problem, opts).cost.total);
+  }
+}
+BENCHMARK(BM_FullEwfAllocation)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_FullDctAllocation(benchmark::State& state) {
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    AllocatorOptions opts;
+    opts.improve = standard_improve(++seed);
+    benchmark::DoNotOptimize(allocate(*dct9().problem, opts).cost.total);
+  }
+}
+BENCHMARK(BM_FullDctAllocation)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_ForceDirectedSchedule(benchmark::State& state) {
+  Cdfg g = make_ewf();
+  HwSpec hw;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(force_directed_schedule(g, hw, 19).length());
+}
+BENCHMARK(BM_ForceDirectedSchedule);
+
+void BM_SimulateIteration(benchmark::State& state) {
+  Binding b = initial_allocation(*ewf17().problem);
+  Netlist nl(b);
+  std::vector<std::vector<int64_t>> inputs(3, std::vector<int64_t>{5});
+  std::vector<int64_t> states(7, 1);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(simulate(nl, inputs, states, 2).outputs.size());
+}
+BENCHMARK(BM_SimulateIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

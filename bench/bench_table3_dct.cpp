@@ -1,0 +1,41 @@
+// Regenerates the paper's Table 3: discrete-cosine-transform allocations for
+// four schedules (Section 5 reports four schedules under the same hardware
+// assumptions as the EWF). Columns as in bench_table2_ewf.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "bench_suite/dct.h"
+#include "util/table.h"
+
+using namespace salsa;
+using namespace salsa::benchharness;
+
+int main() {
+  std::printf("Table 3 — DCT allocations (equivalent 2-1 multiplexers)\n\n");
+  TextTable t;
+  t.header({"csteps", "ALUs", "MULs", "regs", "trad", "trad+merge", "salsa",
+            "salsa+merge", "winner"});
+  for (const int steps : {7, 9, 11, 13}) {
+    for (int extra : {0, 2}) {
+      ProblemBundle b = make_problem(make_dct(), steps, false, extra);
+      const Comparison cmp =
+          run_comparison(*b.problem, 3000 + static_cast<uint64_t>(
+                                                steps * 10 + extra));
+      std::string trad = "*", trad_m = "*", winner = "salsa";
+      if (cmp.traditional_feasible) {
+        trad = std::to_string(cmp.traditional.cost.muxes);
+        trad_m = std::to_string(cmp.traditional.merging.muxes_after);
+        const int s = cmp.salsa.merging.muxes_after;
+        const int tr = cmp.traditional.merging.muxes_after;
+        winner = s < tr ? "salsa" : s == tr ? "tie" : "trad";
+      }
+      t.row({std::to_string(steps), std::to_string(b.fus.alu),
+             std::to_string(b.fus.mul), std::to_string(b.min_regs + extra),
+             trad, trad_m, std::to_string(cmp.salsa.cost.muxes),
+             std::to_string(cmp.salsa.merging.muxes_after), winner});
+    }
+    t.separator();
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

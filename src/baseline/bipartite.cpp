@@ -1,0 +1,175 @@
+#include "baseline/bipartite.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "core/cost.h"
+#include "core/initial.h"
+#include "core/verify.h"
+
+namespace salsa {
+
+std::vector<int> min_cost_assignment(
+    const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  if (n == 0) return {};
+  const int m = static_cast<int>(cost[0].size());
+  SALSA_CHECK_MSG(n <= m, "min_cost_assignment requires rows <= cols");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // Potentials-based Hungarian algorithm (1-indexed internals).
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(m) + 1, 0.0);
+  std::vector<int> match(static_cast<size_t>(m) + 1, 0);  // col -> row
+  std::vector<int> way(static_cast<size_t>(m) + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    match[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(static_cast<size_t>(m) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(m) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int i0 = match[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = -1;
+      for (int j = 1; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = cost[static_cast<size_t>(i0) - 1]
+                               [static_cast<size_t>(j) - 1] -
+                           u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < minv[static_cast<size_t>(j)]) {
+          minv[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (minv[static_cast<size_t>(j)] < delta) {
+          delta = minv[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      if (j1 < 0 || delta == kInf) return {};  // no augmenting path
+      for (int j = 0; j <= m; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          minv[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[static_cast<size_t>(j0)] != 0);
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      match[static_cast<size_t>(j0)] = match[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+  std::vector<int> row_to_col(static_cast<size_t>(n), -1);
+  for (int j = 1; j <= m; ++j)
+    if (match[static_cast<size_t>(j)] > 0)
+      row_to_col[static_cast<size_t>(match[static_cast<size_t>(j)]) - 1] =
+          j - 1;
+  // Reject incomplete assignments and ones that used a forbidden edge.
+  for (int i = 0; i < n; ++i) {
+    const int c = row_to_col[static_cast<size_t>(i)];
+    if (c < 0 ||
+        cost[static_cast<size_t>(i)][static_cast<size_t>(c)] >=
+            kUnassignable / 2)
+      return {};
+  }
+  return row_to_col;
+}
+
+Binding bipartite_allocation(const AllocProblem& prob) {
+  const Cdfg& g = prob.cdfg();
+  const Lifetimes& lt = prob.lifetimes();
+  const int L = prob.sched().length();
+
+  // FU side from the constructive allocator; register side rebuilt below.
+  Binding b = initial_allocation(prob, InitialOptions{.seed = 1});
+
+  std::vector<std::vector<bool>> busy(
+      static_cast<size_t>(prob.num_regs()),
+      std::vector<bool>(static_cast<size_t>(L), false));
+  std::set<std::pair<uint64_t, uint64_t>> conns;
+
+  auto fits = [&](int sid, RegId r) {
+    const Storage& s = lt.storage(sid);
+    for (int seg = 0; seg < s.len; ++seg)
+      if (busy[static_cast<size_t>(r)][static_cast<size_t>(s.step_at(seg, L))])
+        return false;
+    return true;
+  };
+  auto placement_conns = [&](int sid, RegId reg) {
+    const Storage& s = lt.storage(sid);
+    std::vector<std::pair<uint64_t, uint64_t>> out;
+    const Endpoint src =
+        s.producer == kInvalidId
+            ? Endpoint{Endpoint::Kind::kInPort, g.producer(s.members[0])}
+            : Endpoint{Endpoint::Kind::kFuOut, b.op(s.producer).fu};
+    out.emplace_back(key_of(Pin{Pin::Kind::kRegIn, reg}), key_of(src));
+    for (const StorageRead& r : s.reads) {
+      const Node& cn = g.node(r.consumer);
+      Pin sink = cn.kind == OpKind::kOutput
+                     ? Pin{Pin::Kind::kOutPort, r.consumer}
+                     : Pin{r.operand == 0 ? Pin::Kind::kFuIn0
+                                          : Pin::Kind::kFuIn1,
+                           b.op(r.consumer).fu};
+      out.emplace_back(key_of(sink),
+                       key_of(Endpoint{Endpoint::Kind::kRegOut, reg}));
+    }
+    return out;
+  };
+  auto commit = [&](int sid, RegId r) {
+    const Storage& s = lt.storage(sid);
+    for (int seg = 0; seg < s.len; ++seg)
+      busy[static_cast<size_t>(r)][static_cast<size_t>(s.step_at(seg, L))] =
+          true;
+    for (const auto& c : placement_conns(sid, r)) conns.insert(c);
+    StorageBinding& sb = b.sto(sid);
+    for (size_t seg = 0; seg < sb.cells.size(); ++seg)
+      sb.cells[seg].assign(1, Cell{r, seg == 0 ? -1 : 0, kInvalidId});
+    std::fill(sb.read_cell.begin(), sb.read_cell.end(), 0);
+  };
+
+  // Steps in order; at step 0, boundary-crossing storages come first (they
+  // are the most constrained — this is the usual cut for cyclic lifetimes).
+  std::vector<bool> placed(static_cast<size_t>(lt.num_storages()), false);
+  for (int t = 0; t < L; ++t) {
+    std::vector<int> group;
+    for (int sid = 0; sid < lt.num_storages(); ++sid) {
+      if (placed[static_cast<size_t>(sid)]) continue;
+      const Storage& s = lt.storage(sid);
+      const bool due = t == 0 ? lt.seg_at_step(sid, 0) >= 0 : s.birth == t;
+      if (due) group.push_back(sid);
+    }
+    if (group.empty()) continue;
+    SALSA_CHECK_MSG(static_cast<int>(group.size()) <= prob.num_regs(),
+                    "register demand exceeds the budget");
+    std::vector<std::vector<double>> cost(
+        group.size(), std::vector<double>(
+                          static_cast<size_t>(prob.num_regs()), kUnassignable));
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (RegId r = 0; r < prob.num_regs(); ++r) {
+        if (!fits(group[i], r)) continue;
+        int fresh = 0;
+        for (const auto& c : placement_conns(group[i], r))
+          if (!conns.count(c)) ++fresh;
+        cost[i][static_cast<size_t>(r)] = fresh;
+      }
+    }
+    const auto match = min_cost_assignment(cost);
+    SALSA_CHECK_MSG(!match.empty(),
+                    "bipartite register matching found no assignment at step " +
+                        std::to_string(t));
+    for (size_t i = 0; i < group.size(); ++i) {
+      commit(group[i], match[i]);
+      placed[static_cast<size_t>(group[i])] = true;
+    }
+  }
+  check_legal(b);
+  return b;
+}
+
+}  // namespace salsa

@@ -1,0 +1,27 @@
+// Register binding by weighted bipartite matching (the Huang et al., DAC'90
+// style the paper cites as an exact approach for the traditional model):
+// control steps are processed in order; the values born at each step are
+// matched to compatible registers with edge weights equal to the
+// interconnect the pairing would add, solved exactly with the Hungarian
+// algorithm. Produces a traditional-model binding.
+#pragma once
+
+#include <vector>
+
+#include "core/binding.h"
+
+namespace salsa {
+
+/// Exact min-cost assignment (Hungarian algorithm, O(n^2 m)). `cost[r][c]`
+/// may be kUnassignable to forbid a pairing; requires rows <= cols. Returns
+/// the matched column per row, or an empty vector when no full assignment of
+/// all rows exists.
+inline constexpr double kUnassignable = 1e18;
+std::vector<int> min_cost_assignment(
+    const std::vector<std::vector<double>>& cost);
+
+/// Constructive allocation: first-available FU binding + per-step bipartite
+/// register matching with interconnect weights.
+Binding bipartite_allocation(const AllocProblem& prob);
+
+}  // namespace salsa

@@ -1,0 +1,161 @@
+#include "baseline/exact.h"
+
+#include <algorithm>
+
+#include "core/verify.h"
+
+namespace salsa {
+
+namespace {
+
+struct Searcher {
+  const AllocProblem& prob;
+  const ExactOptions& opts;
+  const Cdfg& g;
+  const Schedule& sched;
+  const Lifetimes& lt;
+
+  std::vector<NodeId> ops;
+  std::vector<int> storages;
+
+  Binding work;
+  std::optional<Binding> best;
+  double best_cost = 0;
+  long nodes = 0;
+  bool aborted = false;
+
+  std::vector<std::vector<bool>> fu_busy;
+  std::vector<std::vector<bool>> reg_busy;
+
+  explicit Searcher(const AllocProblem& p, const ExactOptions& o)
+      : prob(p),
+        opts(o),
+        g(p.cdfg()),
+        sched(p.sched()),
+        lt(p.lifetimes()),
+        work(p) {
+    ops = g.operations();
+    for (int sid = 0; sid < lt.num_storages(); ++sid) storages.push_back(sid);
+    fu_busy.assign(static_cast<size_t>(p.fus().size()),
+                   std::vector<bool>(static_cast<size_t>(sched.length()), false));
+    reg_busy.assign(static_cast<size_t>(p.num_regs()),
+                    std::vector<bool>(static_cast<size_t>(sched.length()), false));
+  }
+
+  bool fu_fits(NodeId n, FuId f) {
+    const int occ = sched.hw().occupancy(g.node(n).kind);
+    for (int t = sched.start(n); t < sched.start(n) + occ; ++t)
+      if (fu_busy[static_cast<size_t>(f)][static_cast<size_t>(t)]) return false;
+    return true;
+  }
+  void fu_mark(NodeId n, FuId f, bool v) {
+    const int occ = sched.hw().occupancy(g.node(n).kind);
+    for (int t = sched.start(n); t < sched.start(n) + occ; ++t)
+      fu_busy[static_cast<size_t>(f)][static_cast<size_t>(t)] = v;
+  }
+  bool reg_fits(int sid, RegId r) {
+    const Storage& s = lt.storage(sid);
+    for (int seg = 0; seg < s.len; ++seg)
+      if (reg_busy[static_cast<size_t>(r)]
+                  [static_cast<size_t>(s.step_at(seg, sched.length()))])
+        return false;
+    return true;
+  }
+  void reg_mark(int sid, RegId r, bool v) {
+    const Storage& s = lt.storage(sid);
+    for (int seg = 0; seg < s.len; ++seg)
+      reg_busy[static_cast<size_t>(r)]
+              [static_cast<size_t>(s.step_at(seg, sched.length()))] = v;
+  }
+
+  void assign_storage(int sid, RegId r) {
+    StorageBinding& sb = work.sto(sid);
+    for (size_t seg = 0; seg < sb.cells.size(); ++seg)
+      sb.cells[seg].assign(1, Cell{r, seg == 0 ? -1 : 0, kInvalidId});
+  }
+
+  void leaf() {
+    const double cost = evaluate_cost(work).total;
+    if (!best || cost < best_cost) {
+      best = work;
+      best_cost = cost;
+    }
+  }
+
+  // Registers, canonical first-use order: a storage may use any previously
+  // used register or the single next fresh one.
+  void place_storage(size_t i, RegId max_used) {
+    if (aborted) return;
+    if (++nodes > opts.node_limit) {
+      aborted = true;
+      return;
+    }
+    if (i == storages.size()) {
+      leaf();
+      return;
+    }
+    const int sid = storages[i];
+    const RegId limit = std::min<RegId>(prob.num_regs() - 1, max_used + 1);
+    for (RegId r = 0; r <= limit; ++r) {
+      if (!reg_fits(sid, r)) continue;
+      reg_mark(sid, r, true);
+      assign_storage(sid, r);
+      place_storage(i + 1, std::max(max_used, r));
+      reg_mark(sid, r, false);
+    }
+  }
+
+  // Swap enumeration over commutative ops bound so far happens inline: the
+  // swap flag branches right after the op's FU choice.
+  void place_op(size_t i, FuId max_alu, FuId max_mul) {
+    if (aborted) return;
+    if (++nodes > opts.node_limit) {
+      aborted = true;
+      return;
+    }
+    if (i == ops.size()) {
+      place_storage(0, -1);
+      return;
+    }
+    const NodeId n = ops[i];
+    const FuClass cls = fu_class_of(g.node(n).kind);
+    const auto pool = prob.fus().of_class(cls);
+    const FuId used = cls == FuClass::kAlu ? max_alu : max_mul;
+    const int limit =
+        std::min(static_cast<int>(pool.size()) - 1, static_cast<int>(used) + 1);
+    for (int pi = 0; pi <= limit; ++pi) {
+      const FuId f = pool[static_cast<size_t>(pi)];
+      if (!fu_fits(n, f)) continue;
+      fu_mark(n, f, true);
+      work.op(n).fu = f;
+      const FuId na = cls == FuClass::kAlu ? std::max<FuId>(max_alu, pi) : max_alu;
+      const FuId nm = cls == FuClass::kMul ? std::max<FuId>(max_mul, pi) : max_mul;
+      const bool can_swap =
+          opts.enumerate_swaps && is_commutative(g.node(n).kind);
+      for (int swap = 0; swap <= (can_swap ? 1 : 0); ++swap) {
+        work.op(n).swap = swap != 0;
+        place_op(i + 1, na, nm);
+      }
+      work.op(n).swap = false;
+      fu_mark(n, f, false);
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<ExactResult> exact_traditional(const AllocProblem& prob,
+                                             const ExactOptions& opts) {
+  Searcher s(prob, opts);
+  // Long storages first: tighter propagation.
+  std::sort(s.storages.begin(), s.storages.end(), [&](int a, int b) {
+    return prob.lifetimes().storage(a).len > prob.lifetimes().storage(b).len;
+  });
+  s.place_op(0, -1, -1);
+  if (s.aborted || !s.best) return std::nullopt;
+  check_legal(*s.best);
+  CostBreakdown cost = evaluate_cost(*s.best);
+  return ExactResult{std::move(*s.best), cost, s.nodes};
+}
+
+}  // namespace salsa

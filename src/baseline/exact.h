@@ -1,0 +1,36 @@
+// Exact traditional-model allocation by exhaustive branch-and-bound, for
+// tiny problems only. Serves as an optimality oracle in the test suite: on
+// graphs small enough to enumerate, the iterative-improvement allocator must
+// reach the same cost the exact search proves optimal (within the same
+// binding subspace).
+//
+// Search space: operator-to-FU assignment (occupancy-respecting, with
+// first-use canonical ordering of interchangeable FU instances) × contiguous
+// storage-to-register assignment (conflict-free, with first-use canonical
+// ordering of registers). Operand swaps are enumerated when requested.
+#pragma once
+
+#include <optional>
+
+#include "core/binding.h"
+#include "core/cost.h"
+
+namespace salsa {
+
+struct ExactOptions {
+  long node_limit = 5'000'000;  ///< abandon the search beyond this
+  bool enumerate_swaps = false; ///< also branch on commutative operand order
+};
+
+struct ExactResult {
+  Binding best;
+  CostBreakdown cost;
+  long nodes_visited = 0;
+};
+
+/// Finds a minimum-cost traditional binding, or std::nullopt if the node
+/// limit was hit or no feasible contiguous placement exists.
+std::optional<ExactResult> exact_traditional(const AllocProblem& prob,
+                                             const ExactOptions& opts = {});
+
+}  // namespace salsa

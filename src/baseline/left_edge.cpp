@@ -1,0 +1,89 @@
+#include "baseline/left_edge.h"
+
+#include <algorithm>
+
+#include "core/initial.h"
+#include "core/verify.h"
+
+namespace salsa {
+
+std::vector<RegId> left_edge_assign(const AllocProblem& prob) {
+  const Lifetimes& lt = prob.lifetimes();
+  const int L = prob.sched().length();
+  const int n = lt.num_storages();
+  std::vector<RegId> assign(static_cast<size_t>(n), kInvalidId);
+  std::vector<std::vector<bool>> busy(
+      static_cast<size_t>(prob.num_regs()),
+      std::vector<bool>(static_cast<size_t>(L), false));
+
+  auto fits = [&](int sid, RegId r) {
+    const Storage& s = lt.storage(sid);
+    for (int seg = 0; seg < s.len; ++seg)
+      if (busy[static_cast<size_t>(r)][static_cast<size_t>(s.step_at(seg, L))])
+        return false;
+    return true;
+  };
+  auto take = [&](int sid, RegId r) {
+    const Storage& s = lt.storage(sid);
+    for (int seg = 0; seg < s.len; ++seg)
+      busy[static_cast<size_t>(r)][static_cast<size_t>(s.step_at(seg, L))] =
+          true;
+    assign[static_cast<size_t>(sid)] = r;
+  };
+
+  // Cut: wrapping storages (and storages alive at step 0) first, one
+  // register each, longest first.
+  std::vector<int> wrapping, linear;
+  for (int sid = 0; sid < n; ++sid) {
+    const Storage& s = lt.storage(sid);
+    (s.wraps || lt.seg_at_step(sid, 0) >= 0 ? wrapping : linear).push_back(sid);
+  }
+  std::sort(wrapping.begin(), wrapping.end(), [&](int a, int b) {
+    return lt.storage(a).len > lt.storage(b).len;
+  });
+  for (int sid : wrapping) {
+    RegId r = 0;
+    while (r < prob.num_regs() && !fits(sid, r)) ++r;
+    if (r == prob.num_regs())
+      fail("left-edge: register budget too small for boundary-crossing "
+           "lifetimes");
+    take(sid, r);
+  }
+
+  // Left-edge over the rest: sort by birth, pack registers greedily.
+  std::sort(linear.begin(), linear.end(), [&](int a, int b) {
+    const Storage& sa = lt.storage(a);
+    const Storage& sb = lt.storage(b);
+    return sa.birth != sb.birth ? sa.birth < sb.birth : sa.len > sb.len;
+  });
+  for (RegId r = 0; r < prob.num_regs(); ++r) {
+    for (int sid : linear) {
+      if (assign[static_cast<size_t>(sid)] != kInvalidId) continue;
+      if (fits(sid, r)) take(sid, r);
+    }
+  }
+  for (int sid : linear)
+    if (assign[static_cast<size_t>(sid)] == kInvalidId)
+      fail("left-edge: register budget too small");
+  return assign;
+}
+
+Binding left_edge_allocation(const AllocProblem& prob) {
+  // FU side: reuse the constructive allocator, then rewrite the register
+  // side with the left-edge assignment.
+  Binding b = initial_allocation(prob, InitialOptions{.seed = 1});
+  const auto assign = left_edge_assign(prob);
+  const Lifetimes& lt = prob.lifetimes();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    StorageBinding& sb = b.sto(sid);
+    for (size_t seg = 0; seg < sb.cells.size(); ++seg)
+      sb.cells[seg].assign(
+          1, Cell{assign[static_cast<size_t>(sid)],
+                  seg == 0 ? -1 : 0, kInvalidId});
+    std::fill(sb.read_cell.begin(), sb.read_cell.end(), 0);
+  }
+  check_legal(b);
+  return b;
+}
+
+}  // namespace salsa

@@ -1,0 +1,20 @@
+// Classic left-edge register allocation (constructive baseline). Lifetimes
+// are sorted by birth and packed register by register; storages whose arcs
+// wrap the iteration boundary are pre-assigned one register each (the
+// standard cut for cyclic lifetimes). Produces a traditional-model binding
+// with the minimum register count for linear lifetimes.
+#pragma once
+
+#include "core/binding.h"
+
+namespace salsa {
+
+/// Contiguous register assignment per storage (left-edge with a boundary
+/// cut). Throws if the budget is insufficient.
+std::vector<RegId> left_edge_assign(const AllocProblem& prob);
+
+/// Full constructive allocation: first-available FU binding + left-edge
+/// registers. A fast, deterministic traditional-model starting point.
+Binding left_edge_allocation(const AllocProblem& prob);
+
+}  // namespace salsa

@@ -1,0 +1,52 @@
+#include "bench_suite/ar_filter.h"
+
+#include <array>
+
+namespace salsa {
+
+Cdfg make_ar_filter() {
+  Cdfg g("ar_filter");
+  const ValueId in = g.add_input("in");
+  std::array<ValueId, 4> r{};
+  for (int i = 0; i < 4; ++i)
+    r[static_cast<size_t>(i)] = g.add_state("r" + std::to_string(i + 1));
+
+  auto mul = [&](ValueId a, ValueId b, const std::string& n) {
+    return g.add_op(OpKind::kMul, a, b, n);
+  };
+  auto add = [&](ValueId a, ValueId b, const std::string& n) {
+    return g.add_op(OpKind::kAdd, a, b, n);
+  };
+
+  ValueId x = in;
+  std::array<ValueId, 4> stage_out{};
+  ValueId prev_next = kInvalidId;
+  for (int i = 0; i < 4; ++i) {
+    const std::string si = std::to_string(i + 1);
+    const ValueId a = g.add_const(2 * i + 3, "a" + si);
+    const ValueId bq = g.add_const(2 * i + 5, "b" + si);
+    const ValueId c = g.add_const(2 * i + 7, "c" + si);
+    const ValueId d = g.add_const(2 * i + 9, "d" + si);
+    const ValueId st = r[static_cast<size_t>(i)];
+    const ValueId m1 = mul(x, a, "m1_" + si);
+    const ValueId m2 = mul(st, bq, "m2_" + si);
+    const ValueId xo = add(m1, m2, "x" + si);
+    const ValueId m3 = mul(x, c, "m3_" + si);
+    const ValueId m4 = mul(st, d, "m4_" + si);
+    ValueId rn = add(m3, m4, "rn" + si);
+    if (i == 3) rn = add(rn, prev_next, "rn4b");  // 12th addition
+    g.set_state_next(st, rn);
+    stage_out[static_cast<size_t>(i)] = xo;
+    prev_next = xo;
+    x = xo;
+  }
+
+  const ValueId acc1 = add(stage_out[0], stage_out[1], "acc1");
+  const ValueId acc2 = add(stage_out[2], stage_out[3], "acc2");
+  const ValueId y = add(acc1, acc2, "y");
+  g.add_output(y, "out");
+  g.validate();
+  return g;
+}
+
+}  // namespace salsa

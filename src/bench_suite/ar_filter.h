@@ -1,0 +1,13 @@
+// Four-stage autoregressive lattice filter: 16 multiplications and 12
+// additions over four loop-carried states — the classic "AR filter"
+// benchmark size. A second cyclic workload (besides the EWF) with a much
+// higher multiplier density.
+#pragma once
+
+#include "cdfg/cdfg.h"
+
+namespace salsa {
+
+Cdfg make_ar_filter();
+
+}  // namespace salsa

@@ -1,0 +1,82 @@
+#include "bench_suite/dct.h"
+
+#include <array>
+
+namespace salsa {
+
+Cdfg make_dct() {
+  Cdfg g("dct8");
+  std::array<ValueId, 8> x{};
+  for (int i = 0; i < 8; ++i)
+    x[static_cast<size_t>(i)] = g.add_input("x" + std::to_string(i));
+
+  const ValueId c1 = g.add_const(251, "c1");
+  const ValueId c2 = g.add_const(237, "c2");
+  const ValueId c3 = g.add_const(213, "c3");
+  const ValueId c4 = g.add_const(181, "c4");
+  const ValueId c5 = g.add_const(142, "c5");
+  const ValueId c6 = g.add_const(98, "c6");
+  const ValueId c7 = g.add_const(50, "c7");
+  const ValueId c2m = g.add_const(-237, "c2m");
+  const ValueId c4m = g.add_const(-181, "c4m");
+
+  auto add = [&](ValueId a, ValueId b, const char* n) {
+    return g.add_op(OpKind::kAdd, a, b, n);
+  };
+  auto sub = [&](ValueId a, ValueId b, const char* n) {
+    return g.add_op(OpKind::kSub, a, b, n);
+  };
+  auto mul = [&](ValueId a, ValueId k, const char* n) {
+    return g.add_op(OpKind::kMul, a, k, n);
+  };
+
+  // Stage 1: input butterflies.
+  const ValueId s0 = add(x[0], x[7], "s0");
+  const ValueId s1 = add(x[1], x[6], "s1");
+  const ValueId s2 = add(x[2], x[5], "s2");
+  const ValueId s3 = add(x[3], x[4], "s3");
+  const ValueId d0 = sub(x[0], x[7], "d0");
+  const ValueId d1 = sub(x[1], x[6], "d1");
+  const ValueId d2 = sub(x[2], x[5], "d2");
+  const ValueId d3 = sub(x[3], x[4], "d3");
+
+  // Even half: 4-point DCT.
+  const ValueId t0 = add(s0, s3, "t0");
+  const ValueId t1 = add(s1, s2, "t1");
+  const ValueId t2 = sub(s0, s3, "t2");
+  const ValueId t3 = sub(s1, s2, "t3");
+  const ValueId X0 = mul(add(t0, t1, "t01"), c4, "X0");
+  const ValueId X4 = mul(sub(t1, t0, "t10"), c4m, "X4");
+  const ValueId X2 = add(mul(t2, c2, "t2c2"), mul(t3, c6, "t3c6"), "X2");
+  const ValueId X6 = add(mul(t2, c6, "t2c6"), mul(t3, c2m, "t3c2m"), "X6");
+
+  // Odd half: shared-term rotations (sign factors absorbed into constants).
+  const ValueId g0 = add(d0, d3, "g0");
+  const ValueId g1 = add(d1, d2, "g1");
+  const ValueId g2 = add(d0, d1, "g2");
+  const ValueId g3 = add(d2, d3, "g3");
+  const ValueId h0 = mul(g0, c1, "h0");
+  const ValueId h1 = mul(g1, c3, "h1");
+  const ValueId h2 = mul(g2, c5, "h2");
+  const ValueId h3 = mul(g3, c7, "h3");
+  const ValueId p0 = mul(d0, c3, "p0");
+  const ValueId p1 = mul(d1, c5, "p1");
+  const ValueId p2 = mul(d2, c7, "p2");
+  const ValueId p3 = mul(d3, c1, "p3");
+  const ValueId q0 = mul(d1, c4, "q0");
+  const ValueId q1 = mul(d2, c4, "q1");
+
+  const ValueId X1 = add(add(h0, p1, "o1a"), add(h2, q0, "o1b"), "X1");
+  const ValueId X3 = add(add(h1, p0, "o3a"), add(h3, q1, "o3b"), "X3");
+  const ValueId X5 = add(add(h2, p3, "o5a"), add(h0, q1, "o5b"), "X5");
+  const ValueId X7 = add(add(h3, p2, "o7a"), add(h1, q0, "o7b"), "X7");
+
+  const std::array<ValueId, 8> X{X0, X1, X2, X3, X4, X5, X6, X7};
+  for (int i = 0; i < 8; ++i)
+    g.add_output(X[static_cast<size_t>(i)], "out" + std::to_string(i));
+
+  g.validate();
+  return g;
+}
+
+}  // namespace salsa

@@ -1,0 +1,18 @@
+// 8-point one-dimensional discrete cosine transform — the paper's Table 3
+// workload, drawn from the Philips "One-Dimensional Linear Picture
+// Transformer" implementation [18,19]. Reconstructed as an even/odd-
+// decomposition fast-DCT flow graph adjusted to the paper's exact census:
+// 25 additions, 7 subtractions and 16 multiplications (Section 5), eight
+// inputs, eight outputs, acyclic. tests/test_dct.cpp pins the census and
+// critical path.
+#pragma once
+
+#include "cdfg/cdfg.h"
+
+namespace salsa {
+
+/// Builds the DCT CDFG (coefficients as small integer constants; constants
+/// are cost-free in the allocation model).
+Cdfg make_dct();
+
+}  // namespace salsa

@@ -1,0 +1,31 @@
+#include "bench_suite/diffeq.h"
+
+namespace salsa {
+
+Cdfg make_diffeq() {
+  Cdfg g("diffeq");
+  const ValueId x = g.add_input("x");
+  const ValueId y = g.add_input("y");
+  const ValueId u = g.add_input("u");
+  const ValueId dx = g.add_input("dx");
+  const ValueId three = g.add_const(3, "three");
+
+  const ValueId m1 = g.add_op(OpKind::kMul, three, x, "3x");
+  const ValueId m2 = g.add_op(OpKind::kMul, m1, u, "3xu");
+  const ValueId m3 = g.add_op(OpKind::kMul, m2, dx, "3xudx");
+  const ValueId m4 = g.add_op(OpKind::kMul, three, y, "3y");
+  const ValueId m5 = g.add_op(OpKind::kMul, m4, dx, "3ydx");
+  const ValueId m6 = g.add_op(OpKind::kMul, u, dx, "udx");
+  const ValueId s1 = g.add_op(OpKind::kSub, u, m3, "u-3xudx");
+  const ValueId u1 = g.add_op(OpKind::kSub, s1, m5, "u1");
+  const ValueId x1 = g.add_op(OpKind::kAdd, x, dx, "x1");
+  const ValueId y1 = g.add_op(OpKind::kAdd, y, m6, "y1");
+
+  g.add_output(x1, "x_out");
+  g.add_output(y1, "y_out");
+  g.add_output(u1, "u_out");
+  g.validate();
+  return g;
+}
+
+}  // namespace salsa

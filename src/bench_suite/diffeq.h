@@ -1,0 +1,12 @@
+// The HAL differential-equation benchmark (Paulin [2]): one Euler step of
+// y'' + 3xy' + 3y = 0. Six multiplications (two with data×data operands,
+// exercising general multiplier inputs), two subtractions, two additions.
+#pragma once
+
+#include "cdfg/cdfg.h"
+
+namespace salsa {
+
+Cdfg make_diffeq();
+
+}  // namespace salsa

@@ -1,0 +1,122 @@
+#include "bench_suite/ewf.h"
+
+#include <array>
+
+namespace salsa {
+
+namespace {
+
+// One EWF iteration body: consumes the sample input and the seven current
+// state values, produces the filter output and the seven next states.
+// 26 additions, 8 constant multiplications per instance.
+struct EwfBody {
+  ValueId out;
+  std::array<ValueId, 7> next;
+};
+
+EwfBody build_ewf_body(Cdfg& g, ValueId inp, const std::array<ValueId, 7>& sv,
+                       const std::array<ValueId, 8>& k,
+                       const std::string& suffix) {
+  auto add = [&](ValueId a, ValueId b, const char* n) {
+    return g.add_op(OpKind::kAdd, a, b, std::string(n) + suffix);
+  };
+  auto mul = [&](ValueId a, ValueId c, const char* n) {
+    return g.add_op(OpKind::kMul, a, c, std::string(n) + suffix);
+  };
+  const ValueId s2 = sv[0], s13 = sv[1], s18 = sv[2], s26 = sv[3],
+                s33 = sv[4], s38 = sv[5], s39 = sv[6];
+
+  // Central adaptor spine (the filter's longest carry chain: 17 steps).
+  const ValueId a1 = add(inp, s2, "a1");
+  const ValueId a2 = add(a1, s13, "a2");
+  const ValueId m1 = mul(a2, k[0], "m1");
+  const ValueId a3 = add(m1, s18, "a3");
+  const ValueId a4 = add(a3, a2, "a4");
+  const ValueId m2 = mul(a4, k[1], "m2");
+  const ValueId a5 = add(m2, s26, "a5");
+  const ValueId a6 = add(a5, a4, "a6");
+  const ValueId m3 = mul(a6, k[2], "m3");
+  const ValueId a7 = add(m3, s33, "a7");
+  const ValueId a8 = add(a7, a6, "a8");
+  const ValueId a9 = add(a8, a5, "a9");
+  const ValueId a10 = add(a9, a3, "a10");
+  const ValueId a11 = add(a10, a1, "a11");
+
+  // Left wing: output branch and the sv13/sv39 adaptors.
+  const ValueId m4 = mul(a2, k[3], "m4");
+  const ValueId b1 = add(m4, s39, "b1");
+  const ValueId b2 = add(b1, a3, "b2");
+  const ValueId m5 = mul(b2, k[4], "m5");
+  const ValueId b3 = add(m5, b1, "b3");
+  const ValueId b4 = add(b3, a5, "b4");
+  const ValueId b5 = add(b4, b2, "b5");
+  const ValueId b6 = add(b3, a6, "b6");
+
+  // Right wing: the sv18/sv26/sv33/sv38 adaptors.
+  const ValueId m6 = mul(a4, k[5], "m6");
+  const ValueId e1 = add(m6, s38, "e1");
+  const ValueId e2 = add(e1, a5, "e2");
+  const ValueId m7 = mul(a6, k[6], "m7");
+  const ValueId e3 = add(m7, e2, "e3");
+  const ValueId e4 = add(e3, a7, "e4");
+  const ValueId m8 = mul(a8, k[7], "m8");
+  const ValueId e5 = add(m8, e4, "e5");
+  const ValueId e6 = add(e1, b3, "e6");
+
+  // Output accumulation branch.
+  const ValueId d1 = add(b1, e1, "d1");
+  const ValueId d2 = add(d1, m6, "d2");
+  const ValueId d3 = add(d2, b4, "d3");
+
+  return EwfBody{d3, {a11, b5, e2, e4, e5, e6, b6}};
+}
+
+std::array<ValueId, 8> ewf_coefficients(Cdfg& g) {
+  return {g.add_const(3, "k1"),  g.add_const(5, "k2"),  g.add_const(7, "k3"),
+          g.add_const(11, "k4"), g.add_const(13, "k5"), g.add_const(17, "k6"),
+          g.add_const(19, "k7"), g.add_const(23, "k8")};
+}
+
+constexpr const char* kStateNames[7] = {"sv2",  "sv13", "sv18", "sv26",
+                                        "sv33", "sv38", "sv39"};
+
+}  // namespace
+
+Cdfg make_ewf() {
+  Cdfg g("ewf");
+  const ValueId inp = g.add_input("inp");
+  std::array<ValueId, 7> sv{};
+  for (int i = 0; i < 7; ++i)
+    sv[static_cast<size_t>(i)] = g.add_state(kStateNames[i]);
+  const auto k = ewf_coefficients(g);
+  const EwfBody body = build_ewf_body(g, inp, sv, k, "");
+  for (int i = 0; i < 7; ++i)
+    g.set_state_next(sv[static_cast<size_t>(i)],
+                     body.next[static_cast<size_t>(i)]);
+  g.add_output(body.out, "outp");
+  g.validate();
+  return g;
+}
+
+Cdfg make_ewf_unrolled(int factor) {
+  SALSA_CHECK_MSG(factor >= 1, "unroll factor must be positive");
+  Cdfg g("ewf_u" + std::to_string(factor));
+  std::array<ValueId, 7> sv{};
+  for (int i = 0; i < 7; ++i)
+    sv[static_cast<size_t>(i)] = g.add_state(kStateNames[i]);
+  const auto k = ewf_coefficients(g);
+  std::array<ValueId, 7> cur = sv;
+  for (int u = 0; u < factor; ++u) {
+    const ValueId inp = g.add_input("inp" + std::to_string(u));
+    const EwfBody body = build_ewf_body(g, inp, cur, k,
+                                        "_i" + std::to_string(u));
+    g.add_output(body.out, "outp" + std::to_string(u));
+    cur = body.next;
+  }
+  for (int i = 0; i < 7; ++i)
+    g.set_state_next(sv[static_cast<size_t>(i)], cur[static_cast<size_t>(i)]);
+  g.validate();
+  return g;
+}
+
+}  // namespace salsa

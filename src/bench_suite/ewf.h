@@ -1,0 +1,27 @@
+// The fifth-order elliptic wave filter (EWF) benchmark — the paper's Table 2
+// workload and the most widely used benchmark of the classic HLS literature
+// [2,17]. This is a faithful structural reconstruction (the original
+// benchmark file is not distributable): 34 operations — 26 additions and 8
+// multiplications by filter coefficients — over 7 loop-carried state
+// variables, one sample input and one sample output, with the canonical
+// 17-control-step critical path under the paper's timing assumptions
+// (adders 1 step, multipliers 2 steps). tests/test_ewf.cpp pins all of
+// these properties.
+#pragma once
+
+#include "cdfg/cdfg.h"
+
+namespace salsa {
+
+/// Builds the EWF CDFG. Multiplier coefficients are small integer constants
+/// (stand-ins for the filter coefficients; constants are cost-free in the
+/// allocation model, Section 5).
+Cdfg make_ewf();
+
+/// The unfolded EWF: `factor` filter iterations chained combinationally
+/// within one loop body (one sample in, one sample out per instance; the
+/// classic 68-operation stress workload for factor 2). States wrap from the
+/// last instance back to the first.
+Cdfg make_ewf_unrolled(int factor);
+
+}  // namespace salsa

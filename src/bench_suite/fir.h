@@ -1,0 +1,13 @@
+// 8-tap FIR filter with an explicit delay line: 8 coefficient
+// multiplications, 7 accumulation additions, and 7 register-to-register
+// shift moves expressed as Nop operations — the benchmark that exercises
+// scheduled No-Op nodes (the paper's slack nodes as first-class operators).
+#pragma once
+
+#include "cdfg/cdfg.h"
+
+namespace salsa {
+
+Cdfg make_fir8();
+
+}  // namespace salsa

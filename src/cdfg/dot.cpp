@@ -1,0 +1,70 @@
+#include "cdfg/dot.h"
+
+#include <sstream>
+
+namespace salsa {
+
+namespace {
+
+const char* shape_of(OpKind k) {
+  switch (k) {
+    case OpKind::kInput:
+    case OpKind::kState:
+      return "invtriangle";
+    case OpKind::kConst:
+      return "plaintext";
+    case OpKind::kOutput:
+      return "triangle";
+    default:
+      return "circle";
+  }
+}
+
+void emit_nodes_and_edges(const Cdfg& g, std::ostringstream& os) {
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    const Node& n = g.node(id);
+    os << "  n" << id << " [label=\"" << n.name << "\\n" << op_name(n.kind)
+       << "\", shape=" << shape_of(n.kind) << "];\n";
+  }
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    const Node& n = g.node(id);
+    for (ValueId in : n.ins)
+      os << "  n" << g.producer(in) << " -> n" << id << " [label=\""
+         << g.value(in).name << "\"];\n";
+    if (n.kind == OpKind::kState)
+      os << "  n" << g.producer(n.state_next) << " -> n" << id
+         << " [style=dashed, label=\"next\"];\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const Cdfg& g) {
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n  rankdir=TB;\n";
+  emit_nodes_and_edges(g, os);
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const Cdfg& g, const std::vector<int>& starts, int length) {
+  SALSA_CHECK(static_cast<int>(starts.size()) == g.num_nodes());
+  std::ostringstream os;
+  os << "digraph \"" << g.name() << "\" {\n  rankdir=TB;\n";
+  for (int t = 0; t < length; ++t) {
+    os << "  { rank=same; step" << t << " [label=\"step " << t
+       << "\", shape=plaintext];";
+    for (NodeId id = 0; id < g.num_nodes(); ++id)
+      if (is_operation(g.node(id).kind) &&
+          starts[static_cast<size_t>(id)] == t)
+        os << " n" << id << ";";
+    os << " }\n";
+  }
+  for (int t = 0; t + 1 < length; ++t)
+    os << "  step" << t << " -> step" << t + 1 << " [style=invis];\n";
+  emit_nodes_and_edges(g, os);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace salsa

@@ -1,0 +1,20 @@
+// Graphviz DOT export of CDFGs, optionally annotated with start steps
+// (operators ranked by control step, as in the paper's Figures 1, 2 and 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cdfg/cdfg.h"
+
+namespace salsa {
+
+/// Renders the CDFG as a DOT digraph.
+std::string to_dot(const Cdfg& cdfg);
+
+/// Renders the CDFG with operators grouped into ranks by control step.
+/// `starts[node]` is the node's start step; `length` the schedule length.
+std::string to_dot(const Cdfg& cdfg, const std::vector<int>& starts,
+                   int length);
+
+}  // namespace salsa

@@ -1,0 +1,75 @@
+#include "cdfg/eval.h"
+
+namespace salsa {
+
+int64_t apply_op(OpKind k, int64_t a, int64_t b) {
+  const uint64_t ua = static_cast<uint64_t>(a);
+  const uint64_t ub = static_cast<uint64_t>(b);
+  switch (k) {
+    case OpKind::kAdd: return static_cast<int64_t>(ua + ub);
+    case OpKind::kSub: return static_cast<int64_t>(ua - ub);
+    case OpKind::kMul: return static_cast<int64_t>(ua * ub);
+    case OpKind::kNop: return a;
+    default: break;
+  }
+  fail("apply_op: not an executable operation");
+}
+
+Evaluator::Evaluator(const Cdfg& cdfg, std::span<const int64_t> initial_states)
+    : cdfg_(cdfg),
+      order_(cdfg.topo_order()),
+      state_nodes_(cdfg.state_nodes()),
+      input_nodes_(cdfg.input_nodes()),
+      output_nodes_(cdfg.output_nodes()) {
+  if (initial_states.empty()) {
+    states_.assign(state_nodes_.size(), 0);
+  } else {
+    SALSA_CHECK_MSG(initial_states.size() == state_nodes_.size(),
+                    "initial_states size mismatch");
+    states_.assign(initial_states.begin(), initial_states.end());
+  }
+}
+
+std::vector<int64_t> Evaluator::step(std::span<const int64_t> inputs) {
+  SALSA_CHECK_MSG(inputs.size() == input_nodes_.size(),
+                  "evaluator input arity mismatch");
+  std::vector<int64_t> val(static_cast<size_t>(cdfg_.num_values()), 0);
+  for (size_t i = 0; i < input_nodes_.size(); ++i)
+    val[static_cast<size_t>(cdfg_.node(input_nodes_[i]).out)] =
+        inputs[i];
+  for (size_t i = 0; i < state_nodes_.size(); ++i)
+    val[static_cast<size_t>(cdfg_.node(state_nodes_[i]).out)] = states_[i];
+
+  for (NodeId id : order_) {
+    const Node& n = cdfg_.node(id);
+    switch (n.kind) {
+      case OpKind::kConst:
+        val[static_cast<size_t>(n.out)] = n.cvalue;
+        break;
+      case OpKind::kAdd:
+      case OpKind::kSub:
+      case OpKind::kMul:
+        val[static_cast<size_t>(n.out)] =
+            apply_op(n.kind, val[static_cast<size_t>(n.ins[0])],
+                     val[static_cast<size_t>(n.ins[1])]);
+        break;
+      case OpKind::kNop:
+        val[static_cast<size_t>(n.out)] = val[static_cast<size_t>(n.ins[0])];
+        break;
+      default:
+        break;  // inputs/states already seeded; outputs read below
+    }
+  }
+
+  for (size_t i = 0; i < state_nodes_.size(); ++i)
+    states_[i] = val[static_cast<size_t>(
+        cdfg_.node(state_nodes_[i]).state_next)];
+
+  std::vector<int64_t> outs;
+  outs.reserve(output_nodes_.size());
+  for (NodeId o : output_nodes_)
+    outs.push_back(val[static_cast<size_t>(cdfg_.node(o).ins[0])]);
+  return outs;
+}
+
+}  // namespace salsa

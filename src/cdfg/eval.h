@@ -1,0 +1,43 @@
+// Behavioural evaluation of a CDFG on concrete integer data. This is the
+// golden reference the datapath simulator is checked against: an allocation
+// is correct iff the generated datapath produces the same output streams as
+// this evaluator for the same input streams and initial state.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cdfg/cdfg.h"
+
+namespace salsa {
+
+/// Iteration-by-iteration interpreter for a (possibly loop-carrying) CDFG.
+/// Arithmetic is wrapping two's-complement on int64_t, matching the datapath
+/// simulator.
+class Evaluator {
+ public:
+  /// `initial_states[i]` seeds the i-th state node (order of
+  /// cdfg.state_nodes()); pass an empty span to seed all states with zero.
+  Evaluator(const Cdfg& cdfg, std::span<const int64_t> initial_states = {});
+
+  /// Runs one iteration. `inputs[i]` feeds the i-th input node (order of
+  /// cdfg.input_nodes()). Returns one value per output node (order of
+  /// cdfg.output_nodes()).
+  std::vector<int64_t> step(std::span<const int64_t> inputs);
+
+  /// Current state-node contents (order of cdfg.state_nodes()).
+  const std::vector<int64_t>& states() const { return states_; }
+
+ private:
+  const Cdfg& cdfg_;
+  std::vector<NodeId> order_;
+  std::vector<NodeId> state_nodes_;
+  std::vector<NodeId> input_nodes_;
+  std::vector<NodeId> output_nodes_;
+  std::vector<int64_t> states_;
+};
+
+/// Wrapping binary op application shared with the datapath simulator.
+int64_t apply_op(OpKind k, int64_t a, int64_t b);
+
+}  // namespace salsa

@@ -1,0 +1,70 @@
+#include "core/allocator.h"
+
+#include <optional>
+
+#include "core/verify.h"
+
+namespace salsa {
+
+namespace {
+
+void accumulate(ImproveStats& total, const ImproveStats& s) {
+  total.trials += s.trials;
+  total.attempted += s.attempted;
+  total.accepted += s.accepted;
+  total.uphill += s.uphill;
+}
+
+}  // namespace
+
+AllocationResult allocate(const AllocProblem& prob,
+                          const AllocatorOptions& opts) {
+  SALSA_CHECK_MSG(opts.restarts >= 1, "allocate needs at least one restart");
+  std::optional<ImproveResult> best;
+  ImproveStats total;
+  for (int r = 0; r < opts.restarts; ++r) {
+    InitialOptions init = opts.initial;
+    init.seed = opts.initial.seed + static_cast<uint64_t>(r) * 7919;
+    ImproveParams params = opts.improve;
+    params.seed = opts.improve.seed + static_cast<uint64_t>(r) * 104729;
+
+    // The constructive start (contiguous-first, splitting only when forced).
+    // For the warm start, actively look for a fully contiguous placement
+    // across a few orders before settling for a split one.
+    Binding start = initial_allocation(prob, init);
+    if (opts.warm_start_traditional && !start.is_traditional()) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        try {
+          InitialOptions strict = init;
+          strict.allow_splits = false;
+          strict.seed = init.seed + 101 + static_cast<uint64_t>(attempt);
+          start = initial_allocation(prob, strict);
+          break;
+        } catch (const Error&) {
+          // no contiguous placement under this order; keep trying
+        }
+      }
+    }
+    if (opts.warm_start_traditional && start.is_traditional()) {
+      // Converge within the traditional model first — the extended moves
+      // then only have to *remove* interconnect from a good contiguous
+      // allocation (value segments, copies and pass-throughs strictly add
+      // freedom, so this warm start never hurts the final result).
+      ImproveParams warm = params;
+      warm.moves = MoveConfig::traditional();
+      warm.seed = params.seed ^ 0x5A15Au;
+      ImproveResult wr = improve(start, warm);
+      accumulate(total, wr.stats);
+      start = std::move(wr.best);
+    }
+    ImproveResult res = improve(start, params);
+    accumulate(total, res.stats);
+    if (!best || res.cost.total < best->cost.total) best = std::move(res);
+  }
+  check_legal(best->best);
+  AllocationResult out{std::move(best->best), best->cost, {}, total};
+  out.merging = merge_muxes(out.binding);
+  return out;
+}
+
+}  // namespace salsa

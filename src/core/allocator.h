@@ -1,0 +1,36 @@
+// Top-level allocation API: constructive initial allocation followed by
+// iterative improvement (with optional outer restarts — the paper notes
+// multiple runs are sometimes needed due to the randomised search), then the
+// mux-merging post-pass. This is the facade examples and benchmarks use.
+#pragma once
+
+#include "core/improver.h"
+#include "core/initial.h"
+#include "core/mux_merge.h"
+
+namespace salsa {
+
+struct AllocatorOptions {
+  ImproveParams improve;
+  InitialOptions initial;
+  /// Independent restarts (fresh initial allocation + search seed); the best
+  /// result wins.
+  int restarts = 1;
+  /// When the constructive start is contiguous, first converge within the
+  /// traditional move set, then let the extended moves strip interconnect
+  /// from that allocation. Disable for the pure-extended-search ablation.
+  bool warm_start_traditional = true;
+};
+
+struct AllocationResult {
+  Binding binding;
+  CostBreakdown cost;      ///< point-to-point cost before mux merging
+  MuxMergeResult merging;  ///< greedy mux-merge outcome
+  ImproveStats stats;      ///< accumulated over restarts
+};
+
+/// Allocates the problem with the extended (SALSA) binding model.
+AllocationResult allocate(const AllocProblem& prob,
+                          const AllocatorOptions& opts = {});
+
+}  // namespace salsa

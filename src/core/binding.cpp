@@ -1,0 +1,132 @@
+#include "core/binding.h"
+
+namespace salsa {
+
+Binding::Binding(const AllocProblem& prob) : prob_(&prob) {
+  const Cdfg& g = prob.cdfg();
+  ops_.assign(static_cast<size_t>(g.num_nodes()), OpBind{});
+  const Lifetimes& lt = prob.lifetimes();
+  stos_.resize(static_cast<size_t>(lt.num_storages()));
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    stos_[static_cast<size_t>(sid)].cells.resize(
+        static_cast<size_t>(lt.storage(sid).len));
+    stos_[static_cast<size_t>(sid)].read_cell.assign(
+        lt.storage(sid).reads.size(), 0);
+  }
+}
+
+Occupancy Binding::occupancy() const {
+  const Cdfg& g = prob_->cdfg();
+  const Schedule& sched = prob_->sched();
+  const Lifetimes& lt = prob_->lifetimes();
+  const int L = sched.length();
+  Occupancy occ;
+  occ.fu_user.assign(static_cast<size_t>(prob_->fus().size()),
+                     std::vector<int>(static_cast<size_t>(L), Occupancy::kFree));
+  occ.reg_sto.assign(static_cast<size_t>(prob_->num_regs()),
+                     std::vector<int>(static_cast<size_t>(L), -1));
+
+  auto claim_fu = [&](FuId f, int step, int user) {
+    SALSA_CHECK(f >= 0 && f < prob_->fus().size());
+    int& slot = occ.fu_user[static_cast<size_t>(f)][static_cast<size_t>(step)];
+    SALSA_CHECK_MSG(slot == Occupancy::kFree,
+                    "FU double-booked at step " + std::to_string(step));
+    slot = user;
+  };
+
+  for (NodeId n : g.operations()) {
+    const OpBind& ob = op(n);
+    SALSA_CHECK_MSG(ob.fu != kInvalidId,
+                    "operation '" + g.node(n).name + "' is unbound");
+    const int occ_steps = sched.hw().occupancy(g.node(n).kind);
+    for (int t = sched.start(n); t < sched.start(n) + occ_steps; ++t)
+      claim_fu(ob.fu, t, n);
+  }
+
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    const Storage& s = lt.storage(sid);
+    const StorageBinding& sb = sto(sid);
+    SALSA_CHECK(static_cast<int>(sb.cells.size()) == s.len);
+    for (int seg = 0; seg < s.len; ++seg) {
+      const int step = s.step_at(seg, L);
+      SALSA_CHECK_MSG(!sb.cells[static_cast<size_t>(seg)].empty(),
+                      "storage '" + s.name + "' has an unbound segment");
+      for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
+        SALSA_CHECK_MSG(c.reg >= 0 && c.reg < prob_->num_regs(),
+                        "cell register out of range");
+        int& slot = occ.reg_sto[static_cast<size_t>(c.reg)]
+                               [static_cast<size_t>(step)];
+        SALSA_CHECK_MSG(slot == -1, "register holds two values at step " +
+                                        std::to_string(step));
+        slot = sid;
+        if (seg > 0 && c.via != kInvalidId) {
+          // Pass-through occupies the FU during the transfer step (the step
+          // of the parent segment).
+          const int tstep = s.step_at(seg - 1, L);
+          claim_fu(c.via, tstep, Occupancy::kPassThrough);
+        }
+      }
+    }
+  }
+  return occ;
+}
+
+RegId Binding::read_reg(int sid, int read_idx) const {
+  const Storage& s = prob_->lifetimes().storage(sid);
+  const StorageBinding& sb = sto(sid);
+  const int seg = s.reads[static_cast<size_t>(read_idx)].seg;
+  const int pos = sb.read_cell[static_cast<size_t>(read_idx)];
+  return sb.cells[static_cast<size_t>(seg)][static_cast<size_t>(pos)].reg;
+}
+
+int Binding::regs_used() const {
+  std::vector<bool> used(static_cast<size_t>(prob_->num_regs()), false);
+  for (const StorageBinding& sb : stos_)
+    for (const auto& seg : sb.cells)
+      for (const Cell& c : seg)
+        if (c.reg >= 0) used[static_cast<size_t>(c.reg)] = true;
+  int n = 0;
+  for (bool u : used) n += u;
+  return n;
+}
+
+int Binding::fus_used() const {
+  std::vector<bool> used(static_cast<size_t>(prob_->fus().size()), false);
+  for (NodeId n : prob_->cdfg().operations())
+    if (op(n).fu != kInvalidId) used[static_cast<size_t>(op(n).fu)] = true;
+  for (const StorageBinding& sb : stos_)
+    for (const auto& seg : sb.cells)
+      for (const Cell& c : seg)
+        if (c.via != kInvalidId) used[static_cast<size_t>(c.via)] = true;
+  int n = 0;
+  for (bool u : used) n += u;
+  return n;
+}
+
+bool Binding::is_traditional() const {
+  for (const StorageBinding& sb : stos_) {
+    RegId reg = kInvalidId;
+    for (const auto& seg : sb.cells) {
+      if (seg.size() != 1) return false;
+      if (seg[0].via != kInvalidId) return false;
+      if (reg == kInvalidId) reg = seg[0].reg;
+      if (seg[0].reg != reg) return false;
+    }
+  }
+  return true;
+}
+
+void Binding::normalize() {
+  for (StorageBinding& sb : stos_) {
+    for (size_t seg = 1; seg < sb.cells.size(); ++seg) {
+      for (Cell& c : sb.cells[seg]) {
+        if (c.parent < 0) continue;
+        const Cell& parent =
+            sb.cells[seg - 1][static_cast<size_t>(c.parent)];
+        if (parent.reg == c.reg) c.via = kInvalidId;
+      }
+    }
+  }
+}
+
+}  // namespace salsa

@@ -1,0 +1,119 @@
+// The extended (SALSA) binding model — the paper's core contribution.
+//
+// A Binding assigns:
+//   * every operation node to a functional-unit instance (with an optional
+//     operand swap for commutative operations — move F3);
+//   * every storage segment to one or more register *cells*. A cell is one
+//     (segment, register) pair. cells[seg] is the set of simultaneous copies
+//     of the storage during that segment's control step. Each cell at
+//     seg > 0 names its parent cell in the previous segment; a cell whose
+//     register differs from its parent's register is an inter-register
+//     transfer and may be routed through an idle pass-through FU (moves
+//     F4/F5). Cells at seg 0 are written by the producer FU (or by the
+//     environment for primary inputs).
+//   * every read of a storage to the cell it reads from (so consumers can
+//     exploit copies created by value splitting, moves R5/R6).
+//
+// The *traditional* binding model of Section 1 is the restriction: exactly
+// one cell per segment, all cells in the same register, no pass-throughs.
+// baseline/traditional.* builds and maintains bindings in that restricted
+// form using this same representation.
+#pragma once
+
+#include "core/lifetime.h"
+#include "core/resources.h"
+
+namespace salsa {
+
+/// Functional-unit assignment of one operation.
+struct OpBind {
+  FuId fu = kInvalidId;
+  /// Commutative operand reversal (move F3): operand slot k feeds FU input
+  /// 1-k when set.
+  bool swap = false;
+};
+
+/// One register copy of a storage during one segment.
+struct Cell {
+  RegId reg = kInvalidId;
+  /// Position of the parent cell within cells[seg-1]; -1 at seg 0 (written
+  /// by the producer FU or by the environment).
+  int parent = -1;
+  /// Pass-through FU routing the transfer from the parent's register; only
+  /// meaningful when the parent lives in a different register. kInvalidId
+  /// means a direct register-to-register connection.
+  FuId via = kInvalidId;
+};
+
+/// Register-side binding of one storage.
+struct StorageBinding {
+  /// cells[seg] — at least one cell per segment of the storage.
+  std::vector<std::vector<Cell>> cells;
+  /// Per read (index into Storage::reads): position of the cell read within
+  /// cells[read.seg].
+  std::vector<int> read_cell;
+};
+
+/// What occupies each FU and register at each control step. Derived from a
+/// Binding on demand; moves use it for feasibility checks.
+struct Occupancy {
+  /// fu_user[fu][step]: node id of the executing op, kPassThrough for a
+  /// transfer routed through the unit, or kFree.
+  static constexpr int kFree = -1;
+  static constexpr int kPassThrough = -2;
+  std::vector<std::vector<int>> fu_user;
+  /// reg_sto[reg][step]: storage id held, or -1.
+  std::vector<std::vector<int>> reg_sto;
+
+  bool fu_free(FuId f, int step) const {
+    return fu_user[static_cast<size_t>(f)][static_cast<size_t>(step)] == kFree;
+  }
+  bool reg_free(RegId r, int step) const {
+    return reg_sto[static_cast<size_t>(r)][static_cast<size_t>(step)] == -1;
+  }
+};
+
+/// A complete allocation in the extended binding model. Value-semantic and
+/// cheap to copy (the improver copies, mutates and either keeps or drops).
+class Binding {
+ public:
+  explicit Binding(const AllocProblem& prob);
+
+  const AllocProblem& prob() const { return *prob_; }
+
+  OpBind& op(NodeId n) { return ops_[static_cast<size_t>(n)]; }
+  const OpBind& op(NodeId n) const { return ops_[static_cast<size_t>(n)]; }
+
+  StorageBinding& sto(int sid) { return stos_[static_cast<size_t>(sid)]; }
+  const StorageBinding& sto(int sid) const {
+    return stos_[static_cast<size_t>(sid)];
+  }
+
+  /// Recomputes FU and register occupancy. Throws on double occupancy (an
+  /// illegal binding); use verify() for a non-throwing report.
+  Occupancy occupancy() const;
+
+  /// The register a given read is served from.
+  RegId read_reg(int sid, int read_idx) const;
+
+  /// Registers with at least one cell / FUs with at least one op or
+  /// pass-through.
+  int regs_used() const;
+  int fus_used() const;
+
+  /// True if every segment has exactly one cell, all of a storage's cells
+  /// share one register, and no pass-throughs are used (the traditional
+  /// model of Section 1).
+  bool is_traditional() const;
+
+  /// Normalises `via` fields: clears pass-throughs on cells whose parent is
+  /// in the same register (holds need no route). Call after editing regs.
+  void normalize();
+
+ private:
+  const AllocProblem* prob_;
+  std::vector<OpBind> ops_;           // indexed by NodeId (ops only used)
+  std::vector<StorageBinding> stos_;  // indexed by storage id
+};
+
+}  // namespace salsa

@@ -1,0 +1,143 @@
+#include "core/cost.h"
+
+#include <algorithm>
+
+namespace salsa {
+
+uint64_t key_of(const Endpoint& e) {
+  return (static_cast<uint64_t>(e.kind) << 32) |
+         static_cast<uint32_t>(e.id);
+}
+
+uint64_t key_of(const Pin& p) {
+  return (static_cast<uint64_t>(p.kind) << 32) | static_cast<uint32_t>(p.id);
+}
+
+std::vector<ConnUse> connection_uses(const Binding& b) {
+  const AllocProblem& prob = b.prob();
+  const Cdfg& g = prob.cdfg();
+  const Schedule& sched = prob.sched();
+  const Lifetimes& lt = prob.lifetimes();
+  const int L = sched.length();
+
+  std::vector<ConnUse> uses;
+  uses.reserve(256);
+
+  // Helper: the endpoint producing a value read by an operation. Constants
+  // come from the constant port of their node; everything else is read from
+  // the register cell the read record names.
+  auto operand_source = [&](int sid, int read_idx) -> Endpoint {
+    return Endpoint{Endpoint::Kind::kRegOut, b.read_reg(sid, read_idx)};
+  };
+
+  // Reads: operand fetches and output samples.
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    const Storage& s = lt.storage(sid);
+    for (size_t ri = 0; ri < s.reads.size(); ++ri) {
+      const StorageRead& r = s.reads[ri];
+      const Node& cn = g.node(r.consumer);
+      const Endpoint src = operand_source(sid, static_cast<int>(ri));
+      if (cn.kind == OpKind::kOutput) {
+        uses.push_back({src, Pin{Pin::Kind::kOutPort, r.consumer}, r.step});
+      } else {
+        const OpBind& ob = b.op(r.consumer);
+        const int slot = ob.swap ? 1 - r.operand : r.operand;
+        uses.push_back(
+            {src,
+             Pin{slot == 0 ? Pin::Kind::kFuIn0 : Pin::Kind::kFuIn1, ob.fu},
+             r.step});
+      }
+    }
+  }
+
+  // Constant operands (free in the cost function but needed by the netlist).
+  for (NodeId n : g.operations()) {
+    const Node& nd = g.node(n);
+    for (size_t k = 0; k < nd.ins.size(); ++k) {
+      if (!g.is_const_value(nd.ins[k])) continue;
+      const OpBind& ob = b.op(n);
+      const int slot = ob.swap ? 1 - static_cast<int>(k) : static_cast<int>(k);
+      uses.push_back({Endpoint{Endpoint::Kind::kConstPort,
+                               g.producer(nd.ins[k])},
+                      Pin{slot == 0 ? Pin::Kind::kFuIn0 : Pin::Kind::kFuIn1,
+                          ob.fu},
+                      sched.start(n)});
+    }
+  }
+
+  // Cell writes: producer latches, environment input loads, transfers.
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    const Storage& s = lt.storage(sid);
+    const StorageBinding& sb = b.sto(sid);
+    for (int seg = 0; seg < s.len; ++seg) {
+      const int wstep = (s.step_at(seg, L) - 1 + L) % L;  // write happens here
+      for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
+        const Pin sink{Pin::Kind::kRegIn, c.reg};
+        if (seg == 0) {
+          if (s.producer == kInvalidId) {
+            // Primary input: loaded from the input port at the iteration
+            // boundary (the step before birth, i.e. L-1).
+            const NodeId in_node = g.producer(s.members[0]);
+            uses.push_back(
+                {Endpoint{Endpoint::Kind::kInPort, in_node}, sink, wstep});
+          } else {
+            uses.push_back({Endpoint{Endpoint::Kind::kFuOut,
+                                     b.op(s.producer).fu},
+                            sink, wstep});
+          }
+          continue;
+        }
+        const Cell& parent =
+            sb.cells[static_cast<size_t>(seg) - 1][static_cast<size_t>(c.parent)];
+        if (parent.reg == c.reg) continue;  // hold: no interconnect
+        if (c.via == kInvalidId) {
+          uses.push_back(
+              {Endpoint{Endpoint::Kind::kRegOut, parent.reg}, sink, wstep});
+        } else {
+          // Pass-through: parent register -> FU input 0 -> FU output -> reg.
+          uses.push_back({Endpoint{Endpoint::Kind::kRegOut, parent.reg},
+                          Pin{Pin::Kind::kFuIn0, c.via}, wstep});
+          uses.push_back(
+              {Endpoint{Endpoint::Kind::kFuOut, c.via}, sink, wstep});
+        }
+      }
+    }
+  }
+  return uses;
+}
+
+CostBreakdown evaluate_cost(const Binding& b) {
+  CostBreakdown out;
+  out.fus_used = b.fus_used();
+  out.regs_used = b.regs_used();
+
+  auto uses = connection_uses(b);
+  // Distinct (sink, src) pairs; constants excluded per the paper's rule
+  // unless the problem's weights charge them.
+  const bool charge_consts = b.prob().weights().constants_cost;
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  pairs.reserve(uses.size());
+  for (const ConnUse& u : uses) {
+    if (!charge_consts && u.src.kind == Endpoint::Kind::kConstPort) continue;
+    pairs.emplace_back(key_of(u.sink), key_of(u.src));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  out.connections = static_cast<int>(pairs.size());
+  // Equivalent 2-1 muxes: per sink pin, (#sources - 1).
+  for (size_t i = 0; i < pairs.size();) {
+    size_t j = i;
+    while (j < pairs.size() && pairs[j].first == pairs[i].first) ++j;
+    out.muxes += static_cast<int>(j - i) - 1;
+    i = j;
+  }
+
+  const CostWeights& w = b.prob().weights();
+  out.total = w.fu * out.fus_used + w.reg * out.regs_used +
+              w.mux * out.muxes + w.conn * out.connections;
+  return out;
+}
+
+int count_muxes(const Binding& b) { return evaluate_cost(b).muxes; }
+
+}  // namespace salsa

@@ -1,0 +1,64 @@
+#include "core/ils.h"
+
+#include "core/verify.h"
+
+namespace salsa {
+
+namespace {
+
+// Greedy descent: accept downhill/equal moves only.
+double descend(Binding& current, double current_cost, int budget,
+               const MoveConfig& moves, Rng& rng, ImproveStats& stats) {
+  for (int m = 0; m < budget; ++m) {
+    Binding candidate = current;
+    if (!apply_random_move(candidate, moves.pick(rng), rng)) continue;
+    ++stats.attempted;
+    const double cost = evaluate_cost(candidate).total;
+    if (cost <= current_cost) {
+      ++stats.accepted;
+      current = std::move(candidate);
+      current_cost = cost;
+    }
+  }
+  return current_cost;
+}
+
+}  // namespace
+
+ImproveResult iterated_local_search(const Binding& start,
+                                    const IlsParams& params) {
+  check_legal(start);
+  Rng rng(params.seed);
+  ImproveStats stats;
+
+  Binding best = start;
+  double best_cost = descend(best, evaluate_cost(best).total,
+                             params.descent_moves, params.moves, rng, stats);
+
+  for (int round = 0; round < params.iterations; ++round) {
+    ++stats.trials;
+    Binding current = best;
+    // Kick: force a few random feasible moves, cost-blind.
+    int kicked = 0;
+    for (int k = 0; k < params.kick_moves * 4 && kicked < params.kick_moves;
+         ++k) {
+      if (apply_random_move(current, params.moves.pick(rng), rng)) {
+        ++kicked;
+        ++stats.attempted;
+        ++stats.accepted;
+        ++stats.uphill;
+      }
+    }
+    double cost = descend(current, evaluate_cost(current).total,
+                          params.descent_moves, params.moves, rng, stats);
+    if (cost < best_cost - 1e-9) {
+      best = std::move(current);
+      best_cost = cost;
+    }
+  }
+  check_legal(best);
+  CostBreakdown final_cost = evaluate_cost(best);
+  return ImproveResult{std::move(best), final_cost, stats};
+}
+
+}  // namespace salsa

@@ -1,0 +1,59 @@
+#include "core/improver.h"
+
+#include "core/verify.h"
+
+namespace salsa {
+
+ImproveResult improve(const Binding& start, const ImproveParams& params) {
+  check_legal(start);
+  Rng rng(params.seed);
+
+  Binding current = start;
+  double current_cost = evaluate_cost(current).total;
+  Binding best = current;
+  double best_cost = current_cost;
+
+  ImproveStats stats;
+  int stale = 0;
+  for (int trial = 0; trial < params.max_trials; ++trial) {
+    ++stats.trials;
+    int uphill_left = params.uphill_per_trial;
+    bool improved = false;
+    for (int m = 0; m < params.moves_per_trial; ++m) {
+      const MoveKind kind = params.moves.pick(rng);
+      Binding candidate = current;
+      if (!apply_random_move(candidate, kind, rng)) continue;
+      ++stats.attempted;
+      const double cost = evaluate_cost(candidate).total;
+      const double delta = cost - current_cost;
+      bool accept = delta <= 0;
+      if (!accept && uphill_left > 0 && delta <= params.max_uphill_delta) {
+        accept = true;
+        --uphill_left;
+        ++stats.uphill;
+      }
+      if (!accept) continue;
+      ++stats.accepted;
+      current = std::move(candidate);
+      current_cost = cost;
+      if (current_cost < best_cost - 1e-9) {
+        best = current;
+        best_cost = current_cost;
+        improved = true;
+      }
+    }
+    if (improved) {
+      stale = 0;
+    } else {
+      // Return to the best known allocation before exploring again.
+      current = best;
+      current_cost = best_cost;
+      if (++stale >= params.stop_after_stale) break;
+    }
+  }
+  check_legal(best);
+  CostBreakdown final_cost = evaluate_cost(best);
+  return ImproveResult{std::move(best), final_cost, stats};
+}
+
+}  // namespace salsa

@@ -1,0 +1,46 @@
+// The paper's iterative improvement scheme (Section 4): a sequence of
+// trials, each admitting a fixed number of uphill moves at its beginning
+// (to escape the current neighbourhood) and accepting only downhill moves
+// afterwards. The best allocation seen is recorded; the search stops after
+// a number of improvement-free trials or a trial cap.
+#pragma once
+
+#include <cstdint>
+
+#include "core/binding.h"
+#include "core/cost.h"
+#include "core/moves.h"
+
+namespace salsa {
+
+struct ImproveParams {
+  MoveConfig moves = MoveConfig::salsa_default();
+  int max_trials = 40;
+  int moves_per_trial = 3000;
+  int uphill_per_trial = 8;    ///< uphill acceptances admitted per trial
+  /// Largest cost increase an uphill move may carry. Unbounded uphill jumps
+  /// routinely undo more structure than the rest of the trial can rebuild
+  /// (bench_ablation_search quantifies this); one-multiplexer-sized steps
+  /// keep the perturbation local.
+  double max_uphill_delta = 6.0;
+  int stop_after_stale = 3;    ///< improvement-free trials before stopping
+  uint64_t seed = 1;
+};
+
+struct ImproveStats {
+  int trials = 0;
+  long attempted = 0;  ///< proposed moves (feasible instance found)
+  long accepted = 0;   ///< applied and kept
+  long uphill = 0;     ///< kept despite a cost increase
+};
+
+struct ImproveResult {
+  Binding best;
+  CostBreakdown cost;
+  ImproveStats stats;
+};
+
+/// Runs iterative improvement from `start` (which must be legal).
+ImproveResult improve(const Binding& start, const ImproveParams& params);
+
+}  // namespace salsa

@@ -1,0 +1,199 @@
+#include "core/initial.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/cost.h"
+#include "util/rng.h"
+
+namespace salsa {
+
+namespace {
+
+// Connection keys a placement would add, against the set accumulated so far.
+class ConnTracker {
+ public:
+  int would_add(const std::vector<std::pair<uint64_t, uint64_t>>& conns) const {
+    int fresh = 0;
+    for (const auto& c : conns)
+      if (!seen_.count(c)) ++fresh;
+    return fresh;
+  }
+  void add(const std::vector<std::pair<uint64_t, uint64_t>>& conns) {
+    for (const auto& c : conns) seen_.insert(c);
+  }
+
+ private:
+  std::set<std::pair<uint64_t, uint64_t>> seen_;
+};
+
+}  // namespace
+
+Binding initial_allocation(const AllocProblem& prob,
+                           const InitialOptions& opts) {
+  const Cdfg& g = prob.cdfg();
+  const Schedule& sched = prob.sched();
+  const Lifetimes& lt = prob.lifetimes();
+  const int L = sched.length();
+  Rng rng(opts.seed);
+  Binding b(prob);
+
+  // ---- operators to FUs, first-available per control step -----------------
+  std::vector<std::vector<bool>> fu_busy(
+      static_cast<size_t>(prob.fus().size()),
+      std::vector<bool>(static_cast<size_t>(L), false));
+  std::vector<NodeId> ops = g.operations();
+  std::sort(ops.begin(), ops.end(), [&](NodeId a, NodeId c) {
+    return sched.start(a) != sched.start(c) ? sched.start(a) < sched.start(c)
+                                            : a < c;
+  });
+  for (NodeId n : ops) {
+    const OpKind k = g.node(n).kind;
+    const int occ = sched.hw().occupancy(k);
+    FuId chosen = kInvalidId;
+    for (FuId f : prob.fus().of_class(fu_class_of(k))) {
+      bool free = true;
+      for (int t = sched.start(n); t < sched.start(n) + occ; ++t)
+        if (fu_busy[static_cast<size_t>(f)][static_cast<size_t>(t)]) {
+          free = false;
+          break;
+        }
+      if (free) {
+        chosen = f;
+        break;
+      }
+    }
+    SALSA_CHECK_MSG(chosen != kInvalidId,
+                    "initial allocation: FU pool too small for op '" +
+                        g.node(n).name + "'");
+    for (int t = sched.start(n); t < sched.start(n) + occ; ++t)
+      fu_busy[static_cast<size_t>(chosen)][static_cast<size_t>(t)] = true;
+    b.op(n).fu = chosen;
+  }
+
+  // ---- storages to registers ----------------------------------------------
+  const int min_regs = lt.min_registers();
+  auto touches_peak = [&](const Storage& s) {
+    for (int seg = 0; seg < s.len; ++seg)
+      if (lt.demand()[static_cast<size_t>(s.step_at(seg, L))] == min_regs)
+        return true;
+    return false;
+  };
+  std::vector<int> order(static_cast<size_t>(lt.num_storages()));
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng.shuffle(order);  // tie-breaking varies with the seed
+  std::stable_sort(order.begin(), order.end(), [&](int a, int c) {
+    const Storage& sa = lt.storage(a);
+    const Storage& sc = lt.storage(c);
+    auto rank = [&](const Storage& s) {
+      for (ValueId v : s.members)
+        if (g.node(g.producer(v)).kind == OpKind::kState) return 0;  // loop I/O
+      return touches_peak(s) ? 1 : 2;
+    };
+    const int ra = rank(sa), rc = rank(sc);
+    if (ra != rc) return ra < rc;
+    return sa.len > sc.len;  // long lifetimes early
+  });
+
+  std::vector<std::vector<int>> reg_sto(
+      static_cast<size_t>(prob.num_regs()),
+      std::vector<int>(static_cast<size_t>(L), -1));
+  ConnTracker tracker;
+
+  // Connections created by serving this storage's reads from `reg` and (for
+  // seg 0) writing it from its producer. Approximate: operand swaps are all
+  // still false at this point.
+  auto placement_conns = [&](int sid, int seg, RegId reg) {
+    const Storage& s = lt.storage(sid);
+    std::vector<std::pair<uint64_t, uint64_t>> conns;
+    if (seg == 0) {
+      const Endpoint src =
+          s.producer == kInvalidId
+              ? Endpoint{Endpoint::Kind::kInPort, g.producer(s.members[0])}
+              : Endpoint{Endpoint::Kind::kFuOut, b.op(s.producer).fu};
+      conns.emplace_back(key_of(Pin{Pin::Kind::kRegIn, reg}), key_of(src));
+    }
+    for (const StorageRead& r : s.reads) {
+      if (r.seg != seg) continue;
+      const Node& cn = g.node(r.consumer);
+      Pin sink = cn.kind == OpKind::kOutput
+                     ? Pin{Pin::Kind::kOutPort, r.consumer}
+                     : Pin{r.operand == 0 ? Pin::Kind::kFuIn0
+                                          : Pin::Kind::kFuIn1,
+                           b.op(r.consumer).fu};
+      conns.emplace_back(key_of(sink),
+                         key_of(Endpoint{Endpoint::Kind::kRegOut, reg}));
+    }
+    return conns;
+  };
+
+  for (int sid : order) {
+    const Storage& s = lt.storage(sid);
+    // Contiguous candidates.
+    RegId best_reg = kInvalidId;
+    int best_score = 0;
+    for (RegId r = 0; r < prob.num_regs(); ++r) {
+      bool free = true;
+      for (int seg = 0; seg < s.len && free; ++seg)
+        free = reg_sto[static_cast<size_t>(r)]
+                      [static_cast<size_t>(s.step_at(seg, L))] == -1;
+      if (!free) continue;
+      std::vector<std::pair<uint64_t, uint64_t>> conns;
+      for (int seg = 0; seg < s.len; ++seg) {
+        auto c = placement_conns(sid, seg, r);
+        conns.insert(conns.end(), c.begin(), c.end());
+      }
+      const int score = tracker.would_add(conns);
+      if (best_reg == kInvalidId || score < best_score) {
+        best_reg = r;
+        best_score = score;
+      }
+    }
+    StorageBinding& sb = b.sto(sid);
+    if (best_reg != kInvalidId) {
+      for (int seg = 0; seg < s.len; ++seg) {
+        sb.cells[static_cast<size_t>(seg)].assign(
+            1, Cell{best_reg, seg == 0 ? -1 : 0, kInvalidId});
+        tracker.add(placement_conns(sid, seg, best_reg));
+      }
+      for (int seg = 0; seg < s.len; ++seg)
+        reg_sto[static_cast<size_t>(best_reg)]
+               [static_cast<size_t>(s.step_at(seg, L))] = sid;
+      continue;
+    }
+    // No contiguous space: split into per-step placements, staying in the
+    // current register as long as it is free.
+    if (!opts.allow_splits)
+      fail("initial allocation: no contiguous register for storage '" +
+           s.name + "'");
+    RegId cur = kInvalidId;
+    for (int seg = 0; seg < s.len; ++seg) {
+      const int step = s.step_at(seg, L);
+      auto is_free = [&](RegId r) {
+        return reg_sto[static_cast<size_t>(r)][static_cast<size_t>(step)] == -1;
+      };
+      if (cur == kInvalidId || !is_free(cur)) {
+        RegId pick = kInvalidId;
+        int pick_score = 0;
+        for (RegId r = 0; r < prob.num_regs(); ++r) {
+          if (!is_free(r)) continue;
+          const int score = tracker.would_add(placement_conns(sid, seg, r));
+          if (pick == kInvalidId || score < pick_score) {
+            pick = r;
+            pick_score = score;
+          }
+        }
+        SALSA_CHECK_MSG(pick != kInvalidId,
+                        "initial allocation: register demand exceeded");
+        cur = pick;
+      }
+      sb.cells[static_cast<size_t>(seg)].assign(
+          1, Cell{cur, seg == 0 ? -1 : 0, kInvalidId});
+      tracker.add(placement_conns(sid, seg, cur));
+      reg_sto[static_cast<size_t>(cur)][static_cast<size_t>(step)] = sid;
+    }
+  }
+  return b;
+}
+
+}  // namespace salsa

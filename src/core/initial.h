@@ -1,0 +1,29 @@
+// Constructive initial allocation (Section 4): operators to functional units
+// on a first-available basis; loop-carried storages placed first (their
+// cross-iteration consistency is automatic here, because a state and its
+// next content form one cyclic storage); then storages covering the
+// maximum-demand steps; remaining storages placed where they add the fewest
+// new connections. Every storage is kept contiguous in a single register
+// unless no register has contiguous space, in which case it is split into
+// segments that fit ("value split" forced by capacity, as in the paper).
+#pragma once
+
+#include "core/binding.h"
+
+namespace salsa {
+
+struct InitialOptions {
+  /// Permit forced splits when no contiguous register exists. When false,
+  /// initial_allocation throws instead (the traditional-model baseline
+  /// retries with a different placement order).
+  bool allow_splits = true;
+  /// Seed for placement tie-breaking.
+  uint64_t seed = 1;
+};
+
+/// Builds a legal starting allocation. Throws salsa::Error when placement is
+/// impossible under the options.
+Binding initial_allocation(const AllocProblem& prob,
+                           const InitialOptions& opts = {});
+
+}  // namespace salsa

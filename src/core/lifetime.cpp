@@ -1,0 +1,187 @@
+#include "core/lifetime.h"
+
+#include <algorithm>
+
+namespace salsa {
+
+namespace {
+
+// Union-find over value ids, used to merge states with their next contents.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<size_t>(n)) {
+    for (int i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+  }
+  int find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void unite(int a, int b) { parent_[static_cast<size_t>(find(a))] = find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+}  // namespace
+
+Lifetimes::Lifetimes(const Schedule& sched) : sched_(&sched) {
+  const Cdfg& g = sched.cdfg();
+  const int L = sched.length();
+  sched.validate();
+
+  UnionFind uf(g.num_values());
+  for (NodeId sn : g.state_nodes()) {
+    const Node& s = g.node(sn);
+    uf.unite(s.out, s.state_next);
+  }
+
+  // Group values by union-find class, skipping constants.
+  sto_of_.assign(static_cast<size_t>(g.num_values()), -1);
+  std::vector<int> class_to_sto(static_cast<size_t>(g.num_values()), -1);
+  for (ValueId v = 0; v < g.num_values(); ++v) {
+    if (g.is_const_value(v)) continue;
+    const int root = uf.find(v);
+    int& sid = class_to_sto[static_cast<size_t>(root)];
+    if (sid < 0) {
+      sid = static_cast<int>(storages_.size());
+      storages_.emplace_back();
+    }
+    sto_of_[static_cast<size_t>(v)] = sid;
+    storages_[static_cast<size_t>(sid)].members.push_back(v);
+  }
+
+  for (size_t si = 0; si < storages_.size(); ++si) {
+    Storage& s = storages_[si];
+    // Identify the (unique) writer: the producer of a non-State member.
+    // A merged state class has exactly one computed member (the next
+    // content); a plain value class has its own producer; a class with only
+    // Input/State members is written by the environment or is malformed.
+    NodeId writer = kInvalidId;
+    bool has_state = false, has_input = false;
+    for (ValueId v : s.members) {
+      const Node& p = g.node(g.producer(v));
+      if (p.kind == OpKind::kState) {
+        has_state = true;
+      } else if (p.kind == OpKind::kInput) {
+        has_input = true;
+      } else {
+        SALSA_CHECK_MSG(writer == kInvalidId,
+                        "storage has two computing producers");
+        writer = g.producer(v);
+      }
+    }
+    SALSA_CHECK_MSG(!(has_input && (has_state || writer != kInvalidId)),
+                    "input value aliases a computed value");
+
+    // Collect reads (steps are within [0, L)).
+    for (ValueId v : s.members) {
+      for (size_t ci = 0; ci < g.value(v).consumers.size(); ++ci) {
+        const NodeId c = g.value(v).consumers[ci];
+        const Node& cn = g.node(c);
+        // Recover the operand slot; a consumer reading v in both slots
+        // yields two read records (slots resolved in order).
+        int slot = -1, seen = 0;
+        const int want = static_cast<int>(
+            std::count(g.value(v).consumers.begin(),
+                       g.value(v).consumers.begin() + static_cast<long>(ci) + 1,
+                       c));
+        for (size_t k = 0; k < cn.ins.size(); ++k) {
+          if (cn.ins[k] == v && ++seen == want) {
+            slot = static_cast<int>(k);
+            break;
+          }
+        }
+        SALSA_CHECK(slot >= 0);
+        s.reads.push_back(StorageRead{c, slot, sched.start(c), 0});
+      }
+    }
+
+    // Live arc.
+    if (has_input) {
+      s.producer = kInvalidId;
+      s.birth = 0;
+      s.wraps = false;
+      int last = 0;
+      for (const auto& r : s.reads) last = std::max(last, r.step);
+      s.len = s.reads.empty() ? 1 : last + 1;
+    } else {
+      SALSA_CHECK_MSG(writer != kInvalidId, "state is never written");
+      s.producer = writer;
+      const int ready = sched.ready(writer);  // may equal L (wraps)
+      s.birth = ready % L;
+      if (has_state) {
+        // Tail of this iteration plus head of the next one, wrapping.
+        int last_head = -1;  // reads with step < ready are next-iteration
+        int last_tail = -1;  // in-iteration reads of the next content
+        for (const auto& r : s.reads) {
+          if (r.step >= ready) {
+            last_tail = std::max(last_tail, r.step);
+          } else {
+            last_head = std::max(last_head, r.step);
+          }
+        }
+        SALSA_CHECK_MSG(last_head >= 0 || last_tail >= 0,
+                        "state '" + g.node(g.producer(s.members[0])).name +
+                            "' is never read");
+        // Live from birth to the last head read of the following iteration;
+        // if the state is only read before being rewritten (always true per
+        // the anti-dependence), the arc is birth..L-1,0..last_head.
+        if (last_head >= 0) {
+          s.wraps = s.birth != 0;
+          s.len = (last_head - s.birth + L) % L + 1;
+        } else {
+          s.wraps = false;
+          s.len = last_tail - s.birth + 1;
+        }
+      } else {
+        s.wraps = false;
+        int last = -1;
+        for (const auto& r : s.reads) last = std::max(last, r.step);
+        if (last < 0) {
+          // Dead value: producer result is never read. It still needs one
+          // landing register (the FU result must be latched somewhere) —
+          // unless it is ready exactly at the boundary, where we still keep
+          // one segment for uniformity.
+          s.len = 1;
+          if (s.birth == ready && ready == L) s.birth = 0;
+        } else {
+          s.len = last - s.birth + 1;
+        }
+      }
+    }
+    SALSA_CHECK(s.len >= 1 && s.len <= L);
+
+    // Segment index per read.
+    for (auto& r : s.reads) {
+      r.seg = (r.step - s.birth + L) % L;
+      SALSA_CHECK_MSG(r.seg < s.len, "read outside the storage's live arc");
+    }
+    s.name = g.value(s.members[0]).name;
+  }
+
+  demand_.assign(static_cast<size_t>(L), 0);
+  for (int sid = 0; sid < num_storages(); ++sid) {
+    const Storage& s = storage(sid);
+    for (int i = 0; i < s.len; ++i)
+      ++demand_[static_cast<size_t>(s.step_at(i, L))];
+  }
+}
+
+int Lifetimes::seg_at_step(int sid, int step) const {
+  const Storage& s = storage(sid);
+  const int L = sched_->length();
+  const int i = (step - s.birth + L) % L;
+  return i < s.len ? i : -1;
+}
+
+int Lifetimes::min_registers() const {
+  int peak = 0;
+  for (int d : demand_) peak = std::max(peak, d);
+  return peak;
+}
+
+}  // namespace salsa

@@ -1,0 +1,459 @@
+#include "core/moves.h"
+
+#include <algorithm>
+
+namespace salsa {
+
+const char* move_name(MoveKind k) {
+  switch (k) {
+    case MoveKind::kFuExchange: return "F1:fu-exchange";
+    case MoveKind::kFuMove: return "F2:fu-move";
+    case MoveKind::kOperandReverse: return "F3:operand-reverse";
+    case MoveKind::kBindPass: return "F4:bind-pass-through";
+    case MoveKind::kUnbindPass: return "F5:unbind-pass-through";
+    case MoveKind::kSegExchange: return "R1:segment-exchange";
+    case MoveKind::kSegMove: return "R2:segment-move";
+    case MoveKind::kValExchange: return "R3:value-exchange";
+    case MoveKind::kValMove: return "R4:value-move";
+    case MoveKind::kValSplit: return "R5:value-split";
+    case MoveKind::kValMerge: return "R6:value-merge";
+    case MoveKind::kReadRetarget: return "R7:read-retarget";
+  }
+  return "?";
+}
+
+MoveConfig MoveConfig::salsa_default() {
+  MoveConfig c;
+  auto set = [&](MoveKind k, double w) { c.weight[static_cast<size_t>(k)] = w; };
+  set(MoveKind::kFuExchange, 1.0);
+  set(MoveKind::kFuMove, 1.0);
+  set(MoveKind::kOperandReverse, 1.0);
+  set(MoveKind::kBindPass, 0.8);
+  set(MoveKind::kUnbindPass, 0.5);
+  set(MoveKind::kSegExchange, 1.0);
+  set(MoveKind::kSegMove, 1.0);
+  set(MoveKind::kValExchange, 0.3);  // complex moves picked less often (§4)
+  set(MoveKind::kValMove, 0.3);
+  set(MoveKind::kValSplit, 0.5);
+  set(MoveKind::kValMerge, 0.5);
+  set(MoveKind::kReadRetarget, 0.7);
+  return c;
+}
+
+MoveConfig MoveConfig::traditional() {
+  MoveConfig c;
+  auto set = [&](MoveKind k, double w) { c.weight[static_cast<size_t>(k)] = w; };
+  set(MoveKind::kFuExchange, 1.0);
+  set(MoveKind::kFuMove, 1.0);
+  set(MoveKind::kOperandReverse, 1.0);
+  set(MoveKind::kValExchange, 1.0);
+  set(MoveKind::kValMove, 1.0);
+  return c;
+}
+
+MoveConfig MoveConfig::no_pass_through() {
+  MoveConfig c = salsa_default();
+  c.weight[static_cast<size_t>(MoveKind::kBindPass)] = 0;
+  c.weight[static_cast<size_t>(MoveKind::kUnbindPass)] = 0;
+  return c;
+}
+
+MoveConfig MoveConfig::no_split() {
+  MoveConfig c = salsa_default();
+  c.weight[static_cast<size_t>(MoveKind::kValSplit)] = 0;
+  c.weight[static_cast<size_t>(MoveKind::kValMerge)] = 0;
+  c.weight[static_cast<size_t>(MoveKind::kReadRetarget)] = 0;
+  return c;
+}
+
+MoveKind MoveConfig::pick(Rng& rng) const {
+  return static_cast<MoveKind>(rng.weighted(weight));
+}
+
+namespace {
+
+struct CellRef {
+  int sid, seg, pos;
+};
+
+template <typename Pred>
+std::vector<CellRef> collect_cells(const Binding& b, Pred pred) {
+  std::vector<CellRef> out;
+  const Lifetimes& lt = b.prob().lifetimes();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    const StorageBinding& sb = b.sto(sid);
+    for (int seg = 0; seg < static_cast<int>(sb.cells.size()); ++seg)
+      for (int pos = 0;
+           pos < static_cast<int>(sb.cells[static_cast<size_t>(seg)].size());
+           ++pos)
+        if (pred(sid, seg, sb.cells[static_cast<size_t>(seg)]
+                               [static_cast<size_t>(pos)]))
+          out.push_back({sid, seg, pos});
+  }
+  return out;
+}
+
+Cell& cell_at(Binding& b, const CellRef& cr) {
+  return b.sto(cr.sid).cells[static_cast<size_t>(cr.seg)]
+                            [static_cast<size_t>(cr.pos)];
+}
+
+// Register a storage's cells currently share if it is in contiguous
+// single-register form; kInvalidId otherwise.
+RegId single_reg_of(const StorageBinding& sb) {
+  RegId reg = kInvalidId;
+  for (const auto& seg : sb.cells) {
+    if (seg.size() != 1) return kInvalidId;
+    if (reg == kInvalidId) reg = seg[0].reg;
+    if (seg[0].reg != reg) return kInvalidId;
+  }
+  return reg;
+}
+
+bool move_fu_exchange(Binding& b, Rng& rng) {
+  const Cdfg& g = b.prob().cdfg();
+  const Schedule& sched = b.prob().sched();
+  const auto ops = g.operations();
+  if (ops.size() < 2) return false;
+  const Occupancy occ = b.occupancy();
+  const NodeId a = ops[static_cast<size_t>(rng.uniform(static_cast<int>(ops.size())))];
+  std::vector<NodeId> cands;
+  for (NodeId o : ops)
+    if (o != a && fu_class_of(g.node(o).kind) == fu_class_of(g.node(a).kind) &&
+        b.op(o).fu != b.op(a).fu)
+      cands.push_back(o);
+  if (cands.empty()) return false;
+  const NodeId c =
+      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  const FuId fa = b.op(a).fu, fc = b.op(c).fu;
+  auto window_ok = [&](NodeId n, FuId target, NodeId other) {
+    const int oc = sched.hw().occupancy(g.node(n).kind);
+    for (int t = sched.start(n); t < sched.start(n) + oc; ++t) {
+      const int user =
+          occ.fu_user[static_cast<size_t>(target)][static_cast<size_t>(t)];
+      if (user != Occupancy::kFree && user != other) return false;
+    }
+    return true;
+  };
+  if (!window_ok(a, fc, c) || !window_ok(c, fa, a)) return false;
+  std::swap(b.op(a).fu, b.op(c).fu);
+  return true;
+}
+
+bool move_fu_move(Binding& b, Rng& rng) {
+  const Cdfg& g = b.prob().cdfg();
+  const Schedule& sched = b.prob().sched();
+  const auto ops = g.operations();
+  if (ops.empty()) return false;
+  const Occupancy occ = b.occupancy();
+  const NodeId a = ops[static_cast<size_t>(rng.uniform(static_cast<int>(ops.size())))];
+  std::vector<FuId> cands;
+  for (FuId f : b.prob().fus().of_class(fu_class_of(g.node(a).kind))) {
+    if (f == b.op(a).fu) continue;
+    bool free = true;
+    const int oc = sched.hw().occupancy(g.node(a).kind);
+    for (int t = sched.start(a); t < sched.start(a) + oc; ++t)
+      if (!occ.fu_free(f, t)) {
+        free = false;
+        break;
+      }
+    if (free) cands.push_back(f);
+  }
+  if (cands.empty()) return false;
+  b.op(a).fu =
+      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  return true;
+}
+
+bool move_operand_reverse(Binding& b, Rng& rng) {
+  const Cdfg& g = b.prob().cdfg();
+  std::vector<NodeId> cands;
+  for (NodeId n : g.operations())
+    if (is_commutative(g.node(n).kind)) cands.push_back(n);
+  if (cands.empty()) return false;
+  const NodeId a =
+      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  b.op(a).swap = !b.op(a).swap;
+  return true;
+}
+
+bool move_bind_pass(Binding& b, Rng& rng) {
+  const Lifetimes& lt = b.prob().lifetimes();
+  const int L = b.prob().sched().length();
+  auto cands = collect_cells(b, [&](int sid, int seg, const Cell& c) {
+    if (seg == 0 || c.via != kInvalidId) return false;
+    const Cell& parent = b.sto(sid).cells[static_cast<size_t>(seg) - 1]
+                                         [static_cast<size_t>(c.parent)];
+    return parent.reg != c.reg;
+  });
+  if (cands.empty()) return false;
+  const CellRef cr =
+      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  const int tstep = (lt.storage(cr.sid).birth + cr.seg - 1) % L;
+  const Occupancy occ = b.occupancy();
+  // An FU whose output carries a landing result at tstep cannot pass
+  // (relevant for pipelined units whose occupancy ends before their delay).
+  const Cdfg& g = b.prob().cdfg();
+  const Schedule& sched = b.prob().sched();
+  std::vector<bool> out_busy(static_cast<size_t>(b.prob().fus().size()), false);
+  for (NodeId n : g.operations()) {
+    const int fin = sched.start(n) + sched.hw().delay(g.node(n).kind) - 1;
+    if (fin % L == tstep) out_busy[static_cast<size_t>(b.op(n).fu)] = true;
+  }
+  std::vector<FuId> fus;
+  for (FuId f : b.prob().fus().pass_capable()) {
+    // Only single-cycle FU classes can forward combinationally.
+    const OpKind probe = b.prob().fus().fu(f).cls == FuClass::kAlu
+                             ? OpKind::kAdd
+                             : OpKind::kMul;
+    if (sched.hw().delay(probe) != 1) continue;
+    if (occ.fu_free(f, tstep) && !out_busy[static_cast<size_t>(f)])
+      fus.push_back(f);
+  }
+  if (fus.empty()) return false;
+  cell_at(b, cr).via =
+      fus[static_cast<size_t>(rng.uniform(static_cast<int>(fus.size())))];
+  return true;
+}
+
+bool move_unbind_pass(Binding& b, Rng& rng) {
+  auto cands = collect_cells(
+      b, [](int, int, const Cell& c) { return c.via != kInvalidId; });
+  if (cands.empty()) return false;
+  const CellRef cr =
+      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  cell_at(b, cr).via = kInvalidId;
+  return true;
+}
+
+bool move_seg_exchange(Binding& b, Rng& rng) {
+  const Lifetimes& lt = b.prob().lifetimes();
+  const int L = b.prob().sched().length();
+  const int step = rng.uniform(L);
+  std::vector<CellRef> here;
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    const int seg = lt.seg_at_step(sid, step);
+    if (seg < 0) continue;
+    const auto& cells = b.sto(sid).cells[static_cast<size_t>(seg)];
+    for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos)
+      here.push_back({sid, seg, pos});
+  }
+  if (here.size() < 2) return false;
+  const int i = rng.uniform(static_cast<int>(here.size()));
+  int j = rng.uniform(static_cast<int>(here.size()) - 1);
+  if (j >= i) ++j;
+  Cell& c1 = cell_at(b, here[static_cast<size_t>(i)]);
+  Cell& c2 = cell_at(b, here[static_cast<size_t>(j)]);
+  if (c1.reg == c2.reg) return false;
+  // Avoid duplicate cells within either storage's segment after the swap.
+  auto dup = [&](const CellRef& cr, RegId incoming) {
+    const auto& cells = b.sto(cr.sid).cells[static_cast<size_t>(cr.seg)];
+    for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos)
+      if (pos != cr.pos && cells[static_cast<size_t>(pos)].reg == incoming)
+        return true;
+    return false;
+  };
+  if (dup(here[static_cast<size_t>(i)], c2.reg) ||
+      dup(here[static_cast<size_t>(j)], c1.reg))
+    return false;
+  std::swap(c1.reg, c2.reg);
+  b.normalize();
+  return true;
+}
+
+bool move_seg_move(Binding& b, Rng& rng) {
+  const Lifetimes& lt = b.prob().lifetimes();
+  const int L = b.prob().sched().length();
+  auto cands = collect_cells(b, [](int, int, const Cell&) { return true; });
+  if (cands.empty()) return false;
+  const CellRef cr =
+      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  const int step = (lt.storage(cr.sid).birth + cr.seg) % L;
+  const Occupancy occ = b.occupancy();
+  std::vector<RegId> regs;
+  for (RegId r = 0; r < b.prob().num_regs(); ++r)
+    if (occ.reg_free(r, step)) regs.push_back(r);
+  if (regs.empty()) return false;
+  cell_at(b, cr).reg =
+      regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
+  b.normalize();
+  return true;
+}
+
+bool move_val_exchange(Binding& b, Rng& rng) {
+  const Lifetimes& lt = b.prob().lifetimes();
+  const int L = b.prob().sched().length();
+  const int n = lt.num_storages();
+  if (n < 2) return false;
+  const int s1 = rng.uniform(n);
+  int s2 = rng.uniform(n - 1);
+  if (s2 >= s1) ++s2;
+  const RegId r1 = single_reg_of(b.sto(s1));
+  const RegId r2 = single_reg_of(b.sto(s2));
+  if (r1 == kInvalidId || r2 == kInvalidId || r1 == r2) return false;
+  const Occupancy occ = b.occupancy();
+  auto fits = [&](int sid, RegId target, int other) {
+    const Storage& s = lt.storage(sid);
+    for (int seg = 0; seg < s.len; ++seg) {
+      const int user = occ.reg_sto[static_cast<size_t>(target)]
+                                  [static_cast<size_t>(s.step_at(seg, L))];
+      if (user != -1 && user != other) return false;
+    }
+    return true;
+  };
+  if (!fits(s1, r2, s2) || !fits(s2, r1, s1)) return false;
+  for (auto& seg : b.sto(s1).cells) seg[0].reg = r2;
+  for (auto& seg : b.sto(s2).cells) seg[0].reg = r1;
+  return true;
+}
+
+bool move_val_move(Binding& b, Rng& rng) {
+  const Lifetimes& lt = b.prob().lifetimes();
+  const int L = b.prob().sched().length();
+  const int n = lt.num_storages();
+  if (n == 0) return false;
+  const int sid = rng.uniform(n);
+  const Storage& s = lt.storage(sid);
+  const Occupancy occ = b.occupancy();
+  std::vector<RegId> regs;
+  for (RegId r = 0; r < b.prob().num_regs(); ++r) {
+    bool ok = true;
+    for (int seg = 0; seg < s.len && ok; ++seg) {
+      const int user = occ.reg_sto[static_cast<size_t>(r)]
+                                  [static_cast<size_t>(s.step_at(seg, L))];
+      ok = user == -1 || user == sid;
+    }
+    if (ok && single_reg_of(b.sto(sid)) != r) regs.push_back(r);
+  }
+  if (regs.empty()) return false;
+  const RegId r =
+      regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
+  StorageBinding& sb = b.sto(sid);
+  for (size_t seg = 0; seg < sb.cells.size(); ++seg) {
+    sb.cells[seg].assign(1, Cell{r, seg == 0 ? -1 : 0, kInvalidId});
+  }
+  std::fill(sb.read_cell.begin(), sb.read_cell.end(), 0);
+  return true;
+}
+
+bool move_val_split(Binding& b, Rng& rng) {
+  const Lifetimes& lt = b.prob().lifetimes();
+  const int L = b.prob().sched().length();
+  const int n = lt.num_storages();
+  if (n == 0) return false;
+  const int sid = rng.uniform(n);
+  const Storage& s = lt.storage(sid);
+  const int seg = rng.uniform(s.len);
+  const int step = s.step_at(seg, L);
+  const Occupancy occ = b.occupancy();
+  std::vector<RegId> regs;
+  for (RegId r = 0; r < b.prob().num_regs(); ++r)
+    if (occ.reg_free(r, step)) regs.push_back(r);
+  if (regs.empty()) return false;
+  const RegId r =
+      regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
+  StorageBinding& sb = b.sto(sid);
+  Cell c;
+  c.reg = r;
+  c.parent =
+      seg == 0 ? -1
+               : rng.uniform(static_cast<int>(
+                     sb.cells[static_cast<size_t>(seg) - 1].size()));
+  sb.cells[static_cast<size_t>(seg)].push_back(c);
+  const int new_pos =
+      static_cast<int>(sb.cells[static_cast<size_t>(seg)].size()) - 1;
+  // Give reads at this segment a chance to use the copy right away.
+  for (size_t ri = 0; ri < s.reads.size(); ++ri)
+    if (s.reads[ri].seg == seg && rng.chance(0.5)) sb.read_cell[ri] = new_pos;
+  b.normalize();
+  return true;
+}
+
+bool move_val_merge(Binding& b, Rng& rng) {
+  const Lifetimes& lt = b.prob().lifetimes();
+  auto removable = collect_cells(b, [&](int sid, int seg, const Cell&) {
+    const StorageBinding& sb = b.sto(sid);
+    if (sb.cells[static_cast<size_t>(seg)].size() < 2) return false;
+    return true;
+  });
+  // Filter to leaf cells (no child in the next segment).
+  std::vector<CellRef> leaves;
+  for (const CellRef& cr : removable) {
+    const StorageBinding& sb = b.sto(cr.sid);
+    bool leaf = true;
+    if (cr.seg + 1 < static_cast<int>(sb.cells.size())) {
+      for (const Cell& child : sb.cells[static_cast<size_t>(cr.seg) + 1])
+        if (child.parent == cr.pos) {
+          leaf = false;
+          break;
+        }
+    }
+    if (leaf) leaves.push_back(cr);
+  }
+  (void)lt;
+  if (leaves.empty()) return false;
+  const CellRef cr =
+      leaves[static_cast<size_t>(rng.uniform(static_cast<int>(leaves.size())))];
+  StorageBinding& sb = b.sto(cr.sid);
+  auto& cells = sb.cells[static_cast<size_t>(cr.seg)];
+  cells.erase(cells.begin() + cr.pos);
+  // Fix children parent indices and read targets shifted by the erase.
+  if (cr.seg + 1 < static_cast<int>(sb.cells.size()))
+    for (Cell& child : sb.cells[static_cast<size_t>(cr.seg) + 1])
+      if (child.parent > cr.pos) --child.parent;
+  const Storage& s = b.prob().lifetimes().storage(cr.sid);
+  for (size_t ri = 0; ri < s.reads.size(); ++ri) {
+    if (s.reads[ri].seg != cr.seg) continue;
+    if (sb.read_cell[ri] == cr.pos)
+      sb.read_cell[ri] = rng.uniform(static_cast<int>(cells.size()));
+    else if (sb.read_cell[ri] > cr.pos)
+      --sb.read_cell[ri];
+  }
+  b.normalize();
+  return true;
+}
+
+bool move_read_retarget(Binding& b, Rng& rng) {
+  const Lifetimes& lt = b.prob().lifetimes();
+  std::vector<std::pair<int, int>> cands;  // (sid, read index)
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    const Storage& s = lt.storage(sid);
+    const StorageBinding& sb = b.sto(sid);
+    for (size_t ri = 0; ri < s.reads.size(); ++ri)
+      if (sb.cells[static_cast<size_t>(s.reads[ri].seg)].size() >= 2)
+        cands.emplace_back(sid, static_cast<int>(ri));
+  }
+  if (cands.empty()) return false;
+  const auto [sid, ri] =
+      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  const Storage& s = lt.storage(sid);
+  StorageBinding& sb = b.sto(sid);
+  const int ncells = static_cast<int>(
+      sb.cells[static_cast<size_t>(s.reads[static_cast<size_t>(ri)].seg)].size());
+  int pos = rng.uniform(ncells - 1);
+  if (pos >= sb.read_cell[static_cast<size_t>(ri)]) ++pos;
+  sb.read_cell[static_cast<size_t>(ri)] = pos;
+  return true;
+}
+
+}  // namespace
+
+bool apply_random_move(Binding& b, MoveKind kind, Rng& rng) {
+  switch (kind) {
+    case MoveKind::kFuExchange: return move_fu_exchange(b, rng);
+    case MoveKind::kFuMove: return move_fu_move(b, rng);
+    case MoveKind::kOperandReverse: return move_operand_reverse(b, rng);
+    case MoveKind::kBindPass: return move_bind_pass(b, rng);
+    case MoveKind::kUnbindPass: return move_unbind_pass(b, rng);
+    case MoveKind::kSegExchange: return move_seg_exchange(b, rng);
+    case MoveKind::kSegMove: return move_seg_move(b, rng);
+    case MoveKind::kValExchange: return move_val_exchange(b, rng);
+    case MoveKind::kValMove: return move_val_move(b, rng);
+    case MoveKind::kValSplit: return move_val_split(b, rng);
+    case MoveKind::kValMerge: return move_val_merge(b, rng);
+    case MoveKind::kReadRetarget: return move_read_retarget(b, rng);
+  }
+  return false;
+}
+
+}  // namespace salsa

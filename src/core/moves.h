@@ -1,0 +1,78 @@
+// The allocation move set (paper Table 1).
+//
+//   F1 FU Exchange      — exchange the FU bindings of two operations
+//   F2 FU Move          — reassign an operation to another idle FU
+//   F3 Operand Reverse  — switch the FU inputs of a commutative operation
+//   F4 Bind Pass-Through   — route an inter-register transfer through an
+//                            idle pass-capable FU
+//   F5 Unbind Pass-Through — revert F4
+//   R1 Segment Exchange — exchange the registers of two cells in one step
+//   R2 Segment Move     — move one cell to a register idle at its step
+//   R3 Value Exchange   — exchange the registers of two whole values
+//   R4 Value Move       — put all segments of a value into one idle register
+//   R5 Value Split      — create a copy of a value segment (possibly
+//                         re-pointing reads at that segment to the copy)
+//   R6 Value Merge      — remove a copy cell (reverting splits)
+//   R7 Read Retarget    — re-point one read to another existing copy.
+//                         (Implementation addition: the paper exploits
+//                         copies implicitly; an explicit retarget move lets
+//                         the search do so incrementally.)
+//
+// Each move proposer mutates the binding in place (the improver works on a
+// scratch copy) and returns false when it cannot find a feasible instance.
+// All moves preserve binding legality: a legal binding stays legal.
+#pragma once
+
+#include <array>
+
+#include "core/binding.h"
+#include "util/rng.h"
+
+namespace salsa {
+
+enum class MoveKind : uint8_t {
+  kFuExchange,      // F1
+  kFuMove,          // F2
+  kOperandReverse,  // F3
+  kBindPass,        // F4
+  kUnbindPass,      // F5
+  kSegExchange,     // R1
+  kSegMove,         // R2
+  kValExchange,     // R3
+  kValMove,         // R4
+  kValSplit,        // R5
+  kValMerge,        // R6
+  kReadRetarget,    // R7
+};
+inline constexpr int kNumMoveKinds = 12;
+
+const char* move_name(MoveKind k);
+
+/// Relative selection weights per move kind; 0 disables a move. The paper
+/// weights complex value-level moves lower "to control execution times".
+struct MoveConfig {
+  std::array<double, kNumMoveKinds> weight{};
+
+  /// Full extended-model move set with the default weighting.
+  static MoveConfig salsa_default();
+  /// Traditional binding model: values stay whole and contiguous in a single
+  /// register — only F1, F2, F3, R3 and R4 are available.
+  static MoveConfig traditional();
+  /// Extended model without pass-throughs (ablation).
+  static MoveConfig no_pass_through();
+  /// Extended model without value copies (ablation).
+  static MoveConfig no_split();
+
+  MoveKind pick(Rng& rng) const;
+  bool enabled(MoveKind k) const {
+    return weight[static_cast<size_t>(k)] > 0;
+  }
+};
+
+/// Attempts one random move of the given kind on `b`. Returns true if a
+/// feasible instance was found and applied. The binding must be legal on
+/// entry and remains legal on success or failure (failed attempts leave it
+/// untouched).
+bool apply_random_move(Binding& b, MoveKind kind, Rng& rng);
+
+}  // namespace salsa

@@ -1,0 +1,35 @@
+// Multiplexer merging post-pass (Section 4): after allocation improvement,
+// compatible multiplexers are combined with a simple greedy heuristic — an
+// arbitrary mux is selected and merged with as many compatible muxes as
+// possible, then the next unmerged mux is processed, until all have been
+// tried. Two muxes are compatible when no control step requires them to
+// route different sources simultaneously; merged muxes share one selector
+// and their source sets union.
+#pragma once
+
+#include <vector>
+
+#include "core/cost.h"
+
+namespace salsa {
+
+/// One multiplexer after merging: the input pins it feeds and the sources it
+/// selects among.
+struct MergedMux {
+  std::vector<Pin> sinks;
+  std::vector<Endpoint> sources;
+  /// Equivalent 2-1 multiplexers: sources.size() - 1.
+  int width() const { return static_cast<int>(sources.size()) - 1; }
+};
+
+struct MuxMergeResult {
+  std::vector<MergedMux> muxes;
+  int muxes_before = 0;  ///< equivalent 2-1 muxes without merging
+  int muxes_after = 0;   ///< equivalent 2-1 muxes after merging
+};
+
+/// Runs the greedy merge on a legal binding's point-to-point interconnect.
+/// Constant sources are excluded (they are free in the cost model).
+MuxMergeResult merge_muxes(const Binding& b);
+
+}  // namespace salsa

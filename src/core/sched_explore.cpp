@@ -1,0 +1,46 @@
+#include "core/sched_explore.h"
+
+#include "util/rng.h"
+
+namespace salsa {
+
+ScheduleExploreResult explore_schedules(const Cdfg& cdfg, const HwSpec& hw,
+                                        int length, const FuBudget& budget,
+                                        const ScheduleExploreParams& params) {
+  Rng rng(params.seed);
+  ScheduleExploreResult out;
+
+  auto try_variant = [&](const Schedule& sched, uint64_t alloc_seed) {
+    const Lifetimes lt(sched);
+    auto schedule = std::make_unique<Schedule>(sched);
+    auto problem = std::make_unique<AllocProblem>(
+        *schedule, FuPool::standard(budget),
+        lt.min_registers() + params.extra_regs);
+    AllocatorOptions opts = params.alloc;
+    opts.improve.seed = alloc_seed;
+    AllocationResult res = allocate(*problem, opts);
+    out.variant_costs.push_back(res.cost.total);
+    if (!out.allocation || res.cost.total < out.allocation->cost.total) {
+      out.schedule = std::move(schedule);
+      out.problem = std::move(problem);
+      out.allocation.emplace(std::move(res));
+    }
+  };
+
+  // Baseline: deterministic list schedule.
+  const auto base = list_schedule(cdfg, hw, length, budget);
+  SALSA_CHECK_MSG(base.has_value(),
+                  "explore_schedules: infeasible length/budget combination");
+  try_variant(*base, params.seed * 31 + 1);
+
+  for (int v = 0; v < params.variants; ++v) {
+    const auto variant = list_schedule(cdfg, hw, length, budget, &rng);
+    if (!variant) continue;
+    // Variants whose peak demand exceeds the budget cannot happen (the
+    // scheduler enforces it); allocate and compare.
+    try_variant(*variant, params.seed * 31 + 2 + static_cast<uint64_t>(v));
+  }
+  return out;
+}
+
+}  // namespace salsa

@@ -1,0 +1,43 @@
+// Schedule-variant exploration. The paper initially included moves that
+// alter operator scheduling in the improvement move set and dropped them
+// ("in our experience these moves did not lead to better allocations",
+// Section 3). Rescheduling invalidates the segment structure, so rather
+// than in-search moves this module explores schedule variants in an outer
+// loop: several randomised list schedules with identical FU budgets are
+// each allocated, and the best datapath wins. bench_ablation_resched
+// quantifies how much (or little) this buys — reproducing the remark.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/allocator.h"
+#include "sched/list_scheduler.h"
+
+namespace salsa {
+
+struct ScheduleExploreParams {
+  int variants = 6;  ///< randomised schedules to try (plus the baseline)
+  AllocatorOptions alloc;
+  int extra_regs = 1;  ///< register budget above each variant's minimum
+  uint64_t seed = 1;
+};
+
+struct ScheduleExploreResult {
+  /// Owning handles: the winning allocation's binding refers to `problem`,
+  /// which refers to `schedule`.
+  std::unique_ptr<Schedule> schedule;
+  std::unique_ptr<AllocProblem> problem;
+  std::optional<AllocationResult> allocation;
+  /// Final cost of every variant tried (baseline first).
+  std::vector<double> variant_costs;
+};
+
+/// Schedules `cdfg` into `length` steps under `budget` FUs several times
+/// with randomised priorities, allocates each variant, and returns the best.
+ScheduleExploreResult explore_schedules(const Cdfg& cdfg, const HwSpec& hw,
+                                        int length, const FuBudget& budget,
+                                        const ScheduleExploreParams& params);
+
+}  // namespace salsa

@@ -1,0 +1,132 @@
+#include "datapath/controller.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace salsa {
+
+namespace {
+
+int bits_for(int choices) {
+  int bits = 0;
+  while ((1 << bits) < choices) ++bits;
+  return bits;
+}
+
+// The control word of one step: per pin the selected source key (or absent),
+// per register whether it loads, per FU which op kind starts.
+struct Word {
+  std::map<uint64_t, uint64_t> pin_select;
+  std::set<int> reg_loads;
+  std::map<int, int> fu_op;  // fu -> op kind ordinal
+
+  bool operator<(const Word& o) const {
+    if (pin_select != o.pin_select) return pin_select < o.pin_select;
+    if (reg_loads != o.reg_loads) return reg_loads < o.reg_loads;
+    return fu_op < o.fu_op;
+  }
+};
+
+std::vector<Word> control_words(const Netlist& nl) {
+  const Binding& b = nl.binding();
+  const AllocProblem& prob = b.prob();
+  const Cdfg& g = prob.cdfg();
+  const int L = prob.sched().length();
+  std::vector<Word> words(static_cast<size_t>(L));
+  for (int t = 0; t < L; ++t) {
+    Word& w = words[static_cast<size_t>(t)];
+    for (FuId f = 0; f < prob.fus().size(); ++f) {
+      for (int slot = 0; slot < 2; ++slot) {
+        const Pin pin{slot == 0 ? Pin::Kind::kFuIn0 : Pin::Kind::kFuIn1, f};
+        if (auto src = nl.source_of(pin, t)) w.pin_select[key_of(pin)] = key_of(*src);
+      }
+    }
+    for (const RegLoad& ld : nl.reg_loads())
+      if (ld.step == t) w.reg_loads.insert(ld.reg);
+    for (const FuAction& a : nl.fu_actions())
+      if (a.step == t)
+        w.fu_op[a.fu] = static_cast<int>(g.node(a.node).kind);
+  }
+  return words;
+}
+
+}  // namespace
+
+ControllerStats analyze_controller(const Netlist& nl) {
+  const Binding& b = nl.binding();
+  const AllocProblem& prob = b.prob();
+  const Cdfg& g = prob.cdfg();
+  const int L = prob.sched().length();
+  ControllerStats stats;
+
+  // Mux select bits per pin: distinct sources over all steps.
+  std::map<uint64_t, std::set<uint64_t>> pin_sources;
+  for (int t = 0; t < L; ++t) {
+    for (FuId f = 0; f < prob.fus().size(); ++f)
+      for (int slot = 0; slot < 2; ++slot) {
+        const Pin pin{slot == 0 ? Pin::Kind::kFuIn0 : Pin::Kind::kFuIn1, f};
+        if (auto src = nl.source_of(pin, t))
+          pin_sources[key_of(pin)].insert(key_of(*src));
+      }
+    for (const RegLoad& ld : nl.reg_loads())
+      if (ld.step == t)
+        pin_sources[key_of(Pin{Pin::Kind::kRegIn, ld.reg})].insert(
+            key_of(ld.src));
+  }
+  for (const auto& [pin, sources] : pin_sources) {
+    (void)pin;
+    stats.mux_select_bits += bits_for(static_cast<int>(sources.size()));
+  }
+
+  std::set<int> loading_regs;
+  for (const RegLoad& ld : nl.reg_loads()) loading_regs.insert(ld.reg);
+  stats.reg_enable_bits = static_cast<int>(loading_regs.size());
+
+  // FU op-select bits: distinct operation kinds (plus the idle/pass state
+  // for pass-capable units that perform at least one pass-through).
+  std::map<FuId, std::set<int>> fu_kinds;
+  for (const FuAction& a : nl.fu_actions())
+    fu_kinds[a.fu].insert(static_cast<int>(g.node(a.node).kind));
+  const Lifetimes& lt = prob.lifetimes();
+  for (int sid = 0; sid < lt.num_storages(); ++sid)
+    for (const auto& seg : b.sto(sid).cells)
+      for (const Cell& c : seg)
+        if (c.via != kInvalidId)
+          fu_kinds[c.via].insert(static_cast<int>(OpKind::kNop));
+  for (const auto& [fu, kinds] : fu_kinds) {
+    (void)fu;
+    stats.fu_select_bits += bits_for(static_cast<int>(kinds.size()));
+  }
+
+  const auto words = control_words(nl);
+  std::set<Word> distinct(words.begin(), words.end());
+  stats.distinct_words = static_cast<int>(distinct.size());
+  return stats;
+}
+
+std::string controller_table(const Netlist& nl) {
+  const Binding& b = nl.binding();
+  const AllocProblem& prob = b.prob();
+  const Cdfg& g = prob.cdfg();
+  const int L = prob.sched().length();
+  std::ostringstream os;
+  for (int t = 0; t < L; ++t) {
+    os << "step " << t << ":";
+    for (const FuAction& a : nl.fu_actions())
+      if (a.step == t)
+        os << " " << prob.fus().fu(a.fu).name << "="
+           << g.node(a.node).name;
+    bool first_load = true;
+    for (const RegLoad& ld : nl.reg_loads()) {
+      if (ld.step != t) continue;
+      os << (first_load ? " load:" : ",") << " R" << ld.reg;
+      first_load = false;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace salsa

@@ -1,0 +1,70 @@
+// Datapath netlist: the structural view of a legal binding. Routing tables
+// give, for every module input pin and control step, the unique source
+// driving it (derived from the point-to-point connection enumeration), plus
+// the per-step controller actions (which ops execute where, which registers
+// load, which outputs sample). The simulator executes this structure; the
+// Verilog emitter prints it.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/mux_merge.h"
+
+namespace salsa {
+
+/// An operation execution slot: op `node` starts on FU `fu` at step `step`.
+struct FuAction {
+  NodeId node;
+  FuId fu;
+  int step;
+};
+
+/// A register load: register `reg` latches from `src` at the end of `step`.
+struct RegLoad {
+  RegId reg;
+  Endpoint src;
+  int step;
+};
+
+/// An output sample: output node `node` reads register `reg` during `step`.
+struct OutSample {
+  NodeId node;
+  RegId reg;
+  int step;
+};
+
+class Netlist {
+ public:
+  /// Builds the netlist of a legal binding (throws on illegal bindings).
+  /// The binding is copied: a Netlist stays valid independently of the
+  /// binding it was built from (the underlying AllocProblem must outlive it).
+  explicit Netlist(const Binding& b);
+
+  const Binding& binding() const { return b_; }
+
+  /// Source driving a pin at a step, if any.
+  std::optional<Endpoint> source_of(const Pin& pin, int step) const;
+
+  const std::vector<FuAction>& fu_actions() const { return fu_actions_; }
+  const std::vector<RegLoad>& reg_loads() const { return reg_loads_; }
+  const std::vector<OutSample>& out_samples() const { return out_samples_; }
+  const MuxMergeResult& muxes() const { return muxes_; }
+
+  /// Distinct non-constant point-to-point connections.
+  int num_connections() const { return connections_; }
+
+ private:
+  Binding b_;
+  std::map<std::pair<uint64_t, int>, Endpoint> route_;  // (pin key, step)
+  std::vector<FuAction> fu_actions_;
+  std::vector<RegLoad> reg_loads_;
+  std::vector<OutSample> out_samples_;
+  MuxMergeResult muxes_;
+  int connections_ = 0;
+};
+
+}  // namespace salsa

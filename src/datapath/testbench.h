@@ -1,0 +1,25 @@
+// Verilog testbench generation: wraps the emitted datapath module in a
+// self-checking testbench whose stimulus and expected outputs come from the
+// behavioural evaluator, so the RTL can be validated end-to-end in any
+// external Verilog simulator.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "datapath/netlist.h"
+
+namespace salsa {
+
+/// Emits a testbench module `<module_name>_tb` that instantiates
+/// `module_name` (as produced by to_verilog with the same netlist), drives
+/// `iterations` iterations of the given input streams, and $display-checks
+/// every output against the behavioural reference. Finishes with "TB PASS"
+/// or "TB FAIL".
+std::string to_testbench(const Netlist& nl,
+                         std::span<const std::vector<int64_t>> inputs,
+                         std::span<const int64_t> initial_states,
+                         int iterations, const std::string& module_name,
+                         int width = 16);
+
+}  // namespace salsa

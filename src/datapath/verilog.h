@@ -1,0 +1,18 @@
+// Structural Verilog emission of an allocated datapath: registers with
+// load-enable schedules, ALU/multiplier instances with per-step operation
+// selects, per-pin input multiplexers (case over the control-step counter),
+// and the modulo-L step counter acting as the controller. The emitted module
+// is a faithful RTL rendering of the netlist the simulator executes.
+#pragma once
+
+#include <string>
+
+#include "datapath/netlist.h"
+
+namespace salsa {
+
+/// Emits one synthesisable Verilog-2001 module named `module_name`.
+std::string to_verilog(const Netlist& nl, const std::string& module_name,
+                       int width = 16);
+
+}  // namespace salsa

@@ -1,0 +1,35 @@
+// A small behavioural front end: compiles arithmetic assignment programs
+// into CDFGs, so designs can be written as formulas instead of explicit
+// operator lists (the role a behavioural-HDL front end plays ahead of the
+// scheduler in a full high-level synthesis flow).
+//
+//   design biquad
+//   input x
+//   state s1
+//   state s2
+//   w  = x + 3*s1 + 5*s2        # +, -, * with usual precedence, parentheses
+//   y  = 7*w + 11*s1 + 13*s2
+//   s1 := w                     # state update (next-iteration content)
+//   s2 := s1                    # a plain move becomes an explicit Nop
+//   out y                       # mark an assigned name as a design output
+//
+// Integer literals become shared constant nodes; unary minus folds into
+// literals or lowers to (0 - x). Every assignment defines a fresh name;
+// names are single-assignment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "cdfg/cdfg.h"
+
+namespace salsa {
+
+/// Compiles a program in the expression language to a validated CDFG.
+/// Throws salsa::Error with a line-numbered message on any lexical, syntax
+/// or semantic error (unknown name, reassignment, update of a non-state,
+/// missing state update, ...).
+Cdfg compile_expressions(std::istream& in);
+Cdfg compile_expr_string(const std::string& text);
+
+}  // namespace salsa

@@ -1,0 +1,56 @@
+// Bus-oriented interconnect allocation — the paper's first "future work"
+// item ("extensions to interconnection allocation should be investigated to
+// improve on the point-to-point model"), in the style the paper cites as
+// the bus-oriented alternative [6]: module outputs drive shared buses and a
+// single level of multiplexers connects buses to module inputs.
+//
+// Given a legal binding, every data movement is a *transmission*
+// (source, control step) — a source broadcasting to any number of sinks in
+// one step uses one bus. Transmissions in the same step from different
+// sources conflict and need distinct buses. The allocator greedily colours
+// transmissions onto buses, preferring to keep a source on one bus (fewer
+// bus drivers) and a sink listening to few buses (narrower input muxes).
+#pragma once
+
+#include <vector>
+
+#include "core/cost.h"
+
+namespace salsa {
+
+/// One allocated bus.
+struct Bus {
+  std::vector<Endpoint> drivers;  ///< distinct sources that drive this bus
+  /// (source index within drivers, step) pairs: when each driver owns the
+  /// bus. At most one driver per step.
+  std::vector<std::pair<int, int>> schedule;
+};
+
+struct BusAllocation {
+  std::vector<Bus> buses;
+  /// For each module input pin: the distinct buses it listens to.
+  struct SinkTap {
+    Pin sink;
+    std::vector<int> buses;
+  };
+  std::vector<SinkTap> taps;
+
+  int num_buses() const { return static_cast<int>(buses.size()); }
+  /// Equivalent 2-1 muxes at sink inputs (bus-select muxes).
+  int sink_muxes() const;
+  /// Bus driver count in excess of one per bus (output selection cost).
+  int extra_drivers() const;
+};
+
+/// Allocates buses for a legal binding's data movements. Constant sources
+/// are excluded (hardwired, as in the point-to-point cost model).
+BusAllocation bus_allocate(const Binding& b);
+
+/// Checks the invariants of a bus allocation against its binding: every
+/// non-constant connection use is carried by exactly one bus its sink taps,
+/// and no bus carries two sources in one step. Returns human-readable
+/// violations (empty == legal).
+std::vector<std::string> verify_bus_allocation(const Binding& b,
+                                               const BusAllocation& alloc);
+
+}  // namespace salsa

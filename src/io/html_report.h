@@ -1,0 +1,18 @@
+// Self-contained HTML visualisation of an allocation: cost summary, a
+// functional-unit Gantt chart (which op or pass-through occupies each FU at
+// each control step), a register occupancy map (which storage holds each
+// register, with transfers and copies visible as colour changes), and the
+// multiplexer inventory. One file, inline CSS, no external assets — made to
+// be attached to a report or opened from the CLI (`salsa_cli --html out`).
+#pragma once
+
+#include <string>
+
+#include "core/binding.h"
+
+namespace salsa {
+
+/// Renders the full HTML page for a legal binding.
+std::string html_report(const Binding& b, const std::string& title);
+
+}  // namespace salsa

@@ -1,0 +1,20 @@
+// Human-readable allocation reports: the operator-to-FU table, each
+// storage's register chain (with transfers, pass-throughs and copies made
+// explicit), and the interconnect bill. Used by salsa_cli and handy when
+// debugging a binding by eye.
+#pragma once
+
+#include <string>
+
+#include "core/binding.h"
+
+namespace salsa {
+
+/// Full report: FU table, storage chains, cost summary.
+std::string allocation_report(const Binding& b);
+
+/// One-line-per-storage register chain, e.g.
+///   sv2: R3 R3 R3 ->R5(via ALU1) R5 | copy@2 R7
+std::string storage_chain(const Binding& b, int sid);
+
+}  // namespace salsa

@@ -1,0 +1,52 @@
+// A small line-oriented text format for CDFGs and schedules, so designs can
+// be written by hand, stored next to the code, and driven through the
+// allocator with the salsa_cli tool without recompiling.
+//
+//   cdfg <name>
+//   input <name>
+//   const <value> [name]
+//   state <name>
+//   add|sub|mul <result> <operand> <operand>
+//   nop <result> <operand>
+//   output <port-name> <value>
+//   next <state> <value>          # value becomes the state next iteration
+//   # comment, blank lines ignored
+//
+// A schedule section may follow the graph:
+//
+//   schedule <length> [pipelined]
+//   at <node-name> <step>         # operators and outputs; others at 0
+//
+// Identifiers are value names for operands/results and node names for `at`
+// (for operators the result value's name doubles as the node name).
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cdfg/cdfg.h"
+#include "sched/schedule.h"
+
+namespace salsa {
+
+struct ParsedDesign {
+  /// Owned behind a stable address (the optional Schedule points into it).
+  std::unique_ptr<Cdfg> cdfg;
+  /// Present when the text contained a schedule section.
+  std::optional<Schedule> schedule;
+  HwSpec hw;
+};
+
+/// Parses the text format. Throws salsa::Error with a line-numbered message
+/// on malformed input. The returned ParsedDesign owns the Cdfg; the optional
+/// Schedule references it.
+ParsedDesign parse_design(std::istream& in);
+ParsedDesign parse_design_string(const std::string& text);
+
+/// Writes a CDFG (and optionally a schedule over it) in the same format;
+/// parse_design round-trips it.
+std::string write_design(const Cdfg& cdfg, const Schedule* schedule = nullptr);
+
+}  // namespace salsa

@@ -1,0 +1,39 @@
+// Linear (one-dimensional) module placement and wirelength estimation — the
+// paper's third "future work" item ("extensions to the binding model should
+// be considered which more accurately model the actual layout"). Datapaths
+// of this era were laid out as bit-sliced module rows, so a 1-D arrangement
+// of FUs and registers with connection-weighted wirelength is the natural
+// first-order layout model. The estimator lets the harnesses compare how
+// allocation decisions (mux counts vs. connection locality) translate into
+// wiring.
+#pragma once
+
+#include <vector>
+
+#include "core/cost.h"
+
+namespace salsa {
+
+/// A placed module row. Modules are FUs (ids [0, num_fus)) followed by
+/// registers (ids [num_fus, num_fus + num_regs)).
+struct LinearPlacement {
+  std::vector<int> slot_of;  ///< module -> slot index in the row
+  double wirelength = 0;     ///< sum over connections of |slot(a) - slot(b)|
+  int num_fus = 0;
+  int num_regs = 0;
+};
+
+/// Connection weights between modules of a binding (distinct non-constant
+/// point-to-point connections; port endpoints are ignored). Symmetric,
+/// indexed [module][module].
+std::vector<std::vector<double>> module_affinity(const Binding& b);
+
+/// Wirelength of a placement under the binding's connections.
+double placement_wirelength(const Binding& b, const LinearPlacement& p);
+
+/// Places modules on a row by pairwise-swap descent from a seeded random
+/// order. Deterministic for a given seed.
+LinearPlacement place_linear(const Binding& b, uint64_t seed = 1,
+                             int passes = 20);
+
+}  // namespace salsa

@@ -1,0 +1,181 @@
+#include "regfile/regfile.h"
+
+#include <algorithm>
+
+#include "core/cost.h"
+
+namespace salsa {
+
+RegActivity register_activity(const Binding& b) {
+  const AllocProblem& prob = b.prob();
+  const int L = prob.sched().length();
+  const int nreg = prob.num_regs();
+  RegActivity act;
+  act.reads.assign(static_cast<size_t>(nreg),
+                   std::vector<bool>(static_cast<size_t>(L), false));
+  act.writes.assign(static_cast<size_t>(nreg),
+                    std::vector<bool>(static_cast<size_t>(L), false));
+  for (const ConnUse& u : connection_uses(b)) {
+    if (u.src.kind == Endpoint::Kind::kRegOut)
+      act.reads[static_cast<size_t>(u.src.id)][static_cast<size_t>(u.step)] =
+          true;
+    if (u.sink.kind == Pin::Kind::kRegIn)
+      act.writes[static_cast<size_t>(u.sink.id)][static_cast<size_t>(u.step)] =
+          true;
+  }
+  return act;
+}
+
+namespace {
+
+long traffic_of(const RegActivity& act, RegId r) {
+  long n = 0;
+  for (bool v : act.reads[static_cast<size_t>(r)]) n += v;
+  for (bool v : act.writes[static_cast<size_t>(r)]) n += v;
+  return n;
+}
+
+}  // namespace
+
+RegFileAssignment bind_register_files(const Binding& b,
+                                      const RegFileSpec& spec) {
+  SALSA_CHECK_MSG(spec.max_regs_per_file >= 1 && spec.read_ports >= 1 &&
+                      spec.write_ports >= 1,
+                  "degenerate register-file spec");
+  const AllocProblem& prob = b.prob();
+  const int L = prob.sched().length();
+  const int nreg = prob.num_regs();
+  const RegActivity act = register_activity(b);
+
+  // Heaviest-traffic registers first; never-used registers get no file.
+  std::vector<RegId> order;
+  for (RegId r = 0; r < nreg; ++r)
+    if (traffic_of(act, r) > 0) order.push_back(r);
+  std::sort(order.begin(), order.end(), [&](RegId a, RegId c) {
+    const long ta = traffic_of(act, a), tc = traffic_of(act, c);
+    return ta != tc ? ta > tc : a < c;
+  });
+
+  struct FileState {
+    int regs = 0;
+    std::vector<int> reads, writes;  // per-step port usage
+  };
+  std::vector<FileState> files;
+  RegFileAssignment asg;
+  asg.file_of.assign(static_cast<size_t>(nreg), -1);
+
+  auto fits = [&](const FileState& fs, RegId r) {
+    if (fs.regs >= spec.max_regs_per_file) return false;
+    for (int t = 0; t < L; ++t) {
+      if (act.reads[static_cast<size_t>(r)][static_cast<size_t>(t)] &&
+          fs.reads[static_cast<size_t>(t)] + 1 > spec.read_ports)
+        return false;
+      if (act.writes[static_cast<size_t>(r)][static_cast<size_t>(t)] &&
+          fs.writes[static_cast<size_t>(t)] + 1 > spec.write_ports)
+        return false;
+    }
+    return true;
+  };
+
+  for (RegId r : order) {
+    int chosen = -1;
+    for (size_t fi = 0; fi < files.size(); ++fi) {
+      if (fits(files[fi], r)) {
+        chosen = static_cast<int>(fi);
+        break;
+      }
+    }
+    if (chosen < 0) {
+      files.emplace_back();
+      files.back().reads.assign(static_cast<size_t>(L), 0);
+      files.back().writes.assign(static_cast<size_t>(L), 0);
+      chosen = static_cast<int>(files.size()) - 1;
+    }
+    FileState& fs = files[static_cast<size_t>(chosen)];
+    ++fs.regs;
+    for (int t = 0; t < L; ++t) {
+      fs.reads[static_cast<size_t>(t)] +=
+          act.reads[static_cast<size_t>(r)][static_cast<size_t>(t)];
+      fs.writes[static_cast<size_t>(t)] +=
+          act.writes[static_cast<size_t>(r)][static_cast<size_t>(t)];
+    }
+    asg.file_of[static_cast<size_t>(r)] = chosen;
+  }
+  asg.num_files = static_cast<int>(files.size());
+  return asg;
+}
+
+std::vector<std::string> verify_register_files(const Binding& b,
+                                               const RegFileSpec& spec,
+                                               const RegFileAssignment& asg) {
+  std::vector<std::string> bad;
+  const AllocProblem& prob = b.prob();
+  const int L = prob.sched().length();
+  const int nreg = prob.num_regs();
+  if (static_cast<int>(asg.file_of.size()) != nreg) {
+    bad.push_back("assignment size mismatch");
+    return bad;
+  }
+  const RegActivity act = register_activity(b);
+  for (RegId r = 0; r < nreg; ++r) {
+    const bool used = traffic_of(act, r) > 0;
+    const int f = asg.file_of[static_cast<size_t>(r)];
+    if (used && (f < 0 || f >= asg.num_files))
+      bad.push_back("used register R" + std::to_string(r) + " has no file");
+  }
+  for (int f = 0; f < asg.num_files; ++f) {
+    int regs = 0;
+    std::vector<int> reads(static_cast<size_t>(L), 0);
+    std::vector<int> writes(static_cast<size_t>(L), 0);
+    for (RegId r = 0; r < nreg; ++r) {
+      if (asg.file_of[static_cast<size_t>(r)] != f) continue;
+      ++regs;
+      for (int t = 0; t < L; ++t) {
+        reads[static_cast<size_t>(t)] +=
+            act.reads[static_cast<size_t>(r)][static_cast<size_t>(t)];
+        writes[static_cast<size_t>(t)] +=
+            act.writes[static_cast<size_t>(r)][static_cast<size_t>(t)];
+      }
+    }
+    if (regs > spec.max_regs_per_file)
+      bad.push_back("file " + std::to_string(f) + " holds " +
+                    std::to_string(regs) + " registers");
+    for (int t = 0; t < L; ++t) {
+      if (reads[static_cast<size_t>(t)] > spec.read_ports)
+        bad.push_back("file " + std::to_string(f) + " needs " +
+                      std::to_string(reads[static_cast<size_t>(t)]) +
+                      " read ports at step " + std::to_string(t));
+      if (writes[static_cast<size_t>(t)] > spec.write_ports)
+        bad.push_back("file " + std::to_string(f) + " needs " +
+                      std::to_string(writes[static_cast<size_t>(t)]) +
+                      " write ports at step " + std::to_string(t));
+    }
+  }
+  return bad;
+}
+
+int register_file_lower_bound(const Binding& b, const RegFileSpec& spec) {
+  const AllocProblem& prob = b.prob();
+  const int L = prob.sched().length();
+  const RegActivity act = register_activity(b);
+  int used = 0;
+  int peak_reads = 0, peak_writes = 0;
+  for (int t = 0; t < L; ++t) {
+    int reads = 0, writes = 0;
+    for (RegId r = 0; r < prob.num_regs(); ++r) {
+      reads += act.reads[static_cast<size_t>(r)][static_cast<size_t>(t)];
+      writes += act.writes[static_cast<size_t>(r)][static_cast<size_t>(t)];
+    }
+    peak_reads = std::max(peak_reads, reads);
+    peak_writes = std::max(peak_writes, writes);
+  }
+  for (RegId r = 0; r < prob.num_regs(); ++r) used += traffic_of(act, r) > 0;
+  const int by_capacity =
+      (used + spec.max_regs_per_file - 1) / spec.max_regs_per_file;
+  const int by_reads = (peak_reads + spec.read_ports - 1) / spec.read_ports;
+  const int by_writes =
+      (peak_writes + spec.write_ports - 1) / spec.write_ports;
+  return std::max({by_capacity, by_reads, by_writes});
+}
+
+}  // namespace salsa

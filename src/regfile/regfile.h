@@ -1,0 +1,57 @@
+// Register-file binding: groups the allocated registers into multi-register
+// files with bounded read/write ports — the step that turns a flat register
+// set into the register files a real datapath layout uses. Port pressure is
+// derived from the binding's data movements: a register read by any number
+// of sinks in one step costs one read port (broadcast), every register load
+// costs one write port.
+//
+// Binding-model relevance: value segments concentrate traffic differently
+// than whole-value bindings, so the two models can need different file
+// counts for the same port discipline (bench_regfile measures this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/binding.h"
+
+namespace salsa {
+
+struct RegFileSpec {
+  int max_regs_per_file = 4;
+  int read_ports = 2;   ///< simultaneous register reads per file per step
+  int write_ports = 1;  ///< simultaneous register writes per file per step
+};
+
+struct RegFileAssignment {
+  /// file_of[r] — file index of register r (-1 for never-used registers).
+  std::vector<int> file_of;
+  int num_files = 0;
+};
+
+/// Per-register, per-step activity derived from the binding.
+struct RegActivity {
+  /// reads[r][t] — register r drives at least one sink during step t.
+  std::vector<std::vector<bool>> reads;
+  /// writes[r][t] — register r latches at the end of step t.
+  std::vector<std::vector<bool>> writes;
+};
+
+RegActivity register_activity(const Binding& b);
+
+/// Greedily packs registers into files respecting the port discipline.
+/// Registers with the heaviest traffic are placed first.
+RegFileAssignment bind_register_files(const Binding& b,
+                                      const RegFileSpec& spec);
+
+/// Checks an assignment against the spec; returns violations (empty == ok).
+std::vector<std::string> verify_register_files(const Binding& b,
+                                               const RegFileSpec& spec,
+                                               const RegFileAssignment& asg);
+
+/// Lower bound on the number of files: peak simultaneous reads (writes)
+/// divided by the per-file port count, and used-register count divided by
+/// the file capacity.
+int register_file_lower_bound(const Binding& b, const RegFileSpec& spec);
+
+}  // namespace salsa

@@ -1,0 +1,31 @@
+// ASAP/ALAP analysis over the CDFG's dependence constraints, including the
+// loop-carried state anti-dependences. Used for mobility windows (force-
+// directed scheduling), list-scheduling priorities, and slack queries (the
+// role the paper's slack nodes play during scheduling [16]).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sched/schedule.h"
+
+namespace salsa {
+
+/// Earliest start step per node (resource-free). Throws on dependence cycles
+/// with positive total latency (infeasible CDFG).
+std::vector<int> asap_starts(const Cdfg& cdfg, const HwSpec& hw);
+
+/// Latest start step per node for a schedule of `length` steps, or
+/// std::nullopt if `length` is infeasible. Non-operation nodes other than
+/// outputs are pinned to step 0.
+std::optional<std::vector<int>> alap_starts(const Cdfg& cdfg, const HwSpec& hw,
+                                            int length);
+
+/// Minimum feasible schedule length (the critical path in control steps).
+int min_schedule_length(const Cdfg& cdfg, const HwSpec& hw);
+
+/// Slack (alap - asap) per node for the given length; nullopt if infeasible.
+std::optional<std::vector<int>> node_slack(const Cdfg& cdfg, const HwSpec& hw,
+                                           int length);
+
+}  // namespace salsa

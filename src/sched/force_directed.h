@@ -1,0 +1,17 @@
+// Time-constrained force-directed scheduling (Paulin-style): balances the
+// per-step operator distribution so the number of functional units needed for
+// a given latency is minimised. Used to regenerate the schedule envelopes the
+// paper's SALSA scheduler [16] provides (minimum FUs per latency budget).
+#pragma once
+
+#include "sched/schedule.h"
+
+namespace salsa {
+
+/// Schedules the CDFG into `length` steps, minimising the peak per-class FU
+/// demand via distribution-graph force minimisation. Throws salsa::Error if
+/// `length` is below the critical path.
+Schedule force_directed_schedule(const Cdfg& cdfg, const HwSpec& hw,
+                                 int length);
+
+}  // namespace salsa

@@ -1,0 +1,59 @@
+#include "sched/fu_search.h"
+
+#include <algorithm>
+
+#include "sched/force_directed.h"
+
+namespace salsa {
+
+FuBudget peak_fu_demand(const Schedule& sched) {
+  FuBudget peak;
+  for (int t = 0; t < sched.length(); ++t) {
+    int alu = sched.ops_active(OpKind::kAdd, t) +
+              sched.ops_active(OpKind::kSub, t) +
+              sched.ops_active(OpKind::kNop, t);
+    int mul = sched.ops_active(OpKind::kMul, t);
+    peak.alu = std::max(peak.alu, alu);
+    peak.mul = std::max(peak.mul, mul);
+  }
+  return peak;
+}
+
+FuSearchResult schedule_min_fu(const Cdfg& g, const HwSpec& hw, int length,
+                               double alu_cost, double mul_cost) {
+  Schedule fds = force_directed_schedule(g, hw, length);
+  FuBudget best_fus = peak_fu_demand(fds);
+  Schedule best = fds;
+  double best_cost = alu_cost * best_fus.alu + mul_cost * best_fus.mul;
+
+  // Occupancy lower bounds: total busy-steps / length, rounded up.
+  int alu_occ = 0, mul_occ = 0;
+  for (NodeId id : g.operations()) {
+    const OpKind k = g.node(id).kind;
+    (fu_class_of(k) == FuClass::kAlu ? alu_occ : mul_occ) += hw.occupancy(k);
+  }
+  const int alu_lb = std::max(g.count(OpKind::kAdd) + g.count(OpKind::kSub) +
+                                      g.count(OpKind::kNop) > 0 ? 1 : 0,
+                              (alu_occ + length - 1) / length);
+  const int mul_lb = std::max(g.count(OpKind::kMul) > 0 ? 1 : 0,
+                              (mul_occ + length - 1) / length);
+
+  for (int alu = alu_lb; alu <= std::max(best_fus.alu, alu_lb); ++alu) {
+    for (int mul = mul_lb; mul <= std::max(best_fus.mul, mul_lb); ++mul) {
+      const double cost = alu_cost * alu + mul_cost * mul;
+      if (cost >= best_cost) continue;
+      auto s = list_schedule(g, hw, length, FuBudget{alu, mul});
+      if (!s) continue;
+      const FuBudget demand = peak_fu_demand(*s);
+      const double real_cost = alu_cost * demand.alu + mul_cost * demand.mul;
+      if (real_cost < best_cost) {
+        best_cost = real_cost;
+        best = *s;
+        best_fus = demand;
+      }
+    }
+  }
+  return FuSearchResult{best, best_fus};
+}
+
+}  // namespace salsa

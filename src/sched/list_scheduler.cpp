@@ -1,0 +1,121 @@
+#include "sched/list_scheduler.h"
+
+#include <algorithm>
+
+#include "sched/asap_alap.h"
+
+namespace salsa {
+
+FuClass fu_class_of(OpKind k) {
+  return k == OpKind::kMul ? FuClass::kMul : FuClass::kAlu;
+}
+
+std::optional<Schedule> list_schedule(const Cdfg& g, const HwSpec& hw,
+                                      int length, const FuBudget& budget,
+                                      Rng* jitter) {
+  const auto alap_opt = alap_starts(g, hw, length);
+  if (!alap_opt) return std::nullopt;
+  const auto& alap = *alap_opt;
+  // Optional priority noise: breaks ties (and mildly reorders near-ties) so
+  // repeated calls yield distinct but equally resource-bounded schedules.
+  std::vector<int> noise(static_cast<size_t>(g.num_nodes()), 0);
+  if (jitter != nullptr)
+    for (auto& n : noise) n = jitter->uniform(3);
+
+  Schedule sched(g, hw, length);
+  std::vector<bool> done(static_cast<size_t>(g.num_nodes()), false);
+  // Non-operations other than outputs sit at step 0 and are "done" upfront.
+  int remaining = 0;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    const Node& n = g.node(id);
+    if (is_operation(n.kind) || n.kind == OpKind::kOutput) {
+      ++remaining;
+    } else {
+      done[static_cast<size_t>(id)] = true;
+    }
+  }
+
+  // Anti-dependence bookkeeping: producer of a state's next content may only
+  // be scheduled once every consumer of the old content is scheduled.
+  std::vector<std::vector<NodeId>> anti_preds(
+      static_cast<size_t>(g.num_nodes()));
+  for (NodeId sn : g.state_nodes()) {
+    const Node& s = g.node(sn);
+    const NodeId pn = g.producer(s.state_next);
+    for (NodeId c : g.value(s.out).consumers)
+      anti_preds[static_cast<size_t>(pn)].push_back(c);
+  }
+
+  std::vector<std::vector<int>> busy(2, std::vector<int>(
+                                            static_cast<size_t>(length), 0));
+
+  for (int step = 0; step < length && remaining > 0; ++step) {
+    // Collect candidates whose dependences allow a start at `step`.
+    std::vector<NodeId> cands;
+    for (NodeId id = 0; id < g.num_nodes(); ++id) {
+      if (done[static_cast<size_t>(id)]) continue;
+      const Node& n = g.node(id);
+      bool ok = true;
+      for (ValueId in : n.ins) {
+        if (g.is_const_value(in)) continue;
+        const NodeId p = g.producer(in);
+        if (!done[static_cast<size_t>(p)] || sched.ready(p) > step) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      const int d = hw.delay(n.kind);
+      for (NodeId c : anti_preds[static_cast<size_t>(id)]) {
+        if (!done[static_cast<size_t>(c)] ||
+            step < sched.start(c) + 1 - d) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      if (is_operation(n.kind)) {
+        const bool read_in_iter = !g.value(n.out).consumers.empty();
+        if (step + d + (read_in_iter ? 1 : 0) > length) continue;  // too late
+      }
+      cands.push_back(id);
+    }
+    // Most urgent first; outputs cost nothing and are placed unconditionally.
+    std::sort(cands.begin(), cands.end(), [&](NodeId a, NodeId b) {
+      const int pa = alap[static_cast<size_t>(a)] + noise[static_cast<size_t>(a)];
+      const int pb = alap[static_cast<size_t>(b)] + noise[static_cast<size_t>(b)];
+      return pa != pb ? pa < pb : a < b;
+    });
+    for (NodeId id : cands) {
+      const Node& n = g.node(id);
+      if (n.kind == OpKind::kOutput) {
+        sched.set_start(id, step);
+        done[static_cast<size_t>(id)] = true;
+        --remaining;
+        continue;
+      }
+      const FuClass cls = fu_class_of(n.kind);
+      const int occ = hw.occupancy(n.kind);
+      bool fits = true;
+      for (int t = step; t < step + occ; ++t) {
+        if (t >= length ||
+            busy[static_cast<size_t>(cls)][static_cast<size_t>(t)] >=
+                budget.of(cls)) {
+          fits = false;
+          break;
+        }
+      }
+      if (!fits) continue;
+      for (int t = step; t < step + occ; ++t)
+        ++busy[static_cast<size_t>(cls)][static_cast<size_t>(t)];
+      sched.set_start(id, step);
+      done[static_cast<size_t>(id)] = true;
+      --remaining;
+    }
+  }
+  if (remaining > 0) return std::nullopt;
+  sched.validate();
+  return sched;
+}
+
+}  // namespace salsa

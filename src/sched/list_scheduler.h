@@ -1,0 +1,36 @@
+// Resource-constrained list scheduling: given a schedule length and a budget
+// of ALU-class and multiplier-class functional units, produce a legal
+// schedule or report infeasibility. Priorities are ALAP urgency.
+#pragma once
+
+#include <optional>
+
+#include "sched/schedule.h"
+#include "util/rng.h"
+
+namespace salsa {
+
+/// FU class buckets used during scheduling. The binding layer later deals in
+/// concrete FU instances; for scheduling only the class capacity matters.
+enum class FuClass : uint8_t { kAlu, kMul };
+
+/// Class executing a given operation kind.
+FuClass fu_class_of(OpKind k);
+
+struct FuBudget {
+  int alu = 0;
+  int mul = 0;
+  int of(FuClass c) const { return c == FuClass::kAlu ? alu : mul; }
+};
+
+/// Schedules the CDFG into `length` steps using at most `budget` FUs of each
+/// class (pipelined multipliers per hw.pipelined_mul). Returns std::nullopt
+/// if the scheduler cannot fit the graph (which does not prove
+/// infeasibility, list scheduling being a heuristic). When `jitter` is
+/// given, candidate priorities receive random noise — used to generate
+/// distinct schedule variants with the same resource envelope.
+std::optional<Schedule> list_schedule(const Cdfg& cdfg, const HwSpec& hw,
+                                      int length, const FuBudget& budget,
+                                      Rng* jitter = nullptr);
+
+}  // namespace salsa

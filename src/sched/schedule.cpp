@@ -1,0 +1,79 @@
+#include "sched/schedule.h"
+
+#include <algorithm>
+
+namespace salsa {
+
+Schedule::Schedule(const Cdfg& cdfg, HwSpec hw, int length)
+    : cdfg_(&cdfg), hw_(hw), length_(length) {
+  SALSA_CHECK_MSG(length > 0, "schedule length must be positive");
+  start_.assign(static_cast<size_t>(cdfg.num_nodes()), 0);
+}
+
+int Schedule::finish(NodeId n) const {
+  const int d = hw_.delay(cdfg_->node(n).kind);
+  return start(n) + std::max(0, d - 1);
+}
+
+int Schedule::ready(NodeId n) const {
+  return start(n) + hw_.delay(cdfg_->node(n).kind);
+}
+
+int Schedule::value_ready(ValueId v) const {
+  return ready(cdfg_->producer(v));
+}
+
+int Schedule::value_last_read(ValueId v) const {
+  int last = -1;
+  for (NodeId c : cdfg_->value(v).consumers) last = std::max(last, start(c));
+  return last;
+}
+
+void Schedule::validate() const {
+  const Cdfg& g = *cdfg_;
+  for (NodeId id = 0; id < g.num_nodes(); ++id) {
+    const Node& n = g.node(id);
+    if (start(id) < 0 || start(id) >= length_)
+      fail("node '" + n.name + "' scheduled outside [0, length)");
+    if (!is_operation(n.kind) && n.kind != OpKind::kOutput && start(id) != 0)
+      fail("node '" + n.name + "' (non-operation) must start at step 0");
+    for (ValueId in : n.ins) {
+      if (g.is_const_value(in)) continue;
+      if (start(id) < value_ready(in))
+        fail("node '" + n.name + "' reads value '" + g.value(in).name +
+             "' before it is ready");
+    }
+    if (is_operation(n.kind)) {
+      // A result must be usable: ready by length-1 if read or output within
+      // the iteration, ready by length if it only feeds a state.
+      const int rdy = ready(id);
+      const bool read_in_iter = value_last_read(n.out) >= 0;
+      if (rdy > length_) fail("node '" + n.name + "' finishes after the schedule end");
+      if (read_in_iter && rdy > length_ - 1)
+        fail("node '" + n.name + "' result is read but not ready before the end");
+    }
+  }
+  // State anti-dependence: old content must outlive all its reads.
+  for (NodeId sn : g.state_nodes()) {
+    const Node& s = g.node(sn);
+    const int last = value_last_read(s.out);
+    const int next_ready = value_ready(s.state_next);
+    if (last >= next_ready)
+      fail("state '" + s.name + "': next content ready at step " +
+           std::to_string(next_ready) + " but old content still read at step " +
+           std::to_string(last));
+  }
+}
+
+int Schedule::ops_active(OpKind k, int step) const {
+  int n = 0;
+  for (NodeId id = 0; id < cdfg_->num_nodes(); ++id) {
+    const Node& nd = cdfg_->node(id);
+    if (nd.kind != k || !is_operation(nd.kind)) continue;
+    const int occ = hw_.occupancy(nd.kind);
+    if (step >= start(id) && step < start(id) + occ) ++n;
+  }
+  return n;
+}
+
+}  // namespace salsa

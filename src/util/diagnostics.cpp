@@ -1,0 +1,22 @@
+#include "util/diagnostics.h"
+
+#include <sstream>
+
+namespace salsa {
+
+namespace detail {
+
+void check_failed(const char* expr, const std::string& msg,
+                  std::source_location loc) {
+  std::ostringstream os;
+  os << "SALSA_CHECK failed: (" << expr << ") at " << loc.file_name() << ":"
+     << loc.line();
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+void fail(const std::string& msg) { throw Error(msg); }
+
+}  // namespace salsa

@@ -1,0 +1,53 @@
+// Diagnostics: checked assertions and error reporting used across the
+// library. SALSA_CHECK is always on (allocation legality bugs must never be
+// silently ignored, even in release builds); SALSA_DCHECK compiles out in
+// NDEBUG builds and guards hot-path invariants.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace salsa {
+
+/// Thrown when a SALSA_CHECK fails or when a user-facing precondition is
+/// violated (malformed CDFG, infeasible schedule request, illegal binding).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const std::string& msg,
+                               std::source_location loc);
+}  // namespace detail
+
+#define SALSA_CHECK(expr)                                                   \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::salsa::detail::check_failed(#expr, "",                              \
+                                    std::source_location::current());       \
+    }                                                                       \
+  } while (false)
+
+#define SALSA_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::salsa::detail::check_failed(#expr, (msg),                           \
+                                    std::source_location::current());       \
+    }                                                                       \
+  } while (false)
+
+#ifdef NDEBUG
+#define SALSA_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define SALSA_DCHECK(expr) SALSA_CHECK(expr)
+#endif
+
+/// Throws salsa::Error with the given message. Used for user-facing
+/// precondition failures where a stack of source locations is not helpful.
+[[noreturn]] void fail(const std::string& msg);
+
+}  // namespace salsa

@@ -1,0 +1,73 @@
+#include "util/rng.h"
+
+namespace salsa {
+
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9E3779B97f4A7C15u;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9u;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBu;
+  return z ^ (z >> 31);
+}
+
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+  // Avoid the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::next() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+int Rng::uniform(int n) {
+  SALSA_DCHECK(n > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t bound = static_cast<uint64_t>(n);
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t r;
+  do {
+    r = next();
+  } while (r >= limit);
+  return static_cast<int>(r % bound);
+}
+
+int Rng::range(int lo, int hi) {
+  SALSA_DCHECK(lo <= hi);
+  return lo + uniform(hi - lo + 1);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+int Rng::weighted(std::span<const double> weights) {
+  double total = 0;
+  for (double w : weights) {
+    SALSA_DCHECK(w >= 0);
+    total += w;
+  }
+  SALSA_CHECK_MSG(total > 0, "weighted() needs a positive total weight");
+  double r = uniform01() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return static_cast<int>(i);
+  }
+  return static_cast<int>(weights.size()) - 1;
+}
+
+}  // namespace salsa

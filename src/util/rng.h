@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation for the iterative
+// improvement search. A thin wrapper over SplitMix64/xoshiro256** so results
+// are reproducible across standard libraries (std::mt19937 distributions are
+// not portable across implementations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/diagnostics.h"
+
+namespace salsa {
+
+/// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5A15A0CAFEu) { reseed(seed); }
+
+  void reseed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t next();
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int uniform(int n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int range(int lo, int hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli with probability p of true.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires at least one strictly positive weight.
+  int weighted(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (int i = static_cast<int>(v.size()) - 1; i > 0; --i) {
+      std::swap(v[static_cast<size_t>(i)], v[static_cast<size_t>(uniform(i + 1))]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace salsa

@@ -1,0 +1,53 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace salsa {
+
+void TextTable::header(std::vector<std::string> cells) {
+  lines_.insert(lines_.begin(), Line{false, std::move(cells)});
+  lines_.insert(lines_.begin() + 1, Line{true, {}});
+  has_header_ = true;
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  lines_.push_back(Line{false, std::move(cells)});
+}
+
+void TextTable::separator() { lines_.push_back(Line{true, {}}); }
+
+std::string TextTable::render() const {
+  std::vector<size_t> width;
+  for (const auto& line : lines_) {
+    for (size_t i = 0; i < line.cells.size(); ++i) {
+      if (width.size() <= i) width.resize(i + 1, 0);
+      width[i] = std::max(width[i], line.cells[i].size());
+    }
+  }
+  std::ostringstream os;
+  for (const auto& line : lines_) {
+    if (line.is_separator) {
+      os << '+';
+      for (size_t w : width) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+      continue;
+    }
+    os << '|';
+    for (size_t i = 0; i < width.size(); ++i) {
+      const std::string& c = i < line.cells.size() ? line.cells[i] : std::string();
+      os << ' ' << c << std::string(width[i] - c.size(), ' ') << " |";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+}  // namespace salsa

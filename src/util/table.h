@@ -1,0 +1,37 @@
+// Plain-text table rendering used by the benchmark harnesses to print the
+// paper's tables (Table 2 / Table 3 rows) in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace salsa {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+ public:
+  /// Sets the header row.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row.
+  void row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator.
+  void separator();
+
+  /// Renders the table with column alignment and `|` separators.
+  std::string render() const;
+
+ private:
+  struct Line {
+    bool is_separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Line> lines_;
+  bool has_header_ = false;
+};
+
+/// Convenience: formats a double with the given precision.
+std::string fmt(double v, int precision = 2);
+
+}  // namespace salsa

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/ar_filter.h"
+#include "bench_suite/dct.h"
+#include "bench_suite/diffeq.h"
+#include "bench_suite/ewf.h"
+#include "bench_suite/fir.h"
+#include "core/initial.h"
+#include "core/verify.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+struct ProblemFixture {
+  Cdfg g;
+  HwSpec hw;
+  Schedule sched;
+  FuPool pool;
+  AllocProblem prob;
+
+  ProblemFixture(Cdfg graph, int length, bool pipelined = false,
+                 int extra_regs = 0, HwSpec base = {})
+      : g(std::move(graph)),
+        hw([&] {
+          base.pipelined_mul = pipelined;
+          return base;
+        }()),
+        sched(schedule_min_fu(g, hw, length).schedule),
+        pool(FuPool::standard(peak_fu_demand(sched))),
+        prob(sched, pool, Lifetimes(sched).min_registers() + extra_regs) {}
+};
+
+TEST(Binding, InitialAllocationIsLegalOnAllBenchmarks) {
+  {
+    ProblemFixture f(make_ewf(), 17);
+    check_legal(initial_allocation(f.prob));
+  }
+  {
+    ProblemFixture f(make_dct(), 10);
+    check_legal(initial_allocation(f.prob));
+  }
+  {
+    ProblemFixture f(make_ar_filter(), 16);
+    check_legal(initial_allocation(f.prob));
+  }
+  {
+    ProblemFixture f(make_fir8(), 11);
+    check_legal(initial_allocation(f.prob));
+  }
+  {
+    ProblemFixture f(make_diffeq(), 9);
+    check_legal(initial_allocation(f.prob));
+  }
+}
+
+TEST(Binding, InitialIsDeterministicPerSeed) {
+  ProblemFixture f(make_ewf(), 17);
+  Binding a = initial_allocation(f.prob, InitialOptions{.seed = 5});
+  Binding b = initial_allocation(f.prob, InitialOptions{.seed = 5});
+  for (NodeId n : f.g.operations()) EXPECT_EQ(a.op(n).fu, b.op(n).fu);
+  for (int sid = 0; sid < f.prob.lifetimes().num_storages(); ++sid)
+    for (size_t seg = 0; seg < a.sto(sid).cells.size(); ++seg)
+      EXPECT_EQ(a.sto(sid).cells[seg][0].reg, b.sto(sid).cells[seg][0].reg);
+}
+
+TEST(Binding, OccupancyAccountsForEveryCellAndOp) {
+  ProblemFixture f(make_ewf(), 17);
+  Binding b = initial_allocation(f.prob);
+  const Occupancy occ = b.occupancy();
+  // Every op occupies its FU at its start step.
+  for (NodeId n : f.g.operations())
+    EXPECT_EQ(occ.fu_user[static_cast<size_t>(b.op(n).fu)]
+                         [static_cast<size_t>(f.sched.start(n))],
+              n);
+  // Register occupancy total equals the sum of storage lifetimes.
+  long cells = 0;
+  for (const auto& per_reg : occ.reg_sto)
+    for (int user : per_reg) cells += user >= 0;
+  long lens = 0;
+  for (int sid = 0; sid < f.prob.lifetimes().num_storages(); ++sid)
+    lens += f.prob.lifetimes().storage(sid).len;
+  EXPECT_EQ(cells, lens);
+}
+
+TEST(Binding, RegsUsedWithinBudget) {
+  ProblemFixture f(make_dct(), 12, false, 2);
+  Binding b = initial_allocation(f.prob);
+  EXPECT_LE(b.regs_used(), f.prob.num_regs());
+  EXPECT_GE(b.regs_used(), f.prob.lifetimes().min_registers());
+}
+
+TEST(Binding, InitialIsTraditionalWhenContiguous) {
+  ProblemFixture f(make_diffeq(), 9, false, 2);
+  Binding b = initial_allocation(f.prob, InitialOptions{.allow_splits = false});
+  EXPECT_TRUE(b.is_traditional());
+}
+
+TEST(Binding, NormalizeClearsViaOnHolds) {
+  ProblemFixture f(make_ewf(), 17, false, 2);
+  Binding b = initial_allocation(f.prob);
+  // Manufacture a hold with a stale via and check normalize clears it.
+  for (int sid = 0; sid < f.prob.lifetimes().num_storages(); ++sid) {
+    StorageBinding& sb = b.sto(sid);
+    if (sb.cells.size() < 2) continue;
+    sb.cells[1][0].via = 0;  // parent reg == own reg → stale
+    b.normalize();
+    EXPECT_EQ(sb.cells[1][0].via, kInvalidId);
+    break;
+  }
+}
+
+TEST(Binding, ProblemRejectsTooFewRegisters) {
+  Cdfg g = make_ewf();
+  HwSpec hw;
+  Schedule s = schedule_min_fu(g, hw, 17).schedule;
+  FuPool pool = FuPool::standard(peak_fu_demand(s));
+  const int min_regs = Lifetimes(s).min_registers();
+  EXPECT_THROW(AllocProblem(s, pool, min_regs - 1), Error);
+}
+
+TEST(Binding, ProblemRejectsTooFewFus) {
+  Cdfg g = make_ewf();
+  HwSpec hw;
+  Schedule s = schedule_min_fu(g, hw, 17).schedule;
+  const FuBudget peak = peak_fu_demand(s);
+  FuPool pool = FuPool::standard(FuBudget{peak.alu - 1, peak.mul});
+  EXPECT_THROW(AllocProblem(s, pool, Lifetimes(s).min_registers() + 5), Error);
+}
+
+TEST(FuPoolTest, StandardPoolShapes) {
+  FuPool p = FuPool::standard(FuBudget{2, 3});
+  EXPECT_EQ(p.size(), 5);
+  EXPECT_EQ(p.of_class(FuClass::kAlu).size(), 2u);
+  EXPECT_EQ(p.of_class(FuClass::kMul).size(), 3u);
+  EXPECT_EQ(p.pass_capable().size(), 2u);  // ALUs pass, muls do not
+  FuPool p2 = FuPool::standard(FuBudget{1, 1}, true, true);
+  EXPECT_EQ(p2.pass_capable().size(), 2u);
+}
+
+}  // namespace
+}  // namespace salsa

@@ -1,0 +1,92 @@
+// Golden properties of the DCT benchmark (paper Table 3 workload, Figure 5
+// CDFG): the exact census the paper quotes — 25 additions, 7 subtractions,
+// 16 multiplications — and its scheduling envelope.
+#include <gtest/gtest.h>
+
+#include "bench_suite/dct.h"
+#include "cdfg/eval.h"
+#include "sched/asap_alap.h"
+#include "sched/fu_search.h"
+#include "util/rng.h"
+
+namespace salsa {
+namespace {
+
+TEST(Dct, PaperOperationCensus) {
+  Cdfg g = make_dct();
+  EXPECT_EQ(g.count(OpKind::kAdd), 25);
+  EXPECT_EQ(g.count(OpKind::kSub), 7);
+  EXPECT_EQ(g.count(OpKind::kMul), 16);
+  EXPECT_EQ(static_cast<int>(g.operations().size()), 48);
+  EXPECT_EQ(g.input_nodes().size(), 8u);
+  EXPECT_EQ(g.output_nodes().size(), 8u);
+  EXPECT_TRUE(g.state_nodes().empty()) << "the transform is acyclic";
+}
+
+TEST(Dct, CriticalPath) {
+  Cdfg g = make_dct();
+  HwSpec hw;
+  EXPECT_EQ(min_schedule_length(g, hw), 7);
+}
+
+TEST(Dct, FuEnvelopeShrinksWithLatency) {
+  Cdfg g = make_dct();
+  HwSpec hw;
+  int prev_cost = 1 << 20;
+  for (int L : {8, 10, 12, 14}) {
+    auto r = schedule_min_fu(g, hw, L);
+    const int cost = r.fus.alu + 4 * r.fus.mul;
+    EXPECT_LE(cost, prev_cost) << "L=" << L;
+    prev_cost = cost;
+  }
+}
+
+TEST(Dct, IsALinearTransform) {
+  Cdfg g = make_dct();
+  Rng rng(3);
+  Evaluator e1(g), e2(g), e12(g);
+  std::vector<int64_t> a(8), b(8), ab(8);
+  for (int i = 0; i < 8; ++i) {
+    a[static_cast<size_t>(i)] = static_cast<int64_t>(rng.next() % 100) - 50;
+    b[static_cast<size_t>(i)] = static_cast<int64_t>(rng.next() % 100) - 50;
+    ab[static_cast<size_t>(i)] =
+        a[static_cast<size_t>(i)] + b[static_cast<size_t>(i)];
+  }
+  const auto ya = e1.step(a);
+  const auto yb = e2.step(b);
+  const auto yab = e12.step(ab);
+  for (int k = 0; k < 8; ++k)
+    EXPECT_EQ(yab[static_cast<size_t>(k)],
+              ya[static_cast<size_t>(k)] + yb[static_cast<size_t>(k)]);
+}
+
+TEST(Dct, DcInputExcitesOnlyEvenLowBand) {
+  // A constant input vector: the "DC" coefficient X0 is 8*c4*x, and the odd
+  // coefficients vanish (their butterflies subtract equal samples).
+  Cdfg g = make_dct();
+  std::vector<int64_t> dc(8, 3);
+  Evaluator ev(g);
+  const auto y = ev.step(dc);
+  EXPECT_NE(y[0], 0);
+  EXPECT_EQ(y[1], 0);
+  EXPECT_EQ(y[3], 0);
+  EXPECT_EQ(y[5], 0);
+  EXPECT_EQ(y[7], 0);
+  EXPECT_EQ(y[4], 0);  // X4 ~ (t1 - t0) = 0 for constant input
+}
+
+TEST(Dct, AntisymmetricInputExcitesOnlyOddBand) {
+  // x[i] = -x[7-i]: all si = 0, so every even output is zero.
+  Cdfg g = make_dct();
+  std::vector<int64_t> x{5, -2, 7, 1, -1, -7, 2, -5};
+  Evaluator ev(g);
+  const auto y = ev.step(x);
+  EXPECT_EQ(y[0], 0);
+  EXPECT_EQ(y[2], 0);
+  EXPECT_EQ(y[4], 0);
+  EXPECT_EQ(y[6], 0);
+  EXPECT_NE(y[1], 0);
+}
+
+}  // namespace
+}  // namespace salsa

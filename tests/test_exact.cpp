@@ -1,0 +1,142 @@
+// The exact branch-and-bound allocator as an optimality oracle: on tiny
+// problems the heuristic searches must reach (and never beat, within the
+// same binding subspace) the proven optimum.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/exact.h"
+#include "baseline/traditional.h"
+#include "bench_suite/diffeq.h"
+#include "bench_suite/random_cdfg.h"
+#include "core/allocator.h"
+#include "core/verify.h"
+#include "sched/asap_alap.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+struct Ctx {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  std::unique_ptr<AllocProblem> prob;
+
+  Ctx(Cdfg graph, int extra_len, int extra_regs) {
+    g = std::make_unique<Cdfg>(std::move(graph));
+    HwSpec hw;
+    const int len = min_schedule_length(*g, hw) + extra_len;
+    sched = std::make_unique<Schedule>(schedule_min_fu(*g, hw, len).schedule);
+    prob = std::make_unique<AllocProblem>(
+        *sched, FuPool::standard(peak_fu_demand(*sched)),
+        Lifetimes(*sched).min_registers() + extra_regs);
+  }
+};
+
+Cdfg tiny_graph() {
+  Cdfg g("tiny");
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  const ValueId c = g.add_const(3);
+  const ValueId v1 = g.add_op(OpKind::kAdd, a, b, "v1");
+  const ValueId v2 = g.add_op(OpKind::kMul, v1, c, "v2");
+  const ValueId v3 = g.add_op(OpKind::kAdd, v2, a, "v3");
+  g.add_output(v3, "o");
+  g.validate();
+  return g;
+}
+
+TEST(Exact, FindsLegalOptimum) {
+  Ctx ctx(tiny_graph(), 1, 1);
+  const auto res = exact_traditional(*ctx.prob);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(verify(res->best).empty());
+  EXPECT_TRUE(res->best.is_traditional());
+  EXPECT_GT(res->nodes_visited, 0);
+}
+
+TEST(Exact, NodeLimitAborts) {
+  Ctx ctx(make_diffeq(), 2, 2);
+  ExactOptions opts;
+  opts.node_limit = 10;
+  EXPECT_FALSE(exact_traditional(*ctx.prob, opts).has_value());
+}
+
+TEST(Exact, HeuristicNeverBeatsOptimumOnTraditionalSpace) {
+  // The traditional allocator searches the same subspace (plus operand
+  // swaps, so compare against swap-enumerating exact search).
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    RandomCdfgParams p;
+    p.seed = seed;
+    p.num_ops = 6;
+    p.num_states = 1;
+    p.num_inputs = 2;
+    p.num_consts = 1;
+    Ctx ctx(make_random_cdfg(p), 2, 1);
+    ExactOptions opts;
+    opts.enumerate_swaps = true;
+    const auto exact = exact_traditional(*ctx.prob, opts);
+    if (!exact) continue;  // enumeration too large for this seed
+    TraditionalOptions topt;
+    topt.improve.max_trials = 10;
+    topt.improve.moves_per_trial = 2000;
+    const AllocationResult heur = allocate_traditional(*ctx.prob, topt);
+    EXPECT_GE(heur.cost.total, exact->cost.total - 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Exact, HeuristicUsuallyReachesOptimum) {
+  int reached = 0, total = 0;
+  for (uint64_t seed : {11u, 12u, 13u, 14u, 15u}) {
+    RandomCdfgParams p;
+    p.seed = seed;
+    p.num_ops = 5;
+    p.num_states = 0;
+    p.num_inputs = 2;
+    p.num_consts = 1;
+    Ctx ctx(make_random_cdfg(p), 2, 1);
+    ExactOptions opts;
+    opts.enumerate_swaps = true;
+    const auto exact = exact_traditional(*ctx.prob, opts);
+    if (!exact) continue;
+    ++total;
+    TraditionalOptions topt;
+    topt.improve.max_trials = 12;
+    topt.improve.moves_per_trial = 3000;
+    topt.restarts = 2;
+    const AllocationResult heur = allocate_traditional(*ctx.prob, topt);
+    if (heur.cost.total <= exact->cost.total + 1e-9) ++reached;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GE(reached * 2, total) << "heuristic reached optimum on " << reached
+                                << "/" << total << " tiny cases";
+}
+
+TEST(Exact, ExtendedModelOptimumNoWorse) {
+  // The extended binding model subsumes the traditional one, so a decent
+  // extended search should match or beat the exact traditional optimum.
+  Ctx ctx(tiny_graph(), 2, 1);
+  ExactOptions opts;
+  opts.enumerate_swaps = true;
+  const auto exact = exact_traditional(*ctx.prob, opts);
+  ASSERT_TRUE(exact.has_value());
+  AllocatorOptions sopt;
+  sopt.improve.max_trials = 10;
+  sopt.improve.moves_per_trial = 2000;
+  sopt.restarts = 2;
+  const AllocationResult ext = allocate(*ctx.prob, sopt);
+  EXPECT_LE(ext.cost.total, exact->cost.total + 1e-9);
+}
+
+TEST(Exact, SwapEnumerationHelpsOrEquals) {
+  Ctx ctx(tiny_graph(), 1, 1);
+  const auto without = exact_traditional(*ctx.prob);
+  ExactOptions with_swaps;
+  with_swaps.enumerate_swaps = true;
+  const auto with = exact_traditional(*ctx.prob, with_swaps);
+  ASSERT_TRUE(without && with);
+  EXPECT_LE(with->cost.total, without->cost.total);
+}
+
+}  // namespace
+}  // namespace salsa

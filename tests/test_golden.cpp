@@ -1,0 +1,109 @@
+// Deterministic end-to-end pins: the RNG is fully portable (xoshiro256**),
+// so fixed seeds give bit-identical searches on every platform. These tests
+// freeze a few complete flow results; a change here means an intentional
+// algorithm change (update the constants) or an accidental regression.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baseline/traditional.h"
+#include "bench_suite/dct.h"
+#include "bench_suite/ewf.h"
+#include "core/allocator.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+struct Ctx {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  std::unique_ptr<AllocProblem> prob;
+
+  Ctx(Cdfg graph, int len, bool pipelined, int extra_regs) {
+    g = std::make_unique<Cdfg>(std::move(graph));
+    HwSpec hw;
+    hw.pipelined_mul = pipelined;
+    sched = std::make_unique<Schedule>(schedule_min_fu(*g, hw, len).schedule);
+    prob = std::make_unique<AllocProblem>(
+        *sched, FuPool::standard(peak_fu_demand(*sched)),
+        Lifetimes(*sched).min_registers() + extra_regs);
+  }
+};
+
+AllocatorOptions golden_opts(uint64_t seed) {
+  AllocatorOptions opts;
+  opts.improve.max_trials = 6;
+  opts.improve.moves_per_trial = 2000;
+  opts.improve.seed = seed;
+  opts.initial.seed = seed;
+  return opts;
+}
+
+TEST(Golden, InitialAllocationCostsArePinned) {
+  Ctx ewf(make_ewf(), 17, false, 1);
+  Binding b = initial_allocation(*ewf.prob, InitialOptions{.seed = 1});
+  const CostBreakdown cost = evaluate_cost(b);
+  // Frozen on 2026-07-07; see file header before "fixing" these.
+  EXPECT_EQ(cost.muxes, 36);
+  EXPECT_EQ(cost.connections, 58);
+  EXPECT_EQ(cost.regs_used, 13);
+}
+
+TEST(Golden, EwfAllocationIsDeterministic) {
+  Ctx ewf(make_ewf(), 17, false, 1);
+  const AllocationResult a = allocate(*ewf.prob, golden_opts(3));
+  const AllocationResult b = allocate(*ewf.prob, golden_opts(3));
+  EXPECT_EQ(a.cost.muxes, b.cost.muxes);
+  EXPECT_EQ(a.cost.connections, b.cost.connections);
+  EXPECT_DOUBLE_EQ(a.cost.total, b.cost.total);
+  EXPECT_EQ(a.merging.muxes_after, b.merging.muxes_after);
+}
+
+TEST(Golden, EwfAllocationQualityBand) {
+  // Not an exact pin (the band survives parameter tuning): a modest-budget
+  // run on ewf@17/min+1 must land in the quality band the full harness
+  // reaches, well below the constructive start's 36 muxes.
+  Ctx ewf(make_ewf(), 17, false, 1);
+  const AllocationResult res = allocate(*ewf.prob, golden_opts(1));
+  EXPECT_LE(res.cost.muxes, 24);
+  EXPECT_GE(res.cost.muxes, 14);
+}
+
+TEST(Golden, TraditionalDeterministicToo) {
+  Ctx dct(make_dct(), 9, false, 1);
+  TraditionalOptions opts;
+  opts.improve.max_trials = 6;
+  opts.improve.moves_per_trial = 2000;
+  opts.improve.seed = 5;
+  const AllocationResult a = allocate_traditional(*dct.prob, opts);
+  const AllocationResult b = allocate_traditional(*dct.prob, opts);
+  EXPECT_EQ(a.cost.muxes, b.cost.muxes);
+  EXPECT_DOUBLE_EQ(a.cost.total, b.cost.total);
+}
+
+TEST(Golden, ScheduleEnvelopesArePinned) {
+  Cdfg g = make_ewf();
+  HwSpec np, p;
+  p.pipelined_mul = true;
+  struct Row {
+    int len;
+    bool pipe;
+    int alu, mul, minregs;
+  };
+  // Frozen envelope of the reconstruction (also quoted in EXPERIMENTS.md).
+  const Row rows[] = {
+      {17, false, 3, 2, 13}, {17, true, 3, 1, 13}, {19, false, 2, 2, 13},
+      {19, true, 2, 1, 13},  {21, false, 2, 1, 12},
+  };
+  for (const Row& r : rows) {
+    const auto sr = schedule_min_fu(g, r.pipe ? p : np, r.len);
+    EXPECT_EQ(sr.fus.alu, r.alu) << r.len << (r.pipe ? "P" : "");
+    EXPECT_EQ(sr.fus.mul, r.mul) << r.len << (r.pipe ? "P" : "");
+    EXPECT_EQ(Lifetimes(sr.schedule).min_registers(), r.minregs)
+        << r.len << (r.pipe ? "P" : "");
+  }
+}
+
+}  // namespace
+}  // namespace salsa

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench_suite/ewf.h"
+#include "core/initial.h"
+#include "core/moves.h"
+#include "io/html_report.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+struct Ctx {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  std::unique_ptr<AllocProblem> prob;
+
+  Ctx(Cdfg graph, int len, int extra_regs) {
+    g = std::make_unique<Cdfg>(std::move(graph));
+    sched = std::make_unique<Schedule>(
+        schedule_min_fu(*g, HwSpec{}, len).schedule);
+    prob = std::make_unique<AllocProblem>(
+        *sched, FuPool::standard(peak_fu_demand(*sched)),
+        Lifetimes(*sched).min_registers() + extra_regs);
+  }
+};
+
+TEST(HtmlReport, ContainsAllSections) {
+  Ctx ctx(make_ewf(), 17, 1);
+  Binding b = initial_allocation(*ctx.prob);
+  const std::string html = html_report(b, "EWF allocation");
+  EXPECT_NE(html.find("<!DOCTYPE html>"), std::string::npos);
+  EXPECT_NE(html.find("<h1>EWF allocation</h1>"), std::string::npos);
+  EXPECT_NE(html.find("Functional units"), std::string::npos);
+  EXPECT_NE(html.find("Registers"), std::string::npos);
+  EXPECT_NE(html.find("Multiplexers"), std::string::npos);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+}
+
+TEST(HtmlReport, ShowsEveryFuAndRegister) {
+  Ctx ctx(make_ewf(), 17, 1);
+  Binding b = initial_allocation(*ctx.prob);
+  const std::string html = html_report(b, "x");
+  for (FuId f = 0; f < ctx.prob->fus().size(); ++f)
+    EXPECT_NE(html.find("<th>" + ctx.prob->fus().fu(f).name + "</th>"),
+              std::string::npos);
+  for (RegId r = 0; r < ctx.prob->num_regs(); ++r)
+    EXPECT_NE(html.find("<th>R" + std::to_string(r) + "</th>"),
+              std::string::npos);
+}
+
+TEST(HtmlReport, MarksPassThroughs) {
+  Ctx ctx(make_ewf(), 17, 2);
+  Binding b = initial_allocation(*ctx.prob);
+  Rng rng(3);
+  // Create transfers and bind at least one pass-through.
+  for (int i = 0; i < 100; ++i) apply_random_move(b, MoveKind::kSegMove, rng);
+  bool bound = false;
+  for (int i = 0; i < 100 && !bound; ++i)
+    bound = apply_random_move(b, MoveKind::kBindPass, rng);
+  if (!bound) GTEST_SKIP() << "no pass-through materialised";
+  const std::string html = html_report(b, "x");
+  EXPECT_NE(html.find("class=\"pass\""), std::string::npos);
+}
+
+TEST(HtmlReport, EscapesMarkup) {
+  Cdfg g("x<y>&z");
+  const ValueId a = g.add_input("a<b");
+  const ValueId c = g.add_const(1);
+  g.add_output(g.add_op(OpKind::kAdd, a, c, "v<1>"), "o");
+  g.validate();
+  Schedule s = schedule_min_fu(g, HwSpec{}, 3).schedule;
+  AllocProblem prob(s, FuPool::standard(peak_fu_demand(s)),
+                    Lifetimes(s).min_registers());
+  Binding b = initial_allocation(prob);
+  const std::string html = html_report(b, g.name());
+  EXPECT_NE(html.find("x&lt;y&gt;&amp;z"), std::string::npos);
+  EXPECT_EQ(html.find("v<1>"), std::string::npos);
+}
+
+TEST(HtmlReport, StepColumnsMatchScheduleLength) {
+  Ctx ctx(make_ewf(), 19, 1);
+  Binding b = initial_allocation(*ctx.prob);
+  const std::string html = html_report(b, "x");
+  EXPECT_NE(html.find("<th>18</th>"), std::string::npos);
+  EXPECT_EQ(html.find("<th>19</th>"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace salsa

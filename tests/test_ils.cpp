@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench_suite/dct.h"
+#include "bench_suite/ewf.h"
+#include "core/ils.h"
+#include "core/initial.h"
+#include "core/verify.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+struct Ctx {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  std::unique_ptr<AllocProblem> prob;
+
+  Ctx(Cdfg graph, int len, int extra_regs) {
+    g = std::make_unique<Cdfg>(std::move(graph));
+    sched = std::make_unique<Schedule>(
+        schedule_min_fu(*g, HwSpec{}, len).schedule);
+    prob = std::make_unique<AllocProblem>(
+        *sched, FuPool::standard(peak_fu_demand(*sched)),
+        Lifetimes(*sched).min_registers() + extra_regs);
+  }
+};
+
+IlsParams quick(uint64_t seed) {
+  IlsParams p;
+  p.iterations = 6;
+  p.descent_moves = 1500;
+  p.kick_moves = 5;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Ils, ImprovesFromInitial) {
+  Ctx ctx(make_ewf(), 17, 1);
+  Binding start = initial_allocation(*ctx.prob);
+  const double before = evaluate_cost(start).total;
+  const ImproveResult res = iterated_local_search(start, quick(1));
+  EXPECT_LT(res.cost.total, before);
+  EXPECT_TRUE(verify(res.best).empty());
+}
+
+TEST(Ils, DeterministicPerSeed) {
+  Ctx ctx(make_dct(), 9, 1);
+  Binding start = initial_allocation(*ctx.prob);
+  const ImproveResult a = iterated_local_search(start, quick(7));
+  const ImproveResult b = iterated_local_search(start, quick(7));
+  EXPECT_DOUBLE_EQ(a.cost.total, b.cost.total);
+}
+
+TEST(Ils, KicksAreCountedAsUphill) {
+  Ctx ctx(make_ewf(), 19, 1);
+  Binding start = initial_allocation(*ctx.prob);
+  const ImproveResult res = iterated_local_search(start, quick(2));
+  EXPECT_GT(res.stats.uphill, 0);
+  EXPECT_EQ(res.stats.trials, quick(2).iterations);
+}
+
+TEST(Ils, NeverWorseThanStart) {
+  Ctx ctx(make_ewf(), 17, 0);
+  Binding start = initial_allocation(*ctx.prob);
+  for (uint64_t seed : {3u, 4u, 5u}) {
+    const ImproveResult res = iterated_local_search(start, quick(seed));
+    EXPECT_LE(res.cost.total, evaluate_cost(start).total);
+  }
+}
+
+TEST(Ils, CompetitiveWithTrialScheme) {
+  // Same move budget: ILS should land within a couple of muxes of the
+  // trial-based improver (often better — that is why it exists).
+  Ctx ctx(make_ewf(), 17, 1);
+  Binding start = initial_allocation(*ctx.prob);
+  ImproveParams trial;
+  trial.max_trials = 10;
+  trial.moves_per_trial = 3000;
+  trial.seed = 9;
+  const ImproveResult a = improve(start, trial);
+  IlsParams ils;
+  ils.iterations = 10;
+  ils.descent_moves = 3000;
+  ils.seed = 9;
+  const ImproveResult b = iterated_local_search(start, ils);
+  EXPECT_LE(b.cost.muxes, a.cost.muxes + 3);
+}
+
+}  // namespace
+}  // namespace salsa

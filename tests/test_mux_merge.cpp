@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench_suite/dct.h"
+#include "bench_suite/ewf.h"
+#include "core/allocator.h"
+#include "core/mux_merge.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+std::unique_ptr<AllocProblem> make_problem(
+    std::unique_ptr<Cdfg>& g, std::unique_ptr<Schedule>& sched, Cdfg graph,
+    int len, int extra) {
+  g = std::make_unique<Cdfg>(std::move(graph));
+  sched = std::make_unique<Schedule>(
+      schedule_min_fu(*g, HwSpec{}, len).schedule);
+  return std::make_unique<AllocProblem>(
+      *sched, FuPool::standard(peak_fu_demand(*sched)),
+      Lifetimes(*sched).min_registers() + extra);
+}
+
+TEST(MuxMerge, NeverIncreasesCount) {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  auto prob = make_problem(g, sched, make_ewf(), 17, 1);
+  Binding b = initial_allocation(*prob);
+  const MuxMergeResult r = merge_muxes(b);
+  EXPECT_LE(r.muxes_after, r.muxes_before);
+  EXPECT_EQ(r.muxes_before, evaluate_cost(b).muxes);
+}
+
+TEST(MuxMerge, GroupWidthsSumToAfterCount) {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  auto prob = make_problem(g, sched, make_dct(), 10, 2);
+  Binding b = initial_allocation(*prob);
+  const MuxMergeResult r = merge_muxes(b);
+  int sum = 0;
+  for (const MergedMux& m : r.muxes) {
+    sum += m.width();
+    EXPECT_GE(m.sources.size(), 2u);
+    EXPECT_GE(m.sinks.size(), 1u);
+  }
+  EXPECT_EQ(sum, r.muxes_after);
+}
+
+TEST(MuxMerge, EverySinkAppearsAtMostOnce) {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  auto prob = make_problem(g, sched, make_ewf(), 19, 1);
+  Binding b = initial_allocation(*prob);
+  const MuxMergeResult r = merge_muxes(b);
+  std::vector<uint64_t> sinks;
+  for (const MergedMux& m : r.muxes)
+    for (const Pin& p : m.sinks) sinks.push_back(key_of(p));
+  std::sort(sinks.begin(), sinks.end());
+  EXPECT_EQ(std::adjacent_find(sinks.begin(), sinks.end()), sinks.end());
+}
+
+TEST(MuxMerge, MergesDisjointActivityByConstruction) {
+  // Hand-build a datapath where two 2-source muxes are active at different
+  // steps and must merge: two values read by ops at different steps, each
+  // from two alternating registers.
+  Cdfg g("merge");
+  const ValueId in1 = g.add_input("i1");
+  const ValueId in2 = g.add_input("i2");
+  const ValueId c = g.add_const(1);
+  const ValueId v1 = g.add_op(OpKind::kAdd, in1, c, "v1");
+  const ValueId v2 = g.add_op(OpKind::kAdd, in2, c, "v2");
+  const ValueId w1 = g.add_op(OpKind::kAdd, v1, v2, "w1");
+  const ValueId w2 = g.add_op(OpKind::kAdd, v2, v1, "w2");
+  g.add_output(w1, "o1");
+  g.add_output(w2, "o2");
+  g.validate();
+  Schedule s(g, HwSpec{}, 6);
+  s.set_start(g.producer(v1), 0);
+  s.set_start(g.producer(v2), 0);
+  s.set_start(g.producer(w1), 2);
+  s.set_start(g.producer(w2), 4);
+  s.set_start(g.output_nodes()[0], 3);
+  s.set_start(g.output_nodes()[1], 5);
+  s.validate();
+  AllocProblem prob(s, FuPool::standard(FuBudget{2, 0}),
+                    Lifetimes(s).min_registers() + 1);
+  Binding b = initial_allocation(prob);
+  const MuxMergeResult r = merge_muxes(b);
+  EXPECT_LE(r.muxes_after, r.muxes_before);
+}
+
+TEST(MuxMerge, AfterImprovementStillConsistent) {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  auto prob = make_problem(g, sched, make_ewf(), 17, 1);
+  AllocatorOptions opts;
+  opts.improve.max_trials = 4;
+  opts.improve.moves_per_trial = 400;
+  const AllocationResult res = allocate(*prob, opts);
+  int sum = 0;
+  for (const MergedMux& m : res.merging.muxes) sum += m.width();
+  EXPECT_EQ(sum, res.merging.muxes_after);
+  EXPECT_LE(res.merging.muxes_after, res.merging.muxes_before);
+}
+
+}  // namespace
+}  // namespace salsa

@@ -1,0 +1,251 @@
+// Reproduces the paper's Figure 3 (pass-through implementation of an
+// inter-register transfer) and Figure 4 (value split) on hand-built
+// datapaths with exact cost accounting, and checks both datapaths still
+// compute correctly on the cycle-accurate simulator.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/cost.h"
+#include "core/moves.h"
+#include "core/verify.h"
+#include "datapath/simulator.h"
+#include "sched/schedule.h"
+
+namespace salsa {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Figure 3: value w is transferred from R2 to R1 while FU1 is idle and both
+// R2->FU1.in0 and FU1.out->R1.in connections already exist. A direct
+// transfer needs a new connection and a new mux at R1's input; the
+// pass-through needs neither.
+class Fig3 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = std::make_unique<Cdfg>("fig3");
+    a_ = g_->add_input("a");
+    b_ = g_->add_input("b");
+    c_ = g_->add_input("c");
+    d_ = g_->add_input("d");
+    p_ = g_->add_op(OpKind::kAdd, a_, b_, "p");
+    t_ = g_->add_op(OpKind::kAdd, p_, c_, "t");
+    q_ = g_->add_op(OpKind::kAdd, d_, c_, "q");
+    s_ = g_->add_op(OpKind::kAdd, d_, a_, "s");
+    g_->add_output(t_, "ot");
+    g_->add_output(q_, "oq");
+    g_->add_output(s_, "os");
+    g_->validate();
+    sched_ = std::make_unique<Schedule>(*g_, HwSpec{}, 5);
+    sched_->set_start(g_->producer(p_), 0);  // FU1
+    sched_->set_start(g_->producer(t_), 1);  // FU0
+    sched_->set_start(g_->producer(q_), 1);  // FU1
+    sched_->set_start(g_->producer(s_), 3);  // FU0
+    sched_->set_start(g_->output_nodes()[0], 2);
+    sched_->set_start(g_->output_nodes()[1], 2);
+    sched_->set_start(g_->output_nodes()[2], 4);
+    sched_->validate();
+    prob_ = std::make_unique<AllocProblem>(
+        *sched_, FuPool::standard(FuBudget{2, 0}), 9);
+  }
+
+  // regs: 0=a 1=b 2=c 3=R1 4=R2(d) 5=t 6=q 7=s; FU0=0, FU1=1.
+  Binding build(bool use_pass) {
+    Binding bind(*prob_);
+    const Lifetimes& lt = prob_->lifetimes();
+    bind.op(g_->producer(p_)).fu = 1;
+    bind.op(g_->producer(t_)).fu = 0;
+    bind.op(g_->producer(q_)).fu = 1;
+    bind.op(g_->producer(s_)).fu = 0;
+    auto contiguous = [&](ValueId v, RegId r) {
+      StorageBinding& sb = bind.sto(lt.storage_of(v));
+      for (size_t seg = 0; seg < sb.cells.size(); ++seg)
+        sb.cells[seg].assign(1, Cell{r, seg == 0 ? -1 : 0, kInvalidId});
+    };
+    contiguous(a_, 0);
+    contiguous(b_, 1);
+    contiguous(c_, 2);
+    contiguous(p_, 3);  // R1: p lives only at step 1
+    contiguous(t_, 5);
+    contiguous(q_, 6);
+    contiguous(s_, 7);
+    // w = input d: segments at steps 0..3; steps 0-2 in R2(4), step 3 in
+    // R1(3), transferred during step 2 while FU1 is idle.
+    StorageBinding& w = bind.sto(lt.storage_of(d_));
+    EXPECT_EQ(w.cells.size(), 4u);
+    for (int seg = 0; seg < 3; ++seg)
+      w.cells[static_cast<size_t>(seg)].assign(
+          1, Cell{4, seg == 0 ? -1 : 0, kInvalidId});
+    w.cells[3].assign(1, Cell{3, 0, use_pass ? 1 : kInvalidId});
+    check_legal(bind);
+    return bind;
+  }
+
+  std::unique_ptr<Cdfg> g_;
+  std::unique_ptr<Schedule> sched_;
+  std::unique_ptr<AllocProblem> prob_;
+  ValueId a_, b_, c_, d_, p_, t_, q_, s_;
+};
+
+TEST_F(Fig3, PassThroughSavesOneMuxAndOneConnection) {
+  const CostBreakdown direct = evaluate_cost(build(false));
+  const CostBreakdown pass = evaluate_cost(build(true));
+  EXPECT_EQ(direct.muxes - pass.muxes, 1)
+      << "R1.in needs a mux only for the direct transfer";
+  EXPECT_EQ(direct.connections - pass.connections, 1)
+      << "the pass-through reuses R2->FU1 and FU1->R1";
+  EXPECT_LT(pass.total, direct.total);
+}
+
+TEST_F(Fig3, BothVariantsSimulateCorrectly) {
+  for (bool use_pass : {false, true}) {
+    Netlist nl(build(use_pass));
+    EXPECT_EQ(random_equivalence_check(nl, 4, 11), "")
+        << (use_pass ? "pass" : "direct");
+  }
+}
+
+TEST_F(Fig3, MoveF4DiscoversTheSaving) {
+  Binding bind = build(false);
+  const double before = evaluate_cost(bind).total;
+  Rng rng(1);
+  // The only transfer is w's; F4 has exactly one (cell, FU) choice that is
+  // idle and pass-capable, so a few attempts must find the improvement.
+  bool improved = false;
+  for (int i = 0; i < 20 && !improved; ++i) {
+    Binding cand = bind;
+    if (!apply_random_move(cand, MoveKind::kBindPass, rng)) continue;
+    if (evaluate_cost(cand).total < before) improved = true;
+  }
+  EXPECT_TRUE(improved);
+}
+
+TEST_F(Fig3, MoveF5RestoresDirectTransfer) {
+  Binding bind = build(true);
+  Rng rng(2);
+  ASSERT_TRUE(apply_random_move(bind, MoveKind::kUnbindPass, rng));
+  check_legal(bind);
+  EXPECT_EQ(evaluate_cost(bind).total, evaluate_cost(build(false)).total);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: value v is read by operations on two FUs. Keeping a copy of v in
+// a register that already feeds the second FU removes the R1->FU2
+// connection (and its mux) at no new cost, because the producer already
+// drives the copy's register for another value.
+class Fig4 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = std::make_unique<Cdfg>("fig4");
+    a_ = g_->add_input("a");
+    b_ = g_->add_input("b");
+    c_ = g_->add_input("c");
+    d_ = g_->add_input("d");
+    u_ = g_->add_op(OpKind::kAdd, a_, b_, "u");
+    v_ = g_->add_op(OpKind::kAdd, a_, c_, "v");
+    x_ = g_->add_op(OpKind::kAdd, u_, c_, "x");
+    y_ = g_->add_op(OpKind::kAdd, v_, b_, "y");
+    z_ = g_->add_op(OpKind::kAdd, v_, d_, "z");
+    g_->add_output(x_, "ox");
+    g_->add_output(y_, "oy");
+    g_->add_output(z_, "oz");
+    g_->validate();
+    sched_ = std::make_unique<Schedule>(*g_, HwSpec{}, 5);
+    sched_->set_start(g_->producer(u_), 0);  // FUa
+    sched_->set_start(g_->producer(v_), 1);  // FUa
+    sched_->set_start(g_->producer(x_), 1);  // FUb
+    sched_->set_start(g_->producer(y_), 2);  // FUa
+    sched_->set_start(g_->producer(z_), 3);  // FUb
+    sched_->set_start(g_->output_nodes()[0], 2);
+    sched_->set_start(g_->output_nodes()[1], 3);
+    sched_->set_start(g_->output_nodes()[2], 4);
+    sched_->validate();
+    prob_ = std::make_unique<AllocProblem>(
+        *sched_, FuPool::standard(FuBudget{2, 0}), 10);
+  }
+
+  // regs: 0=a 1=b 2=c 3=d 4=R1(v) 5=R2(u, then v-copy) 6=x 7=y 8=z.
+  Binding build(bool with_copy) {
+    Binding bind(*prob_);
+    const Lifetimes& lt = prob_->lifetimes();
+    bind.op(g_->producer(u_)).fu = 0;
+    bind.op(g_->producer(v_)).fu = 0;
+    bind.op(g_->producer(x_)).fu = 1;
+    bind.op(g_->producer(y_)).fu = 0;
+    bind.op(g_->producer(z_)).fu = 1;
+    auto contiguous = [&](ValueId v, RegId r) {
+      StorageBinding& sb = bind.sto(lt.storage_of(v));
+      for (size_t seg = 0; seg < sb.cells.size(); ++seg)
+        sb.cells[seg].assign(1, Cell{r, seg == 0 ? -1 : 0, kInvalidId});
+    };
+    contiguous(a_, 0);
+    contiguous(b_, 1);
+    contiguous(c_, 2);
+    contiguous(d_, 3);
+    contiguous(u_, 5);  // R2: u lives only at step 1
+    contiguous(v_, 4);  // R1: v lives at steps 2..3
+    contiguous(x_, 6);
+    contiguous(y_, 7);
+    contiguous(z_, 8);
+    if (with_copy) {
+      StorageBinding& v = bind.sto(lt.storage_of(v_));
+      ASSERT_EQ_OR_THROW(v.cells.size(), 2u);
+      v.cells[0].push_back(Cell{5, -1, kInvalidId});    // copy in R2
+      v.cells[1].push_back(Cell{5, 1, kInvalidId});     // held in R2
+      // z reads the copy (its read is the one at the last segment).
+      const Storage& sto = lt.storage(lt.storage_of(v_));
+      for (size_t ri = 0; ri < sto.reads.size(); ++ri)
+        if (sto.reads[ri].consumer == g_->producer(z_)) v.read_cell[ri] = 1;
+    }
+    check_legal(bind);
+    return bind;
+  }
+
+  static void ASSERT_EQ_OR_THROW(size_t a, size_t b) { SALSA_CHECK(a == b); }
+
+  std::unique_ptr<Cdfg> g_;
+  std::unique_ptr<Schedule> sched_;
+  std::unique_ptr<AllocProblem> prob_;
+  ValueId a_, b_, c_, d_, u_, v_, x_, y_, z_;
+};
+
+TEST_F(Fig4, CopyRemovesConnectionAndMux) {
+  const CostBreakdown plain = evaluate_cost(build(false));
+  const CostBreakdown copy = evaluate_cost(build(true));
+  EXPECT_EQ(plain.connections - copy.connections, 1)
+      << "R1->FUb.in0 disappears; the copy rides existing connections";
+  EXPECT_EQ(plain.muxes - copy.muxes, 1) << "FUb.in0 loses its mux";
+  EXPECT_LT(copy.total, plain.total);
+}
+
+TEST_F(Fig4, BothVariantsSimulateCorrectly) {
+  for (bool with_copy : {false, true}) {
+    Netlist nl(build(with_copy));
+    EXPECT_EQ(random_equivalence_check(nl, 4, 22), "")
+        << (with_copy ? "copy" : "plain");
+  }
+}
+
+TEST_F(Fig4, SplitAndRetargetMovesDiscoverTheSaving) {
+  Binding bind = build(false);
+  const double target = evaluate_cost(build(true)).total;
+  Rng rng(3);
+  // R5 (split) can create the copy and re-point reads; R7 retargets. Give
+  // the pair a fair number of attempts.
+  double best = evaluate_cost(bind).total;
+  for (int i = 0; i < 3000 && best > target; ++i) {
+    Binding cand = bind;
+    const MoveKind k = rng.chance(0.5) ? MoveKind::kValSplit
+                                       : MoveKind::kReadRetarget;
+    if (!apply_random_move(cand, k, rng)) continue;
+    const double c = evaluate_cost(cand).total;
+    if (c <= best + 1.0) {  // allow the +1-connection intermediate step
+      bind = std::move(cand);
+      best = std::min(best, c);
+    }
+  }
+  EXPECT_LE(best, target);
+}
+
+}  // namespace
+}  // namespace salsa

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/ewf.h"
+#include "bench_suite/fir.h"
+#include "core/sched_explore.h"
+#include "core/verify.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+ScheduleExploreParams quick(uint64_t seed) {
+  ScheduleExploreParams p;
+  p.variants = 3;
+  p.alloc.improve.max_trials = 4;
+  p.alloc.improve.moves_per_trial = 800;
+  p.seed = seed;
+  return p;
+}
+
+TEST(SchedExplore, ProducesLegalWinner) {
+  Cdfg g = make_ewf();
+  HwSpec hw;
+  const FuBudget budget = schedule_min_fu(g, hw, 17).fus;
+  const ScheduleExploreResult res =
+      explore_schedules(g, hw, 17, budget, quick(1));
+  ASSERT_TRUE(res.allocation.has_value());
+  EXPECT_TRUE(verify(res.allocation->binding).empty());
+  res.schedule->validate();
+  EXPECT_EQ(res.schedule->length(), 17);
+}
+
+TEST(SchedExplore, TriesBaselinePlusVariants) {
+  Cdfg g = make_fir8();
+  HwSpec hw;
+  const FuBudget budget = schedule_min_fu(g, hw, 12).fus;
+  const ScheduleExploreResult res =
+      explore_schedules(g, hw, 12, budget, quick(2));
+  EXPECT_GE(res.variant_costs.size(), 2u);
+  EXPECT_LE(res.variant_costs.size(),
+            static_cast<size_t>(quick(2).variants) + 1);
+}
+
+TEST(SchedExplore, WinnerIsMinimumOfVariants) {
+  Cdfg g = make_ewf();
+  HwSpec hw;
+  const FuBudget budget = schedule_min_fu(g, hw, 19).fus;
+  const ScheduleExploreResult res =
+      explore_schedules(g, hw, 19, budget, quick(3));
+  ASSERT_TRUE(res.allocation.has_value());
+  double min_cost = res.variant_costs[0];
+  for (double c : res.variant_costs) min_cost = std::min(min_cost, c);
+  EXPECT_DOUBLE_EQ(res.allocation->cost.total, min_cost);
+}
+
+TEST(SchedExplore, JitteredSchedulesStayWithinBudget) {
+  // Jitter can make a tight deadline infeasible for the heuristic; give it
+  // one step of slack and require the bounded variants to hold the budget.
+  Cdfg g = make_ewf();
+  HwSpec hw;
+  const FuBudget budget = schedule_min_fu(g, hw, 18).fus;
+  Rng rng(7);
+  int produced = 0;
+  for (int i = 0; i < 6; ++i) {
+    const auto s = list_schedule(g, hw, 19, budget, &rng);
+    if (!s) continue;
+    ++produced;
+    s->validate();
+    const FuBudget peak = peak_fu_demand(*s);
+    EXPECT_LE(peak.alu, budget.alu);
+    EXPECT_LE(peak.mul, budget.mul);
+  }
+  EXPECT_GT(produced, 0);
+}
+
+TEST(SchedExplore, JitterActuallyVariesSchedules) {
+  Cdfg g = make_ewf();
+  HwSpec hw;
+  const FuBudget budget = schedule_min_fu(g, hw, 19).fus;
+  Rng rng(11);
+  const auto base = list_schedule(g, hw, 19, budget);
+  ASSERT_TRUE(base.has_value());
+  bool any_different = false;
+  for (int i = 0; i < 6 && !any_different; ++i) {
+    const auto v = list_schedule(g, hw, 19, budget, &rng);
+    ASSERT_TRUE(v.has_value());
+    for (NodeId n : g.operations())
+      if (v->start(n) != base->start(n)) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace salsa

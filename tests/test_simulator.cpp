@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bench_suite/ar_filter.h"
+#include "bench_suite/dct.h"
+#include "bench_suite/diffeq.h"
+#include "bench_suite/ewf.h"
+#include "bench_suite/fir.h"
+#include "bench_suite/random_cdfg.h"
+#include "core/allocator.h"
+#include "core/moves.h"
+#include "core/verify.h"
+#include "datapath/simulator.h"
+#include "sched/asap_alap.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+struct Ctx {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  std::unique_ptr<AllocProblem> prob;
+
+  Ctx(Cdfg graph, int extra_len, bool pipelined, int extra_regs) {
+    g = std::make_unique<Cdfg>(std::move(graph));
+    HwSpec hw;
+    hw.pipelined_mul = pipelined;
+    const int len = min_schedule_length(*g, hw) + extra_len;
+    sched = std::make_unique<Schedule>(schedule_min_fu(*g, hw, len).schedule);
+    prob = std::make_unique<AllocProblem>(
+        *sched, FuPool::standard(peak_fu_demand(*sched)),
+        Lifetimes(*sched).min_registers() + extra_regs);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Parameterized equivalence over every benchmark and several configurations.
+struct EquivCase {
+  const char* name;
+  Cdfg (*make)();
+  int extra_len;
+  bool pipelined;
+  int extra_regs;
+};
+
+class DatapathMatchesReference : public ::testing::TestWithParam<EquivCase> {};
+
+TEST_P(DatapathMatchesReference, OnInitialAllocation) {
+  const EquivCase& c = GetParam();
+  Ctx ctx(c.make(), c.extra_len, c.pipelined, c.extra_regs);
+  Binding b = initial_allocation(*ctx.prob);
+  Netlist nl(b);
+  EXPECT_EQ(random_equivalence_check(nl, 6, 99), "");
+}
+
+TEST_P(DatapathMatchesReference, AfterRandomMoveScramble) {
+  const EquivCase& c = GetParam();
+  Ctx ctx(c.make(), c.extra_len, c.pipelined, c.extra_regs);
+  Binding b = initial_allocation(*ctx.prob);
+  Rng rng(c.extra_len * 31 + c.extra_regs + 1);
+  const MoveConfig all = MoveConfig::salsa_default();
+  for (int i = 0; i < 600; ++i) apply_random_move(b, all.pick(rng), rng);
+  ASSERT_TRUE(verify(b).empty());
+  Netlist nl(b);
+  EXPECT_EQ(random_equivalence_check(nl, 6, 7), "");
+}
+
+TEST_P(DatapathMatchesReference, AfterFullAllocation) {
+  const EquivCase& c = GetParam();
+  Ctx ctx(c.make(), c.extra_len, c.pipelined, c.extra_regs);
+  AllocatorOptions opts;
+  opts.improve.max_trials = 3;
+  opts.improve.moves_per_trial = 300;
+  const AllocationResult res = allocate(*ctx.prob, opts);
+  Netlist nl(res.binding);
+  EXPECT_EQ(random_equivalence_check(nl, 6, 123), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Benches, DatapathMatchesReference,
+    ::testing::Values(EquivCase{"ewf_min", make_ewf, 0, false, 1},
+                      EquivCase{"ewf_loose", make_ewf, 2, false, 2},
+                      EquivCase{"ewf_pipe", make_ewf, 0, true, 2},
+                      EquivCase{"dct_min", make_dct, 0, false, 1},
+                      EquivCase{"dct_loose", make_dct, 3, false, 2},
+                      EquivCase{"dct_pipe", make_dct, 3, true, 1},
+                      EquivCase{"ar_min", make_ar_filter, 0, false, 2},
+                      EquivCase{"ar_loose", make_ar_filter, 3, false, 2},
+                      EquivCase{"fir_min", make_fir8, 0, false, 2},
+                      EquivCase{"fir_loose", make_fir8, 2, false, 2},
+                      EquivCase{"diffeq_min", make_diffeq, 0, false, 1},
+                      EquivCase{"diffeq_loose", make_diffeq, 2, false, 2}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+// ---------------------------------------------------------------------------
+// Property test: random CDFGs, random schedules, random move scrambles —
+// the datapath must always match the evaluator.
+class RandomCdfgEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCdfgEquivalence, HoldsThroughScramble) {
+  RandomCdfgParams params;
+  params.seed = static_cast<uint64_t>(GetParam());
+  params.num_ops = 12 + GetParam() % 9;
+  params.num_states = GetParam() % 3;
+  params.num_inputs = 1 + GetParam() % 3;
+  Cdfg g = make_random_cdfg(params);
+  HwSpec hw;
+  hw.pipelined_mul = GetParam() % 2 == 0;
+  const int len = min_schedule_length(g, hw) + GetParam() % 4;
+  Schedule sched = schedule_min_fu(g, hw, len).schedule;
+  AllocProblem prob(sched, FuPool::standard(peak_fu_demand(sched)),
+                    Lifetimes(sched).min_registers() + 2);
+  Binding b = initial_allocation(prob, InitialOptions{.seed = params.seed});
+  Rng rng(params.seed * 7 + 1);
+  const MoveConfig all = MoveConfig::salsa_default();
+  for (int i = 0; i < 300; ++i) apply_random_move(b, all.pick(rng), rng);
+  ASSERT_TRUE(verify(b).empty());
+  Netlist nl(b);
+  EXPECT_EQ(random_equivalence_check(nl, 5, params.seed), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCdfgEquivalence,
+                         ::testing::Range(1, 25));
+
+// ---------------------------------------------------------------------------
+TEST(Simulator, AccumulatorStateSequence) {
+  Cdfg g("acc");
+  const ValueId in = g.add_input("in");
+  const ValueId st = g.add_state("st");
+  const ValueId sum = g.add_op(OpKind::kAdd, st, in, "sum");
+  g.set_state_next(st, sum);
+  g.add_output(sum, "o");
+  g.validate();
+  Schedule s(g, HwSpec{}, 3);
+  s.set_start(g.producer(sum), 0);
+  s.set_start(g.output_nodes()[0], 1);
+  s.validate();
+  AllocProblem prob(s, FuPool::standard(FuBudget{1, 0}),
+                    Lifetimes(s).min_registers());
+  Binding b = initial_allocation(prob);
+  Netlist nl(b);
+  std::vector<std::vector<int64_t>> inputs{{5}, {6}, {7}, {8}};
+  const int64_t init[] = {100};
+  const SimResult r = simulate(nl, inputs, init, 3);
+  EXPECT_EQ(r.outputs[0][0], 105);
+  EXPECT_EQ(r.outputs[1][0], 111);
+  EXPECT_EQ(r.outputs[2][0], 118);
+}
+
+TEST(Simulator, CompareReportsMismatchLocation) {
+  // A correct binding must produce an empty report; sanity of the plumbing.
+  Ctx ctx(make_diffeq(), 1, false, 1);
+  Binding b = initial_allocation(*ctx.prob);
+  Netlist nl(b);
+  std::vector<std::vector<int64_t>> inputs(4,
+                                           std::vector<int64_t>{1, 2, 3, 4});
+  EXPECT_EQ(compare_with_reference(nl, inputs, {}, 3), "");
+}
+
+TEST(Simulator, PipelinedMultiplierBackToBack) {
+  // Two multiplications on one pipelined unit in consecutive steps.
+  Cdfg g("pipe");
+  const ValueId a = g.add_input("a");
+  const ValueId b = g.add_input("b");
+  const ValueId c2 = g.add_const(3);
+  const ValueId m1 = g.add_op(OpKind::kMul, a, c2, "m1");
+  const ValueId m2 = g.add_op(OpKind::kMul, b, c2, "m2");
+  const ValueId s = g.add_op(OpKind::kAdd, m1, m2, "s");
+  g.add_output(s, "o");
+  g.validate();
+  HwSpec hw;
+  hw.pipelined_mul = true;
+  Schedule sch(g, hw, 5);
+  sch.set_start(g.producer(m1), 0);
+  sch.set_start(g.producer(m2), 1);
+  sch.set_start(g.producer(s), 3);
+  sch.set_start(g.output_nodes()[0], 4);
+  sch.validate();
+  FuPool pool = FuPool::standard(FuBudget{1, 1});
+  AllocProblem prob(sch, pool, Lifetimes(sch).min_registers());
+  Binding bind = initial_allocation(prob);
+  // Both muls must share the single multiplier.
+  EXPECT_EQ(bind.op(g.producer(m1)).fu, bind.op(g.producer(m2)).fu);
+  Netlist nl(bind);
+  EXPECT_EQ(random_equivalence_check(nl, 4, 5), "");
+}
+
+}  // namespace
+}  // namespace salsa

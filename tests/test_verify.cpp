@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include "bench_suite/ewf.h"
+#include "core/initial.h"
+#include "core/verify.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+// Shared problem: EWF at 17 steps with two spare registers so corruption
+// experiments have room.
+class VerifyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    g_ = std::make_unique<Cdfg>(make_ewf());
+    sched_ = std::make_unique<Schedule>(
+        schedule_min_fu(*g_, HwSpec{}, 17).schedule);
+    prob_ = std::make_unique<AllocProblem>(
+        *sched_, FuPool::standard(peak_fu_demand(*sched_)),
+        Lifetimes(*sched_).min_registers() + 2);
+    binding_ = std::make_unique<Binding>(initial_allocation(*prob_));
+  }
+
+  // First storage with at least `min_len` segments.
+  int long_storage(int min_len) const {
+    const Lifetimes& lt = prob_->lifetimes();
+    for (int sid = 0; sid < lt.num_storages(); ++sid)
+      if (lt.storage(sid).len >= min_len) return sid;
+    ADD_FAILURE() << "no storage of length " << min_len;
+    return 0;
+  }
+
+  std::unique_ptr<Cdfg> g_;
+  std::unique_ptr<Schedule> sched_;
+  std::unique_ptr<AllocProblem> prob_;
+  std::unique_ptr<Binding> binding_;
+};
+
+TEST_F(VerifyTest, InitialAllocationIsClean) {
+  EXPECT_TRUE(verify(*binding_).empty());
+}
+
+TEST_F(VerifyTest, DetectsUnboundOp) {
+  binding_->op(g_->operations()[0]).fu = kInvalidId;
+  EXPECT_FALSE(verify(*binding_).empty());
+}
+
+TEST_F(VerifyTest, DetectsWrongFuClass) {
+  // Bind an add to a multiplier.
+  for (NodeId n : g_->operations()) {
+    if (g_->node(n).kind == OpKind::kAdd) {
+      binding_->op(n).fu = prob_->fus().of_class(FuClass::kMul)[0];
+      break;
+    }
+  }
+  EXPECT_FALSE(verify(*binding_).empty());
+}
+
+TEST_F(VerifyTest, DetectsFuDoubleBooking) {
+  // Two adds at the same step forced onto one ALU.
+  NodeId first = kInvalidId;
+  for (NodeId n : g_->operations()) {
+    if (fu_class_of(g_->node(n).kind) != FuClass::kAlu) continue;
+    if (first == kInvalidId) {
+      first = n;
+      continue;
+    }
+    for (NodeId m : g_->operations()) {
+      if (m != first && fu_class_of(g_->node(m).kind) == FuClass::kAlu &&
+          sched_->start(m) == sched_->start(first)) {
+        binding_->op(m).fu = binding_->op(first).fu;
+        EXPECT_FALSE(verify(*binding_).empty());
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no conflicting pair in this schedule";
+}
+
+TEST_F(VerifyTest, DetectsSwapOnNonCommutative) {
+  // EWF has no subtractions, so build the case directly on a nop-free op:
+  // force the flag on an op and temporarily claim it non-commutative is not
+  // possible here; instead check adds are allowed to swap.
+  for (NodeId n : g_->operations())
+    if (is_commutative(g_->node(n).kind)) {
+      binding_->op(n).swap = true;
+      break;
+    }
+  EXPECT_TRUE(verify(*binding_).empty());
+}
+
+TEST_F(VerifyTest, DetectsRegisterConflict) {
+  const Lifetimes& lt = prob_->lifetimes();
+  // Find two storages live at the same step and collide them.
+  for (int a = 0; a < lt.num_storages(); ++a) {
+    for (int b = a + 1; b < lt.num_storages(); ++b) {
+      for (int seg = 0; seg < lt.storage(a).len; ++seg) {
+        const int step = lt.storage(a).step_at(seg, sched_->length());
+        const int bseg = lt.seg_at_step(b, step);
+        if (bseg < 0) continue;
+        binding_->sto(b).cells[static_cast<size_t>(bseg)][0].reg =
+            binding_->sto(a).cells[static_cast<size_t>(seg)][0].reg;
+        EXPECT_FALSE(verify(*binding_).empty());
+        return;
+      }
+    }
+  }
+  FAIL() << "no overlapping storages found";
+}
+
+TEST_F(VerifyTest, DetectsMissingCell) {
+  const int sid = long_storage(2);
+  binding_->sto(sid).cells[1].clear();
+  EXPECT_FALSE(verify(*binding_).empty());
+}
+
+TEST_F(VerifyTest, DetectsBadParentIndex) {
+  const int sid = long_storage(2);
+  binding_->sto(sid).cells[1][0].parent = 7;  // out of range
+  EXPECT_FALSE(verify(*binding_).empty());
+}
+
+TEST_F(VerifyTest, DetectsSeg0Parent) {
+  const int sid = long_storage(1);
+  binding_->sto(sid).cells[0][0].parent = 0;
+  EXPECT_FALSE(verify(*binding_).empty());
+}
+
+TEST_F(VerifyTest, DetectsViaOnHold) {
+  // Find a hold pair (cell sharing its parent's register) and give it a via.
+  const Lifetimes& lt = prob_->lifetimes();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    StorageBinding& sb = binding_->sto(sid);
+    for (size_t seg = 1; seg < sb.cells.size(); ++seg) {
+      Cell& cell = sb.cells[seg][0];
+      if (cell.reg != sb.cells[seg - 1][static_cast<size_t>(cell.parent)].reg)
+        continue;
+      cell.via = prob_->fus().pass_capable()[0];
+      EXPECT_FALSE(verify(*binding_).empty());
+      return;
+    }
+  }
+  GTEST_SKIP() << "no hold cells in this allocation";
+}
+
+TEST_F(VerifyTest, DetectsPassThroughOnBusyFu) {
+  const Lifetimes& lt = prob_->lifetimes();
+  // Create a real transfer, then route it through a busy FU.
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    if (lt.storage(sid).len < 2) continue;
+    StorageBinding& sb = binding_->sto(sid);
+    // Find a register free at the second segment's step to transfer into.
+    const int step = lt.storage(sid).step_at(1, sched_->length());
+    const int tstep = lt.storage(sid).step_at(0, sched_->length());
+    const Occupancy occ = binding_->occupancy();
+    RegId target = kInvalidId;
+    for (RegId r = 0; r < prob_->num_regs(); ++r)
+      if (occ.reg_free(r, step)) target = r;
+    if (target == kInvalidId) continue;
+    // Busy pass-capable FU at tstep.
+    FuId busy = kInvalidId;
+    for (FuId f : prob_->fus().pass_capable())
+      if (!occ.fu_free(f, tstep)) busy = f;
+    if (busy == kInvalidId) continue;
+    sb.cells[1][0] = Cell{target, 0, busy};
+    EXPECT_FALSE(verify(*binding_).empty());
+    return;
+  }
+  GTEST_SKIP() << "no suitable transfer site";
+}
+
+TEST_F(VerifyTest, DetectsNonPassCapableVia) {
+  const Lifetimes& lt = prob_->lifetimes();
+  const auto muls = prob_->fus().of_class(FuClass::kMul);
+  ASSERT_FALSE(muls.empty());
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    if (lt.storage(sid).len < 2) continue;
+    StorageBinding& sb = binding_->sto(sid);
+    const int step = lt.storage(sid).step_at(1, sched_->length());
+    const Occupancy occ = binding_->occupancy();
+    for (RegId r = 0; r < prob_->num_regs(); ++r) {
+      if (!occ.reg_free(r, step)) continue;
+      sb.cells[1][0] = Cell{r, 0, muls[0]};
+      EXPECT_FALSE(verify(*binding_).empty());
+      return;
+    }
+  }
+  GTEST_SKIP() << "no suitable transfer site";
+}
+
+TEST_F(VerifyTest, DetectsBadReadTarget) {
+  const Lifetimes& lt = prob_->lifetimes();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    if (lt.storage(sid).reads.empty()) continue;
+    binding_->sto(sid).read_cell[0] = 5;  // only one cell exists
+    EXPECT_FALSE(verify(*binding_).empty());
+    return;
+  }
+  FAIL() << "no reads found";
+}
+
+TEST_F(VerifyTest, CheckLegalThrowsWithDetails) {
+  binding_->op(g_->operations()[0]).fu = kInvalidId;
+  try {
+    check_legal(*binding_);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("illegal binding"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace salsa
