@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bus"
+  "../bench/bench_bus.pdb"
+  "CMakeFiles/bench_bus.dir/bench_bus.cpp.o"
+  "CMakeFiles/bench_bus.dir/bench_bus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_regfile"
+  "../bench/bench_regfile.pdb"
+  "CMakeFiles/bench_regfile.dir/bench_regfile.cpp.o"
+  "CMakeFiles/bench_regfile.dir/bench_regfile.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

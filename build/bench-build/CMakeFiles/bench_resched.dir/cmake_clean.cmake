@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_resched"
+  "../bench/bench_resched.pdb"
+  "CMakeFiles/bench_resched.dir/bench_resched.cpp.o"
+  "CMakeFiles/bench_resched.dir/bench_resched.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

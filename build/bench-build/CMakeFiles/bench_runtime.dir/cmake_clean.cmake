@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_runtime"
+  "../bench/bench_runtime.pdb"
+  "CMakeFiles/bench_runtime.dir/bench_runtime.cpp.o"
+  "CMakeFiles/bench_runtime.dir/bench_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

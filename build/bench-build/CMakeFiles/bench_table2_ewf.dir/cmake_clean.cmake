@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_ewf"
+  "../bench/bench_table2_ewf.pdb"
+  "CMakeFiles/bench_table2_ewf.dir/bench_table2_ewf.cpp.o"
+  "CMakeFiles/bench_table2_ewf.dir/bench_table2_ewf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_ewf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_dct"
+  "../bench/bench_table3_dct.pdb"
+  "CMakeFiles/bench_table3_dct.dir/bench_table3_dct.cpp.o"
+  "CMakeFiles/bench_table3_dct.dir/bench_table3_dct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_dct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

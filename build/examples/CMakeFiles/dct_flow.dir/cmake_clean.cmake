@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dct_flow.dir/dct_flow.cpp.o"
+  "CMakeFiles/dct_flow.dir/dct_flow.cpp.o.d"
+  "dct_flow"
+  "dct_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dct_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ewf_flow.dir/ewf_flow.cpp.o"
+  "CMakeFiles/ewf_flow.dir/ewf_flow.cpp.o.d"
+  "ewf_flow"
+  "ewf_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ewf_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

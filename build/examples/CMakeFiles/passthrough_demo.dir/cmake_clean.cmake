@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/passthrough_demo.dir/passthrough_demo.cpp.o"
+  "CMakeFiles/passthrough_demo.dir/passthrough_demo.cpp.o.d"
+  "passthrough_demo"
+  "passthrough_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/passthrough_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

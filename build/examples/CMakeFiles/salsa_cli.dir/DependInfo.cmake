@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/salsa_cli.cpp" "examples/CMakeFiles/salsa_cli.dir/salsa_cli.cpp.o" "gcc" "examples/CMakeFiles/salsa_cli.dir/salsa_cli.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salsa_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_datapath.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_bench_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_interconnect.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_regfile.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_cli.dir/salsa_cli.cpp.o"
+  "CMakeFiles/salsa_cli.dir/salsa_cli.cpp.o.d"
+  "salsa_cli"
+  "salsa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

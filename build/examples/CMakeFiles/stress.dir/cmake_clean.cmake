@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stress.dir/stress.cpp.o"
+  "CMakeFiles/stress.dir/stress.cpp.o.d"
+  "stress"
+  "stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_split_demo.dir/value_split_demo.cpp.o"
+  "CMakeFiles/value_split_demo.dir/value_split_demo.cpp.o.d"
+  "value_split_demo"
+  "value_split_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_split_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/bipartite.cpp" "src/CMakeFiles/salsa_baseline.dir/baseline/bipartite.cpp.o" "gcc" "src/CMakeFiles/salsa_baseline.dir/baseline/bipartite.cpp.o.d"
+  "/root/repo/src/baseline/exact.cpp" "src/CMakeFiles/salsa_baseline.dir/baseline/exact.cpp.o" "gcc" "src/CMakeFiles/salsa_baseline.dir/baseline/exact.cpp.o.d"
+  "/root/repo/src/baseline/left_edge.cpp" "src/CMakeFiles/salsa_baseline.dir/baseline/left_edge.cpp.o" "gcc" "src/CMakeFiles/salsa_baseline.dir/baseline/left_edge.cpp.o.d"
+  "/root/repo/src/baseline/traditional.cpp" "src/CMakeFiles/salsa_baseline.dir/baseline/traditional.cpp.o" "gcc" "src/CMakeFiles/salsa_baseline.dir/baseline/traditional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

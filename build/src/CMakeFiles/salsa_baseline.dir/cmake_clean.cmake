@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_baseline.dir/baseline/bipartite.cpp.o"
+  "CMakeFiles/salsa_baseline.dir/baseline/bipartite.cpp.o.d"
+  "CMakeFiles/salsa_baseline.dir/baseline/exact.cpp.o"
+  "CMakeFiles/salsa_baseline.dir/baseline/exact.cpp.o.d"
+  "CMakeFiles/salsa_baseline.dir/baseline/left_edge.cpp.o"
+  "CMakeFiles/salsa_baseline.dir/baseline/left_edge.cpp.o.d"
+  "CMakeFiles/salsa_baseline.dir/baseline/traditional.cpp.o"
+  "CMakeFiles/salsa_baseline.dir/baseline/traditional.cpp.o.d"
+  "libsalsa_baseline.a"
+  "libsalsa_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_suite/ar_filter.cpp" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/ar_filter.cpp.o" "gcc" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/ar_filter.cpp.o.d"
+  "/root/repo/src/bench_suite/dct.cpp" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/dct.cpp.o" "gcc" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/dct.cpp.o.d"
+  "/root/repo/src/bench_suite/diffeq.cpp" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/diffeq.cpp.o" "gcc" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/diffeq.cpp.o.d"
+  "/root/repo/src/bench_suite/ewf.cpp" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/ewf.cpp.o" "gcc" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/ewf.cpp.o.d"
+  "/root/repo/src/bench_suite/fir.cpp" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/fir.cpp.o" "gcc" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/fir.cpp.o.d"
+  "/root/repo/src/bench_suite/random_cdfg.cpp" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/random_cdfg.cpp.o" "gcc" "src/CMakeFiles/salsa_bench_suite.dir/bench_suite/random_cdfg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salsa_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/ar_filter.cpp.o"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/ar_filter.cpp.o.d"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/dct.cpp.o"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/dct.cpp.o.d"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/diffeq.cpp.o"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/diffeq.cpp.o.d"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/ewf.cpp.o"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/ewf.cpp.o.d"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/fir.cpp.o"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/fir.cpp.o.d"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/random_cdfg.cpp.o"
+  "CMakeFiles/salsa_bench_suite.dir/bench_suite/random_cdfg.cpp.o.d"
+  "libsalsa_bench_suite.a"
+  "libsalsa_bench_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_bench_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

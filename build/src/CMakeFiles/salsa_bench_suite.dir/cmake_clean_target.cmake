@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsalsa_bench_suite.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdfg/cdfg.cpp" "src/CMakeFiles/salsa_cdfg.dir/cdfg/cdfg.cpp.o" "gcc" "src/CMakeFiles/salsa_cdfg.dir/cdfg/cdfg.cpp.o.d"
+  "/root/repo/src/cdfg/dot.cpp" "src/CMakeFiles/salsa_cdfg.dir/cdfg/dot.cpp.o" "gcc" "src/CMakeFiles/salsa_cdfg.dir/cdfg/dot.cpp.o.d"
+  "/root/repo/src/cdfg/eval.cpp" "src/CMakeFiles/salsa_cdfg.dir/cdfg/eval.cpp.o" "gcc" "src/CMakeFiles/salsa_cdfg.dir/cdfg/eval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

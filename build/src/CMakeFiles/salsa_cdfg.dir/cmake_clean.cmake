@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_cdfg.dir/cdfg/cdfg.cpp.o"
+  "CMakeFiles/salsa_cdfg.dir/cdfg/cdfg.cpp.o.d"
+  "CMakeFiles/salsa_cdfg.dir/cdfg/dot.cpp.o"
+  "CMakeFiles/salsa_cdfg.dir/cdfg/dot.cpp.o.d"
+  "CMakeFiles/salsa_cdfg.dir/cdfg/eval.cpp.o"
+  "CMakeFiles/salsa_cdfg.dir/cdfg/eval.cpp.o.d"
+  "libsalsa_cdfg.a"
+  "libsalsa_cdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocator.cpp" "src/CMakeFiles/salsa_core.dir/core/allocator.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/allocator.cpp.o.d"
+  "/root/repo/src/core/annealer.cpp" "src/CMakeFiles/salsa_core.dir/core/annealer.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/annealer.cpp.o.d"
+  "/root/repo/src/core/binding.cpp" "src/CMakeFiles/salsa_core.dir/core/binding.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/binding.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/salsa_core.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/ils.cpp" "src/CMakeFiles/salsa_core.dir/core/ils.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/ils.cpp.o.d"
+  "/root/repo/src/core/improver.cpp" "src/CMakeFiles/salsa_core.dir/core/improver.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/improver.cpp.o.d"
+  "/root/repo/src/core/initial.cpp" "src/CMakeFiles/salsa_core.dir/core/initial.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/initial.cpp.o.d"
+  "/root/repo/src/core/lifetime.cpp" "src/CMakeFiles/salsa_core.dir/core/lifetime.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/lifetime.cpp.o.d"
+  "/root/repo/src/core/moves.cpp" "src/CMakeFiles/salsa_core.dir/core/moves.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/moves.cpp.o.d"
+  "/root/repo/src/core/mux_merge.cpp" "src/CMakeFiles/salsa_core.dir/core/mux_merge.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/mux_merge.cpp.o.d"
+  "/root/repo/src/core/resources.cpp" "src/CMakeFiles/salsa_core.dir/core/resources.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/resources.cpp.o.d"
+  "/root/repo/src/core/sched_explore.cpp" "src/CMakeFiles/salsa_core.dir/core/sched_explore.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/sched_explore.cpp.o.d"
+  "/root/repo/src/core/verify.cpp" "src/CMakeFiles/salsa_core.dir/core/verify.cpp.o" "gcc" "src/CMakeFiles/salsa_core.dir/core/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salsa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_core.dir/core/allocator.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/allocator.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/annealer.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/annealer.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/binding.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/binding.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/cost.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/cost.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/ils.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/ils.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/improver.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/improver.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/initial.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/initial.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/lifetime.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/lifetime.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/moves.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/moves.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/mux_merge.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/mux_merge.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/resources.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/resources.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/sched_explore.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/sched_explore.cpp.o.d"
+  "CMakeFiles/salsa_core.dir/core/verify.cpp.o"
+  "CMakeFiles/salsa_core.dir/core/verify.cpp.o.d"
+  "libsalsa_core.a"
+  "libsalsa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datapath/controller.cpp" "src/CMakeFiles/salsa_datapath.dir/datapath/controller.cpp.o" "gcc" "src/CMakeFiles/salsa_datapath.dir/datapath/controller.cpp.o.d"
+  "/root/repo/src/datapath/netlist.cpp" "src/CMakeFiles/salsa_datapath.dir/datapath/netlist.cpp.o" "gcc" "src/CMakeFiles/salsa_datapath.dir/datapath/netlist.cpp.o.d"
+  "/root/repo/src/datapath/simulator.cpp" "src/CMakeFiles/salsa_datapath.dir/datapath/simulator.cpp.o" "gcc" "src/CMakeFiles/salsa_datapath.dir/datapath/simulator.cpp.o.d"
+  "/root/repo/src/datapath/testbench.cpp" "src/CMakeFiles/salsa_datapath.dir/datapath/testbench.cpp.o" "gcc" "src/CMakeFiles/salsa_datapath.dir/datapath/testbench.cpp.o.d"
+  "/root/repo/src/datapath/vcd.cpp" "src/CMakeFiles/salsa_datapath.dir/datapath/vcd.cpp.o" "gcc" "src/CMakeFiles/salsa_datapath.dir/datapath/vcd.cpp.o.d"
+  "/root/repo/src/datapath/verilog.cpp" "src/CMakeFiles/salsa_datapath.dir/datapath/verilog.cpp.o" "gcc" "src/CMakeFiles/salsa_datapath.dir/datapath/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

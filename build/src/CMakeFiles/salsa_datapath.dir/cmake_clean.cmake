@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_datapath.dir/datapath/controller.cpp.o"
+  "CMakeFiles/salsa_datapath.dir/datapath/controller.cpp.o.d"
+  "CMakeFiles/salsa_datapath.dir/datapath/netlist.cpp.o"
+  "CMakeFiles/salsa_datapath.dir/datapath/netlist.cpp.o.d"
+  "CMakeFiles/salsa_datapath.dir/datapath/simulator.cpp.o"
+  "CMakeFiles/salsa_datapath.dir/datapath/simulator.cpp.o.d"
+  "CMakeFiles/salsa_datapath.dir/datapath/testbench.cpp.o"
+  "CMakeFiles/salsa_datapath.dir/datapath/testbench.cpp.o.d"
+  "CMakeFiles/salsa_datapath.dir/datapath/vcd.cpp.o"
+  "CMakeFiles/salsa_datapath.dir/datapath/vcd.cpp.o.d"
+  "CMakeFiles/salsa_datapath.dir/datapath/verilog.cpp.o"
+  "CMakeFiles/salsa_datapath.dir/datapath/verilog.cpp.o.d"
+  "libsalsa_datapath.a"
+  "libsalsa_datapath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

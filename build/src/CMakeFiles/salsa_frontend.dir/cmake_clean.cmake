@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_frontend.dir/frontend/expr.cpp.o"
+  "CMakeFiles/salsa_frontend.dir/frontend/expr.cpp.o.d"
+  "libsalsa_frontend.a"
+  "libsalsa_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_interconnect.dir/interconnect/bus_model.cpp.o"
+  "CMakeFiles/salsa_interconnect.dir/interconnect/bus_model.cpp.o.d"
+  "libsalsa_interconnect.a"
+  "libsalsa_interconnect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_interconnect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

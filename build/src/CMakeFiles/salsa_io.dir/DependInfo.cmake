@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/html_report.cpp" "src/CMakeFiles/salsa_io.dir/io/html_report.cpp.o" "gcc" "src/CMakeFiles/salsa_io.dir/io/html_report.cpp.o.d"
+  "/root/repo/src/io/report.cpp" "src/CMakeFiles/salsa_io.dir/io/report.cpp.o" "gcc" "src/CMakeFiles/salsa_io.dir/io/report.cpp.o.d"
+  "/root/repo/src/io/text_format.cpp" "src/CMakeFiles/salsa_io.dir/io/text_format.cpp.o" "gcc" "src/CMakeFiles/salsa_io.dir/io/text_format.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salsa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

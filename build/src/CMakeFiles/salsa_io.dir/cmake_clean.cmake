@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_io.dir/io/html_report.cpp.o"
+  "CMakeFiles/salsa_io.dir/io/html_report.cpp.o.d"
+  "CMakeFiles/salsa_io.dir/io/report.cpp.o"
+  "CMakeFiles/salsa_io.dir/io/report.cpp.o.d"
+  "CMakeFiles/salsa_io.dir/io/text_format.cpp.o"
+  "CMakeFiles/salsa_io.dir/io/text_format.cpp.o.d"
+  "libsalsa_io.a"
+  "libsalsa_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

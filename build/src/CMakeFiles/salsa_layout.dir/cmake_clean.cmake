@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_layout.dir/layout/linear_placement.cpp.o"
+  "CMakeFiles/salsa_layout.dir/layout/linear_placement.cpp.o.d"
+  "libsalsa_layout.a"
+  "libsalsa_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_regfile.dir/regfile/regfile.cpp.o"
+  "CMakeFiles/salsa_regfile.dir/regfile/regfile.cpp.o.d"
+  "libsalsa_regfile.a"
+  "libsalsa_regfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_regfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

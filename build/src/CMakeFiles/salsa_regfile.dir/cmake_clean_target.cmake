@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsalsa_regfile.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/asap_alap.cpp" "src/CMakeFiles/salsa_sched.dir/sched/asap_alap.cpp.o" "gcc" "src/CMakeFiles/salsa_sched.dir/sched/asap_alap.cpp.o.d"
+  "/root/repo/src/sched/force_directed.cpp" "src/CMakeFiles/salsa_sched.dir/sched/force_directed.cpp.o" "gcc" "src/CMakeFiles/salsa_sched.dir/sched/force_directed.cpp.o.d"
+  "/root/repo/src/sched/fu_search.cpp" "src/CMakeFiles/salsa_sched.dir/sched/fu_search.cpp.o" "gcc" "src/CMakeFiles/salsa_sched.dir/sched/fu_search.cpp.o.d"
+  "/root/repo/src/sched/list_scheduler.cpp" "src/CMakeFiles/salsa_sched.dir/sched/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/salsa_sched.dir/sched/list_scheduler.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/salsa_sched.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/salsa_sched.dir/sched/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/salsa_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/salsa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

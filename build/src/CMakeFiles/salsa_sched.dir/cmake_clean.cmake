@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_sched.dir/sched/asap_alap.cpp.o"
+  "CMakeFiles/salsa_sched.dir/sched/asap_alap.cpp.o.d"
+  "CMakeFiles/salsa_sched.dir/sched/force_directed.cpp.o"
+  "CMakeFiles/salsa_sched.dir/sched/force_directed.cpp.o.d"
+  "CMakeFiles/salsa_sched.dir/sched/fu_search.cpp.o"
+  "CMakeFiles/salsa_sched.dir/sched/fu_search.cpp.o.d"
+  "CMakeFiles/salsa_sched.dir/sched/list_scheduler.cpp.o"
+  "CMakeFiles/salsa_sched.dir/sched/list_scheduler.cpp.o.d"
+  "CMakeFiles/salsa_sched.dir/sched/schedule.cpp.o"
+  "CMakeFiles/salsa_sched.dir/sched/schedule.cpp.o.d"
+  "libsalsa_sched.a"
+  "libsalsa_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salsa_util.dir/util/diagnostics.cpp.o"
+  "CMakeFiles/salsa_util.dir/util/diagnostics.cpp.o.d"
+  "CMakeFiles/salsa_util.dir/util/rng.cpp.o"
+  "CMakeFiles/salsa_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/salsa_util.dir/util/table.cpp.o"
+  "CMakeFiles/salsa_util.dir/util/table.cpp.o.d"
+  "libsalsa_util.a"
+  "libsalsa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salsa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

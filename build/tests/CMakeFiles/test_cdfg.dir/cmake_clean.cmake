@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdfg.dir/test_cdfg.cpp.o"
+  "CMakeFiles/test_cdfg.dir/test_cdfg.cpp.o.d"
+  "test_cdfg"
+  "test_cdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ewf.dir/test_ewf.cpp.o"
+  "CMakeFiles/test_ewf.dir/test_ewf.cpp.o.d"
+  "test_ewf"
+  "test_ewf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ewf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ewf.
+# This may be replaced when dependencies are built.

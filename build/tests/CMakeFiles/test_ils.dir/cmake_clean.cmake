@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ils.dir/test_ils.cpp.o"
+  "CMakeFiles/test_ils.dir/test_ils.cpp.o.d"
+  "test_ils"
+  "test_ils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

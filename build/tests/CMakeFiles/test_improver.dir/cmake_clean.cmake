@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_improver.dir/test_improver.cpp.o"
+  "CMakeFiles/test_improver.dir/test_improver.cpp.o.d"
+  "test_improver"
+  "test_improver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_improver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_passthrough.dir/test_passthrough.cpp.o"
+  "CMakeFiles/test_passthrough.dir/test_passthrough.cpp.o.d"
+  "test_passthrough"
+  "test_passthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_passthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

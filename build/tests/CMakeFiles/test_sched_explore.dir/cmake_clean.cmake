@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_explore.dir/test_sched_explore.cpp.o"
+  "CMakeFiles/test_sched_explore.dir/test_sched_explore.cpp.o.d"
+  "test_sched_explore"
+  "test_sched_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
