@@ -12,6 +12,7 @@
 #include "bench_suite/dct.h"
 #include "bench_suite/ewf.h"
 #include "core/initial.h"
+#include "core/search_engine.h"
 #include "datapath/simulator.h"
 #include "sched/force_directed.h"
 
@@ -53,6 +54,54 @@ void BM_MoveProposeApply(benchmark::State& state) {
 }
 BENCHMARK(BM_MoveProposeApply);
 
+// One decided search step the way the pre-engine loops did it: copy the
+// binding, apply a move, evaluate the full cost, drop the copy. The
+// moves_per_sec counter is directly comparable with BM_EngineMoveStep.
+void BM_LegacyMoveStep(benchmark::State& state) {
+  Binding b = initial_allocation(*ewf17().problem);
+  Rng rng(1);
+  const MoveConfig moves = MoveConfig::salsa_default();
+  long proposed = 0;
+  for (auto _ : state) {
+    Binding candidate = b;
+    if (apply_random_move(candidate, moves.pick(rng), rng)) {
+      benchmark::DoNotOptimize(evaluate_cost(candidate).total);
+    }
+    ++proposed;
+  }
+  state.counters["moves_per_sec"] =
+      benchmark::Counter(static_cast<double>(proposed),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_LegacyMoveStep);
+
+// One decided search step through the SearchEngine: propose with an
+// incremental delta, then commit or roll back (alternating, so both undo
+// paths are measured).
+void BM_EngineMoveStep(benchmark::State& state) {
+  Binding b = initial_allocation(*ewf17().problem);
+  SearchEngine eng(b);
+  Rng rng(1);
+  const MoveConfig moves = MoveConfig::salsa_default();
+  long proposed = 0;
+  bool keep = false;
+  for (auto _ : state) {
+    if (eng.propose(moves.pick(rng), rng)) {
+      if (keep)
+        eng.commit();
+      else
+        eng.rollback();
+      keep = !keep;
+      benchmark::DoNotOptimize(eng.total());
+    }
+    ++proposed;
+  }
+  state.counters["moves_per_sec"] =
+      benchmark::Counter(static_cast<double>(proposed),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineMoveStep);
+
 void BM_InitialAllocation(benchmark::State& state) {
   uint64_t seed = 0;
   for (auto _ : state) {
@@ -74,6 +123,9 @@ void BM_ImprovementTrial(benchmark::State& state) {
     p.seed = ++seed;
     benchmark::DoNotOptimize(improve(b, p).cost.total);
   }
+  state.counters["moves_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * 1000.0,
+      benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ImprovementTrial)->Unit(benchmark::kMillisecond);
 

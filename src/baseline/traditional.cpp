@@ -116,10 +116,7 @@ AllocationResult allocate_traditional(const AllocProblem& prob,
     ImproveResult res = improve(start, params);
     SALSA_CHECK_MSG(res.best.is_traditional(),
                     "restricted move set left the traditional model");
-    total.trials += res.stats.trials;
-    total.attempted += res.stats.attempted;
-    total.accepted += res.stats.accepted;
-    total.uphill += res.stats.uphill;
+    total += res.stats;
     if (!best || res.cost.total < best->cost.total) best = std::move(res);
   }
   AllocationResult out{std::move(best->best), best->cost, {}, total};

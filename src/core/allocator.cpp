@@ -6,17 +6,6 @@
 
 namespace salsa {
 
-namespace {
-
-void accumulate(ImproveStats& total, const ImproveStats& s) {
-  total.trials += s.trials;
-  total.attempted += s.attempted;
-  total.accepted += s.accepted;
-  total.uphill += s.uphill;
-}
-
-}  // namespace
-
 AllocationResult allocate(const AllocProblem& prob,
                           const AllocatorOptions& opts) {
   SALSA_CHECK_MSG(opts.restarts >= 1, "allocate needs at least one restart");
@@ -54,11 +43,11 @@ AllocationResult allocate(const AllocProblem& prob,
       warm.moves = MoveConfig::traditional();
       warm.seed = params.seed ^ 0x5A15Au;
       ImproveResult wr = improve(start, warm);
-      accumulate(total, wr.stats);
+      total += wr.stats;
       start = std::move(wr.best);
     }
     ImproveResult res = improve(start, params);
-    accumulate(total, res.stats);
+    total += res.stats;
     if (!best || res.cost.total < best->cost.total) best = std::move(res);
   }
   check_legal(best->best);

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "core/search_engine.h"
 #include "core/verify.h"
 
 namespace salsa {
@@ -10,36 +11,38 @@ ImproveResult anneal(const Binding& start, const AnnealParams& params) {
   check_legal(start);
   Rng rng(params.seed);
 
-  Binding current = start;
-  double current_cost = evaluate_cost(current).total;
-  Binding best = current;
-  double best_cost = current_cost;
+  SearchEngine eng(start);
+  eng.set_trace(params.trace);
+  Binding best = start;
+  double best_cost = eng.total();
 
   ImproveStats stats;
   double temp = params.initial_temp;
   for (int level = 0; level < params.num_temps; ++level, temp *= params.cooling) {
     ++stats.trials;
+    eng.set_trace_aux("temp", temp);
     for (int m = 0; m < params.moves_per_temp; ++m) {
       const MoveKind kind = params.moves.pick(rng);
-      Binding candidate = current;
-      if (!apply_random_move(candidate, kind, rng)) continue;
+      const auto delta = eng.propose(kind, rng);
+      if (!delta) continue;
       ++stats.attempted;
-      const double cost = evaluate_cost(candidate).total;
-      const double delta = cost - current_cost;
-      bool accept = delta <= 0;
+      bool accept = *delta <= 0;
       if (!accept && temp > 1e-9)
-        accept = rng.uniform01() < std::exp(-delta / temp);
-      if (!accept) continue;
+        accept = rng.uniform01() < std::exp(-*delta / temp);
+      if (!accept) {
+        eng.rollback();
+        continue;
+      }
+      eng.commit();
       ++stats.accepted;
-      if (delta > 0) ++stats.uphill;
-      current = std::move(candidate);
-      current_cost = cost;
-      if (current_cost < best_cost - 1e-9) {
-        best = current;
-        best_cost = current_cost;
+      if (*delta > 0) ++stats.uphill;
+      if (eng.total() < best_cost - 1e-9) {
+        best = eng.binding();
+        best_cost = eng.total();
       }
     }
   }
+  stats.by_kind = eng.kind_stats();
   check_legal(best);
   CostBreakdown final_cost = evaluate_cost(best);
   return ImproveResult{std::move(best), final_cost, stats};

@@ -16,6 +16,9 @@ struct AnnealParams {
   int moves_per_temp = 3000;
   int num_temps = 40;
   uint64_t seed = 1;
+  /// Optional JSONL search trace (see ImproveParams::trace); records carry
+  /// the current temperature as "temp".
+  std::ostream* trace = nullptr;
 };
 
 /// Runs simulated annealing from `start` (Metropolis acceptance). Returns

@@ -117,14 +117,17 @@ bool Binding::is_traditional() const {
 }
 
 void Binding::normalize() {
-  for (StorageBinding& sb : stos_) {
-    for (size_t seg = 1; seg < sb.cells.size(); ++seg) {
-      for (Cell& c : sb.cells[seg]) {
-        if (c.parent < 0) continue;
-        const Cell& parent =
-            sb.cells[seg - 1][static_cast<size_t>(c.parent)];
-        if (parent.reg == c.reg) c.via = kInvalidId;
-      }
+  for (int sid = 0; sid < static_cast<int>(stos_.size()); ++sid)
+    normalize_storage(sid);
+}
+
+void Binding::normalize_storage(int sid) {
+  StorageBinding& sb = stos_[static_cast<size_t>(sid)];
+  for (size_t seg = 1; seg < sb.cells.size(); ++seg) {
+    for (Cell& c : sb.cells[seg]) {
+      if (c.parent < 0) continue;
+      const Cell& parent = sb.cells[seg - 1][static_cast<size_t>(c.parent)];
+      if (parent.reg == c.reg) c.via = kInvalidId;
     }
   }
 }

@@ -31,6 +31,8 @@ struct OpBind {
   /// Commutative operand reversal (move F3): operand slot k feeds FU input
   /// 1-k when set.
   bool swap = false;
+
+  friend bool operator==(const OpBind&, const OpBind&) = default;
 };
 
 /// One register copy of a storage during one segment.
@@ -43,6 +45,8 @@ struct Cell {
   /// meaningful when the parent lives in a different register. kInvalidId
   /// means a direct register-to-register connection.
   FuId via = kInvalidId;
+
+  friend bool operator==(const Cell&, const Cell&) = default;
 };
 
 /// Register-side binding of one storage.
@@ -52,6 +56,9 @@ struct StorageBinding {
   /// Per read (index into Storage::reads): position of the cell read within
   /// cells[read.seg].
   std::vector<int> read_cell;
+
+  friend bool operator==(const StorageBinding&, const StorageBinding&) =
+      default;
 };
 
 /// What occupies each FU and register at each control step. Derived from a
@@ -109,6 +116,12 @@ class Binding {
   /// Normalises `via` fields: clears pass-throughs on cells whose parent is
   /// in the same register (holds need no route). Call after editing regs.
   void normalize();
+  /// Same, restricted to one storage (the SearchEngine normalises only a
+  /// move's footprint).
+  void normalize_storage(int sid);
+
+  /// Same problem instance and identical op/storage bindings.
+  friend bool operator==(const Binding&, const Binding&) = default;
 
  private:
   const AllocProblem* prob_;

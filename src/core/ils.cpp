@@ -1,5 +1,6 @@
 #include "core/ils.h"
 
+#include "core/search_engine.h"
 #include "core/verify.h"
 
 namespace salsa {
@@ -7,20 +8,20 @@ namespace salsa {
 namespace {
 
 // Greedy descent: accept downhill/equal moves only.
-double descend(Binding& current, double current_cost, int budget,
-               const MoveConfig& moves, Rng& rng, ImproveStats& stats) {
+void descend(SearchEngine& eng, int budget, const MoveConfig& moves, Rng& rng,
+             ImproveStats& stats) {
+  eng.set_trace_aux("kick", 0);
   for (int m = 0; m < budget; ++m) {
-    Binding candidate = current;
-    if (!apply_random_move(candidate, moves.pick(rng), rng)) continue;
+    const auto delta = eng.propose(moves.pick(rng), rng);
+    if (!delta) continue;
     ++stats.attempted;
-    const double cost = evaluate_cost(candidate).total;
-    if (cost <= current_cost) {
+    if (*delta <= 0) {
+      eng.commit();
       ++stats.accepted;
-      current = std::move(candidate);
-      current_cost = cost;
+    } else {
+      eng.rollback();
     }
   }
-  return current_cost;
 }
 
 }  // namespace
@@ -31,31 +32,35 @@ ImproveResult iterated_local_search(const Binding& start,
   Rng rng(params.seed);
   ImproveStats stats;
 
-  Binding best = start;
-  double best_cost = descend(best, evaluate_cost(best).total,
-                             params.descent_moves, params.moves, rng, stats);
+  SearchEngine eng(start);
+  eng.set_trace(params.trace);
+  descend(eng, params.descent_moves, params.moves, rng, stats);
+  Binding best = eng.binding();
+  double best_cost = eng.total();
 
   for (int round = 0; round < params.iterations; ++round) {
     ++stats.trials;
-    Binding current = best;
-    // Kick: force a few random feasible moves, cost-blind.
+    eng.reset_to(best);
+    // Kick: force a few random feasible moves, cost-blind. These are
+    // perturbations of the incumbent, not acceptances of the descent
+    // policy — they get their own counter.
+    eng.set_trace_aux("kick", 1);
     int kicked = 0;
     for (int k = 0; k < params.kick_moves * 4 && kicked < params.kick_moves;
          ++k) {
-      if (apply_random_move(current, params.moves.pick(rng), rng)) {
+      if (eng.propose(params.moves.pick(rng), rng)) {
+        eng.commit();
         ++kicked;
-        ++stats.attempted;
-        ++stats.accepted;
-        ++stats.uphill;
+        ++stats.kicks;
       }
     }
-    double cost = descend(current, evaluate_cost(current).total,
-                          params.descent_moves, params.moves, rng, stats);
-    if (cost < best_cost - 1e-9) {
-      best = std::move(current);
-      best_cost = cost;
+    descend(eng, params.descent_moves, params.moves, rng, stats);
+    if (eng.total() < best_cost - 1e-9) {
+      best = eng.binding();
+      best_cost = eng.total();
     }
   }
+  stats.by_kind = eng.kind_stats();
   check_legal(best);
   CostBreakdown final_cost = evaluate_cost(best);
   return ImproveResult{std::move(best), final_cost, stats};

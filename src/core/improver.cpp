@@ -1,5 +1,6 @@
 #include "core/improver.h"
 
+#include "core/search_engine.h"
 #include "core/verify.h"
 
 namespace salsa {
@@ -8,10 +9,10 @@ ImproveResult improve(const Binding& start, const ImproveParams& params) {
   check_legal(start);
   Rng rng(params.seed);
 
-  Binding current = start;
-  double current_cost = evaluate_cost(current).total;
-  Binding best = current;
-  double best_cost = current_cost;
+  SearchEngine eng(start);
+  eng.set_trace(params.trace);
+  Binding best = start;
+  double best_cost = eng.total();
 
   ImproveStats stats;
   int stale = 0;
@@ -21,24 +22,25 @@ ImproveResult improve(const Binding& start, const ImproveParams& params) {
     bool improved = false;
     for (int m = 0; m < params.moves_per_trial; ++m) {
       const MoveKind kind = params.moves.pick(rng);
-      Binding candidate = current;
-      if (!apply_random_move(candidate, kind, rng)) continue;
+      eng.set_trace_aux("uphill_left", uphill_left);
+      const auto delta = eng.propose(kind, rng);
+      if (!delta) continue;
       ++stats.attempted;
-      const double cost = evaluate_cost(candidate).total;
-      const double delta = cost - current_cost;
-      bool accept = delta <= 0;
-      if (!accept && uphill_left > 0 && delta <= params.max_uphill_delta) {
+      bool accept = *delta <= 0;
+      if (!accept && uphill_left > 0 && *delta <= params.max_uphill_delta) {
         accept = true;
         --uphill_left;
         ++stats.uphill;
       }
-      if (!accept) continue;
+      if (!accept) {
+        eng.rollback();
+        continue;
+      }
+      eng.commit();
       ++stats.accepted;
-      current = std::move(candidate);
-      current_cost = cost;
-      if (current_cost < best_cost - 1e-9) {
-        best = current;
-        best_cost = current_cost;
+      if (eng.total() < best_cost - 1e-9) {
+        best = eng.binding();
+        best_cost = eng.total();
         improved = true;
       }
     }
@@ -46,11 +48,11 @@ ImproveResult improve(const Binding& start, const ImproveParams& params) {
       stale = 0;
     } else {
       // Return to the best known allocation before exploring again.
-      current = best;
-      current_cost = best_cost;
+      eng.reset_to(best);
       if (++stale >= params.stop_after_stale) break;
     }
   }
+  stats.by_kind = eng.kind_stats();
   check_legal(best);
   CostBreakdown final_cost = evaluate_cost(best);
   return ImproveResult{std::move(best), final_cost, stats};

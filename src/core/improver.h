@@ -3,9 +3,17 @@
 // (to escape the current neighbourhood) and accepting only downhill moves
 // afterwards. The best allocation seen is recorded; the search stops after
 // a number of improvement-free trials or a trial cap.
+//
+// Like the annealer and the iterated local search, this is a thin
+// acceptance policy over core/search_engine.h: moves are proposed,
+// committed or rolled back in place, with the cost delta computed
+// incrementally — no per-candidate Binding copies, no full cost
+// evaluations inside the move loop.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <iosfwd>
 
 #include "core/binding.h"
 #include "core/cost.h"
@@ -25,6 +33,10 @@ struct ImproveParams {
   double max_uphill_delta = 6.0;
   int stop_after_stale = 3;    ///< improvement-free trials before stopping
   uint64_t seed = 1;
+  /// When set, the search streams one JSONL record per decided proposal
+  /// (step, move kind, delta, accepted, plus the policy's control variable —
+  /// remaining uphill budget / temperature / kick phase).
+  std::ostream* trace = nullptr;
 };
 
 struct ImproveStats {
@@ -32,6 +44,21 @@ struct ImproveStats {
   long attempted = 0;  ///< proposed moves (feasible instance found)
   long accepted = 0;   ///< applied and kept
   long uphill = 0;     ///< kept despite a cost increase
+  long kicks = 0;      ///< cost-blind perturbation moves (ILS only)
+  /// Per-move-kind attempted/accepted/delta breakdown (see
+  /// io/report.h:search_stats_report for a rendering).
+  std::array<MoveKindStats, kNumMoveKinds> by_kind{};
+
+  ImproveStats& operator+=(const ImproveStats& o) {
+    trials += o.trials;
+    attempted += o.attempted;
+    accepted += o.accepted;
+    uphill += o.uphill;
+    kicks += o.kicks;
+    for (int k = 0; k < kNumMoveKinds; ++k)
+      by_kind[static_cast<size_t>(k)] += o.by_kind[static_cast<size_t>(k)];
+    return *this;
+  }
 };
 
 struct ImproveResult {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/search_engine.h"
+
 namespace salsa {
 
 const char* move_name(MoveKind k) {
@@ -93,9 +95,13 @@ std::vector<CellRef> collect_cells(const Binding& b, Pred pred) {
   return out;
 }
 
-Cell& cell_at(Binding& b, const CellRef& cr) {
+const Cell& cell_at(const Binding& b, const CellRef& cr) {
   return b.sto(cr.sid).cells[static_cast<size_t>(cr.seg)]
                             [static_cast<size_t>(cr.pos)];
+}
+
+Cell& mut_cell(StorageBinding& sb, const CellRef& cr) {
+  return sb.cells[static_cast<size_t>(cr.seg)][static_cast<size_t>(cr.pos)];
 }
 
 // Register a storage's cells currently share if it is in contiguous
@@ -110,12 +116,18 @@ RegId single_reg_of(const StorageBinding& sb) {
   return reg;
 }
 
-bool move_fu_exchange(Binding& b, Rng& rng) {
+// Every proposer below reads the engine's binding and live occupancy for
+// candidate selection and feasibility, and only touches (and then mutates)
+// the footprint once success is certain — occupancy reads never follow a
+// touch within one proposal.
+
+bool move_fu_exchange(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Cdfg& g = b.prob().cdfg();
   const Schedule& sched = b.prob().sched();
   const auto ops = g.operations();
   if (ops.size() < 2) return false;
-  const Occupancy occ = b.occupancy();
+  const Occupancy& occ = eng.occupancy();
   const NodeId a = ops[static_cast<size_t>(rng.uniform(static_cast<int>(ops.size())))];
   std::vector<NodeId> cands;
   for (NodeId o : ops)
@@ -136,16 +148,18 @@ bool move_fu_exchange(Binding& b, Rng& rng) {
     return true;
   };
   if (!window_ok(a, fc, c) || !window_ok(c, fa, a)) return false;
-  std::swap(b.op(a).fu, b.op(c).fu);
+  eng.touch_op(a).fu = fc;
+  eng.touch_op(c).fu = fa;
   return true;
 }
 
-bool move_fu_move(Binding& b, Rng& rng) {
+bool move_fu_move(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Cdfg& g = b.prob().cdfg();
   const Schedule& sched = b.prob().sched();
   const auto ops = g.operations();
   if (ops.empty()) return false;
-  const Occupancy occ = b.occupancy();
+  const Occupancy& occ = eng.occupancy();
   const NodeId a = ops[static_cast<size_t>(rng.uniform(static_cast<int>(ops.size())))];
   std::vector<FuId> cands;
   for (FuId f : b.prob().fus().of_class(fu_class_of(g.node(a).kind))) {
@@ -160,12 +174,13 @@ bool move_fu_move(Binding& b, Rng& rng) {
     if (free) cands.push_back(f);
   }
   if (cands.empty()) return false;
-  b.op(a).fu =
+  eng.touch_op(a).fu =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
   return true;
 }
 
-bool move_operand_reverse(Binding& b, Rng& rng) {
+bool move_operand_reverse(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Cdfg& g = b.prob().cdfg();
   std::vector<NodeId> cands;
   for (NodeId n : g.operations())
@@ -173,11 +188,13 @@ bool move_operand_reverse(Binding& b, Rng& rng) {
   if (cands.empty()) return false;
   const NodeId a =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
-  b.op(a).swap = !b.op(a).swap;
+  OpBind& ob = eng.touch_op(a);
+  ob.swap = !ob.swap;
   return true;
 }
 
-bool move_bind_pass(Binding& b, Rng& rng) {
+bool move_bind_pass(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   const int L = b.prob().sched().length();
   auto cands = collect_cells(b, [&](int sid, int seg, const Cell& c) {
@@ -190,7 +207,7 @@ bool move_bind_pass(Binding& b, Rng& rng) {
   const CellRef cr =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
   const int tstep = (lt.storage(cr.sid).birth + cr.seg - 1) % L;
-  const Occupancy occ = b.occupancy();
+  const Occupancy& occ = eng.occupancy();
   // An FU whose output carries a landing result at tstep cannot pass
   // (relevant for pipelined units whose occupancy ends before their delay).
   const Cdfg& g = b.prob().cdfg();
@@ -211,22 +228,24 @@ bool move_bind_pass(Binding& b, Rng& rng) {
       fus.push_back(f);
   }
   if (fus.empty()) return false;
-  cell_at(b, cr).via =
+  mut_cell(eng.touch_sto(cr.sid), cr).via =
       fus[static_cast<size_t>(rng.uniform(static_cast<int>(fus.size())))];
   return true;
 }
 
-bool move_unbind_pass(Binding& b, Rng& rng) {
+bool move_unbind_pass(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   auto cands = collect_cells(
       b, [](int, int, const Cell& c) { return c.via != kInvalidId; });
   if (cands.empty()) return false;
   const CellRef cr =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
-  cell_at(b, cr).via = kInvalidId;
+  mut_cell(eng.touch_sto(cr.sid), cr).via = kInvalidId;
   return true;
 }
 
-bool move_seg_exchange(Binding& b, Rng& rng) {
+bool move_seg_exchange(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   const int L = b.prob().sched().length();
   const int step = rng.uniform(L);
@@ -242,9 +261,11 @@ bool move_seg_exchange(Binding& b, Rng& rng) {
   const int i = rng.uniform(static_cast<int>(here.size()));
   int j = rng.uniform(static_cast<int>(here.size()) - 1);
   if (j >= i) ++j;
-  Cell& c1 = cell_at(b, here[static_cast<size_t>(i)]);
-  Cell& c2 = cell_at(b, here[static_cast<size_t>(j)]);
-  if (c1.reg == c2.reg) return false;
+  const CellRef& ri = here[static_cast<size_t>(i)];
+  const CellRef& rj = here[static_cast<size_t>(j)];
+  const RegId r1 = cell_at(b, ri).reg;
+  const RegId r2 = cell_at(b, rj).reg;
+  if (r1 == r2) return false;
   // Avoid duplicate cells within either storage's segment after the swap.
   auto dup = [&](const CellRef& cr, RegId incoming) {
     const auto& cells = b.sto(cr.sid).cells[static_cast<size_t>(cr.seg)];
@@ -253,15 +274,14 @@ bool move_seg_exchange(Binding& b, Rng& rng) {
         return true;
     return false;
   };
-  if (dup(here[static_cast<size_t>(i)], c2.reg) ||
-      dup(here[static_cast<size_t>(j)], c1.reg))
-    return false;
-  std::swap(c1.reg, c2.reg);
-  b.normalize();
+  if (dup(ri, r2) || dup(rj, r1)) return false;
+  mut_cell(eng.touch_sto(ri.sid), ri).reg = r2;
+  mut_cell(eng.touch_sto(rj.sid), rj).reg = r1;
   return true;
 }
 
-bool move_seg_move(Binding& b, Rng& rng) {
+bool move_seg_move(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   const int L = b.prob().sched().length();
   auto cands = collect_cells(b, [](int, int, const Cell&) { return true; });
@@ -269,18 +289,18 @@ bool move_seg_move(Binding& b, Rng& rng) {
   const CellRef cr =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
   const int step = (lt.storage(cr.sid).birth + cr.seg) % L;
-  const Occupancy occ = b.occupancy();
+  const Occupancy& occ = eng.occupancy();
   std::vector<RegId> regs;
   for (RegId r = 0; r < b.prob().num_regs(); ++r)
     if (occ.reg_free(r, step)) regs.push_back(r);
   if (regs.empty()) return false;
-  cell_at(b, cr).reg =
+  mut_cell(eng.touch_sto(cr.sid), cr).reg =
       regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
-  b.normalize();
   return true;
 }
 
-bool move_val_exchange(Binding& b, Rng& rng) {
+bool move_val_exchange(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   const int L = b.prob().sched().length();
   const int n = lt.num_storages();
@@ -291,7 +311,7 @@ bool move_val_exchange(Binding& b, Rng& rng) {
   const RegId r1 = single_reg_of(b.sto(s1));
   const RegId r2 = single_reg_of(b.sto(s2));
   if (r1 == kInvalidId || r2 == kInvalidId || r1 == r2) return false;
-  const Occupancy occ = b.occupancy();
+  const Occupancy& occ = eng.occupancy();
   auto fits = [&](int sid, RegId target, int other) {
     const Storage& s = lt.storage(sid);
     for (int seg = 0; seg < s.len; ++seg) {
@@ -302,19 +322,20 @@ bool move_val_exchange(Binding& b, Rng& rng) {
     return true;
   };
   if (!fits(s1, r2, s2) || !fits(s2, r1, s1)) return false;
-  for (auto& seg : b.sto(s1).cells) seg[0].reg = r2;
-  for (auto& seg : b.sto(s2).cells) seg[0].reg = r1;
+  for (auto& seg : eng.touch_sto(s1).cells) seg[0].reg = r2;
+  for (auto& seg : eng.touch_sto(s2).cells) seg[0].reg = r1;
   return true;
 }
 
-bool move_val_move(Binding& b, Rng& rng) {
+bool move_val_move(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   const int L = b.prob().sched().length();
   const int n = lt.num_storages();
   if (n == 0) return false;
   const int sid = rng.uniform(n);
   const Storage& s = lt.storage(sid);
-  const Occupancy occ = b.occupancy();
+  const Occupancy& occ = eng.occupancy();
   std::vector<RegId> regs;
   for (RegId r = 0; r < b.prob().num_regs(); ++r) {
     bool ok = true;
@@ -328,7 +349,7 @@ bool move_val_move(Binding& b, Rng& rng) {
   if (regs.empty()) return false;
   const RegId r =
       regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
-  StorageBinding& sb = b.sto(sid);
+  StorageBinding& sb = eng.touch_sto(sid);
   for (size_t seg = 0; seg < sb.cells.size(); ++seg) {
     sb.cells[seg].assign(1, Cell{r, seg == 0 ? -1 : 0, kInvalidId});
   }
@@ -336,7 +357,8 @@ bool move_val_move(Binding& b, Rng& rng) {
   return true;
 }
 
-bool move_val_split(Binding& b, Rng& rng) {
+bool move_val_split(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   const int L = b.prob().sched().length();
   const int n = lt.num_storages();
@@ -345,32 +367,31 @@ bool move_val_split(Binding& b, Rng& rng) {
   const Storage& s = lt.storage(sid);
   const int seg = rng.uniform(s.len);
   const int step = s.step_at(seg, L);
-  const Occupancy occ = b.occupancy();
+  const Occupancy& occ = eng.occupancy();
   std::vector<RegId> regs;
   for (RegId r = 0; r < b.prob().num_regs(); ++r)
     if (occ.reg_free(r, step)) regs.push_back(r);
   if (regs.empty()) return false;
   const RegId r =
       regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
-  StorageBinding& sb = b.sto(sid);
   Cell c;
   c.reg = r;
   c.parent =
       seg == 0 ? -1
                : rng.uniform(static_cast<int>(
-                     sb.cells[static_cast<size_t>(seg) - 1].size()));
+                     b.sto(sid).cells[static_cast<size_t>(seg) - 1].size()));
+  StorageBinding& sb = eng.touch_sto(sid);
   sb.cells[static_cast<size_t>(seg)].push_back(c);
   const int new_pos =
       static_cast<int>(sb.cells[static_cast<size_t>(seg)].size()) - 1;
   // Give reads at this segment a chance to use the copy right away.
   for (size_t ri = 0; ri < s.reads.size(); ++ri)
     if (s.reads[ri].seg == seg && rng.chance(0.5)) sb.read_cell[ri] = new_pos;
-  b.normalize();
   return true;
 }
 
-bool move_val_merge(Binding& b, Rng& rng) {
-  const Lifetimes& lt = b.prob().lifetimes();
+bool move_val_merge(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   auto removable = collect_cells(b, [&](int sid, int seg, const Cell&) {
     const StorageBinding& sb = b.sto(sid);
     if (sb.cells[static_cast<size_t>(seg)].size() < 2) return false;
@@ -390,11 +411,10 @@ bool move_val_merge(Binding& b, Rng& rng) {
     }
     if (leaf) leaves.push_back(cr);
   }
-  (void)lt;
   if (leaves.empty()) return false;
   const CellRef cr =
       leaves[static_cast<size_t>(rng.uniform(static_cast<int>(leaves.size())))];
-  StorageBinding& sb = b.sto(cr.sid);
+  StorageBinding& sb = eng.touch_sto(cr.sid);
   auto& cells = sb.cells[static_cast<size_t>(cr.seg)];
   cells.erase(cells.begin() + cr.pos);
   // Fix children parent indices and read targets shifted by the erase.
@@ -409,11 +429,11 @@ bool move_val_merge(Binding& b, Rng& rng) {
     else if (sb.read_cell[ri] > cr.pos)
       --sb.read_cell[ri];
   }
-  b.normalize();
   return true;
 }
 
-bool move_read_retarget(Binding& b, Rng& rng) {
+bool move_read_retarget(SearchEngine& eng, Rng& rng) {
+  const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   std::vector<std::pair<int, int>> cands;  // (sid, read index)
   for (int sid = 0; sid < lt.num_storages(); ++sid) {
@@ -427,33 +447,45 @@ bool move_read_retarget(Binding& b, Rng& rng) {
   const auto [sid, ri] =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
   const Storage& s = lt.storage(sid);
-  StorageBinding& sb = b.sto(sid);
   const int ncells = static_cast<int>(
-      sb.cells[static_cast<size_t>(s.reads[static_cast<size_t>(ri)].seg)].size());
+      b.sto(sid).cells[static_cast<size_t>(s.reads[static_cast<size_t>(ri)].seg)]
+          .size());
   int pos = rng.uniform(ncells - 1);
-  if (pos >= sb.read_cell[static_cast<size_t>(ri)]) ++pos;
-  sb.read_cell[static_cast<size_t>(ri)] = pos;
+  if (pos >= b.sto(sid).read_cell[static_cast<size_t>(ri)]) ++pos;
+  eng.touch_sto(sid).read_cell[static_cast<size_t>(ri)] = pos;
   return true;
 }
 
 }  // namespace
 
-bool apply_random_move(Binding& b, MoveKind kind, Rng& rng) {
+namespace detail {
+
+bool dispatch_move(SearchEngine& eng, MoveKind kind, Rng& rng) {
   switch (kind) {
-    case MoveKind::kFuExchange: return move_fu_exchange(b, rng);
-    case MoveKind::kFuMove: return move_fu_move(b, rng);
-    case MoveKind::kOperandReverse: return move_operand_reverse(b, rng);
-    case MoveKind::kBindPass: return move_bind_pass(b, rng);
-    case MoveKind::kUnbindPass: return move_unbind_pass(b, rng);
-    case MoveKind::kSegExchange: return move_seg_exchange(b, rng);
-    case MoveKind::kSegMove: return move_seg_move(b, rng);
-    case MoveKind::kValExchange: return move_val_exchange(b, rng);
-    case MoveKind::kValMove: return move_val_move(b, rng);
-    case MoveKind::kValSplit: return move_val_split(b, rng);
-    case MoveKind::kValMerge: return move_val_merge(b, rng);
-    case MoveKind::kReadRetarget: return move_read_retarget(b, rng);
+    case MoveKind::kFuExchange: return move_fu_exchange(eng, rng);
+    case MoveKind::kFuMove: return move_fu_move(eng, rng);
+    case MoveKind::kOperandReverse: return move_operand_reverse(eng, rng);
+    case MoveKind::kBindPass: return move_bind_pass(eng, rng);
+    case MoveKind::kUnbindPass: return move_unbind_pass(eng, rng);
+    case MoveKind::kSegExchange: return move_seg_exchange(eng, rng);
+    case MoveKind::kSegMove: return move_seg_move(eng, rng);
+    case MoveKind::kValExchange: return move_val_exchange(eng, rng);
+    case MoveKind::kValMove: return move_val_move(eng, rng);
+    case MoveKind::kValSplit: return move_val_split(eng, rng);
+    case MoveKind::kValMerge: return move_val_merge(eng, rng);
+    case MoveKind::kReadRetarget: return move_read_retarget(eng, rng);
   }
   return false;
+}
+
+}  // namespace detail
+
+bool apply_random_move(Binding& b, MoveKind kind, Rng& rng) {
+  SearchEngine eng(b);
+  if (!eng.propose(kind, rng)) return false;
+  eng.commit();
+  b = eng.binding();
+  return true;
 }
 
 }  // namespace salsa

@@ -18,9 +18,13 @@
 //                         copies implicitly; an explicit retarget move lets
 //                         the search do so incrementally.)
 //
-// Each move proposer mutates the binding in place (the improver works on a
-// scratch copy) and returns false when it cannot find a feasible instance.
-// All moves preserve binding legality: a legal binding stays legal.
+// Each move proposer runs against a SearchEngine transaction: it inspects
+// the engine's binding and incrementally maintained occupancy, and — only
+// once a feasible instance is certain — mutates the binding through
+// touch_op/touch_sto so the engine can undo the move and update its cost
+// index by the move's footprint alone. Proposers return false when no
+// feasible instance exists (leaving no transaction state behind). All
+// moves preserve binding legality: a legal binding stays legal.
 #pragma once
 
 #include <array>
@@ -29,6 +33,8 @@
 #include "util/rng.h"
 
 namespace salsa {
+
+class SearchEngine;  // core/search_engine.h
 
 enum class MoveKind : uint8_t {
   kFuExchange,      // F1
@@ -69,10 +75,40 @@ struct MoveConfig {
   }
 };
 
+/// Per-move-kind search observability counters (accumulated by the
+/// SearchEngine, surfaced through ImproveStats and io/report.cpp).
+struct MoveKindStats {
+  long attempted = 0;  ///< feasible proposals
+  long accepted = 0;   ///< committed proposals
+  double delta_sum = 0;           ///< sum of proposed cost deltas
+  double accepted_delta_sum = 0;  ///< sum of committed cost deltas
+  double mean_delta() const {
+    return attempted ? delta_sum / static_cast<double>(attempted) : 0.0;
+  }
+
+  MoveKindStats& operator+=(const MoveKindStats& o) {
+    attempted += o.attempted;
+    accepted += o.accepted;
+    delta_sum += o.delta_sum;
+    accepted_delta_sum += o.accepted_delta_sum;
+    return *this;
+  }
+};
+
 /// Attempts one random move of the given kind on `b`. Returns true if a
 /// feasible instance was found and applied. The binding must be legal on
 /// entry and remains legal on success or failure (failed attempts leave it
 /// untouched).
+///
+/// Compatibility shim over SearchEngine for one-off callers (tests,
+/// demos): it rebuilds engine state per call, so it is O(design) per move.
+/// Searches should drive a SearchEngine directly.
 bool apply_random_move(Binding& b, MoveKind kind, Rng& rng);
+
+namespace detail {
+/// Dispatches one move proposal inside an open SearchEngine transaction.
+/// Called by SearchEngine::propose; not for direct use.
+bool dispatch_move(SearchEngine& eng, MoveKind kind, Rng& rng);
+}  // namespace detail
 
 }  // namespace salsa

@@ -20,6 +20,7 @@ ScheduleExploreResult explore_schedules(const Cdfg& cdfg, const HwSpec& hw,
     opts.improve.seed = alloc_seed;
     AllocationResult res = allocate(*problem, opts);
     out.variant_costs.push_back(res.cost.total);
+    out.variant_stats.push_back(res.stats);
     if (!out.allocation || res.cost.total < out.allocation->cost.total) {
       out.schedule = std::move(schedule);
       out.problem = std::move(problem);

@@ -32,6 +32,8 @@ struct ScheduleExploreResult {
   std::optional<AllocationResult> allocation;
   /// Final cost of every variant tried (baseline first).
   std::vector<double> variant_costs;
+  /// Search statistics of every variant tried, parallel to variant_costs.
+  std::vector<ImproveStats> variant_stats;
 };
 
 /// Schedules `cdfg` into `length` steps under `budget` FUs several times

@@ -1,0 +1,431 @@
+#include "core/search_engine.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace salsa {
+
+namespace {
+
+// Compact 32-bit endpoint/pin keys for the connection index (the 64-bit
+// key_of keys would not fit two to a word). Ids are node/FU/register
+// indices — far below 2^28.
+uint32_t pack(const Endpoint& e) {
+  SALSA_DCHECK(e.id >= 0 && e.id < (1 << 28));
+  return (static_cast<uint32_t>(e.kind) << 28) | static_cast<uint32_t>(e.id);
+}
+
+uint32_t pack(const Pin& p) {
+  SALSA_DCHECK(p.id >= 0 && p.id < (1 << 28));
+  return (static_cast<uint32_t>(p.kind) << 28) | static_cast<uint32_t>(p.id);
+}
+
+}  // namespace
+
+SearchEngine::SearchEngine(const Binding& start) : b_(start) {
+  build_static();
+  rebuild();
+}
+
+void SearchEngine::build_static() {
+  const AllocProblem& prob = b_.prob();
+  const Cdfg& g = prob.cdfg();
+  const Lifetimes& lt = prob.lifetimes();
+  const int S = lt.num_storages();
+  charge_consts_ = prob.weights().constants_cost;
+  const_gen_base_ = 2 * S;
+
+  op_info_.assign(static_cast<size_t>(g.num_nodes()), OpInfo{});
+  // Which storages each operation reads (its operand-fetch sinks live in
+  // the storages' read generators) and which storage it produces.
+  std::vector<int> produced(static_cast<size_t>(g.num_nodes()), -1);
+  for (int sid = 0; sid < S; ++sid) {
+    const Storage& s = lt.storage(sid);
+    if (s.producer != kInvalidId) {
+      SALSA_CHECK(produced[static_cast<size_t>(s.producer)] == -1);
+      produced[static_cast<size_t>(s.producer)] = sid;
+    }
+    for (const StorageRead& r : s.reads) {
+      if (g.node(r.consumer).kind == OpKind::kOutput) continue;
+      auto& gens = op_info_[static_cast<size_t>(r.consumer)].gens;
+      if (gens.empty() || gens.back() != gen_reads(sid))
+        gens.push_back(gen_reads(sid));
+    }
+  }
+  for (NodeId n : g.operations()) {
+    OpInfo& info = op_info_[static_cast<size_t>(n)];
+    // Dedup read generators (an op may read two operands of one storage,
+    // interleaved with other storages in the scan above).
+    std::sort(info.gens.begin(), info.gens.end());
+    info.gens.erase(std::unique(info.gens.begin(), info.gens.end()),
+                    info.gens.end());
+    if (produced[static_cast<size_t>(n)] >= 0)
+      info.gens.push_back(gen_writes(produced[static_cast<size_t>(n)]));
+    for (ValueId v : g.node(n).ins)
+      if (g.is_const_value(v)) info.has_const_ins = true;
+    if (info.has_const_ins) info.gens.push_back(gen_const(n));
+  }
+
+  gen_epoch_.assign(static_cast<size_t>(const_gen_base_ + g.num_nodes()), 0);
+  op_epoch_.assign(static_cast<size_t>(g.num_nodes()), 0);
+  sto_epoch_.assign(static_cast<size_t>(S), 0);
+  epoch_ = 0;
+}
+
+void SearchEngine::rebuild() {
+  const AllocProblem& prob = b_.prob();
+  occ_ = b_.occupancy();  // also validates legality
+  pair_refs_.clear();
+  sink_sources_.clear();
+  fu_refs_.assign(static_cast<size_t>(prob.fus().size()), 0);
+  reg_refs_.assign(static_cast<size_t>(prob.num_regs()), 0);
+  cost_ = CostBreakdown{};
+
+  const Cdfg& g = prob.cdfg();
+  const Lifetimes& lt = prob.lifetimes();
+  for (NodeId n : g.operations()) {
+    const FuId f = b_.op(n).fu;
+    if (++fu_refs_[static_cast<size_t>(f)] == 1) ++cost_.fus_used;
+  }
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    for (const auto& seg : b_.sto(sid).cells) {
+      for (const Cell& c : seg) {
+        if (++reg_refs_[static_cast<size_t>(c.reg)] == 1) ++cost_.regs_used;
+        if (c.via != kInvalidId &&
+            ++fu_refs_[static_cast<size_t>(c.via)] == 1)
+          ++cost_.fus_used;
+      }
+    }
+    add_gen(gen_reads(sid));
+    add_gen(gen_writes(sid));
+  }
+  for (NodeId n : g.operations())
+    if (op_info_[static_cast<size_t>(n)].has_const_ins) add_gen(gen_const(n));
+  recompute_total();
+  SALSA_DCHECK(matches_full_eval());
+}
+
+void SearchEngine::recompute_total() {
+  // Same expression as evaluate_cost, term for term, so totals compare
+  // bit-identically.
+  const CostWeights& w = b_.prob().weights();
+  cost_.total = w.fu * cost_.fus_used + w.reg * cost_.regs_used +
+                w.mux * cost_.muxes + w.conn * cost_.connections;
+}
+
+void SearchEngine::reset_to(const Binding& nb) {
+  SALSA_DCHECK(!in_txn_);
+  SALSA_CHECK_MSG(&nb.prob() == &b_.prob(),
+                  "SearchEngine::reset_to needs a binding of the same problem");
+  b_ = nb;
+  rebuild();
+}
+
+// ---------------------------------------------------------------------------
+// Use enumeration — one generator at a time, mirroring connection_uses().
+
+template <typename Fn>
+void SearchEngine::enum_gen_uses(int gen, Fn&& fn) const {
+  const AllocProblem& prob = b_.prob();
+  const Cdfg& g = prob.cdfg();
+  const Lifetimes& lt = prob.lifetimes();
+  const int L = prob.sched().length();
+
+  if (gen >= const_gen_base_) {  // constant operands of one operation
+    const NodeId n = gen - const_gen_base_;
+    const Node& nd = g.node(n);
+    const OpBind& ob = b_.op(n);
+    for (size_t k = 0; k < nd.ins.size(); ++k) {
+      if (!g.is_const_value(nd.ins[k])) continue;
+      const int slot = ob.swap ? 1 - static_cast<int>(k) : static_cast<int>(k);
+      fn(Endpoint{Endpoint::Kind::kConstPort, g.producer(nd.ins[k])},
+         Pin{slot == 0 ? Pin::Kind::kFuIn0 : Pin::Kind::kFuIn1, ob.fu});
+    }
+    return;
+  }
+
+  const int sid = gen / 2;
+  const Storage& s = lt.storage(sid);
+  const StorageBinding& sb = b_.sto(sid);
+  if (gen == gen_reads(sid)) {  // operand fetches and output samples
+    for (size_t ri = 0; ri < s.reads.size(); ++ri) {
+      const StorageRead& r = s.reads[ri];
+      const Endpoint src{Endpoint::Kind::kRegOut,
+                         b_.read_reg(sid, static_cast<int>(ri))};
+      const Node& cn = g.node(r.consumer);
+      if (cn.kind == OpKind::kOutput) {
+        fn(src, Pin{Pin::Kind::kOutPort, r.consumer});
+      } else {
+        const OpBind& ob = b_.op(r.consumer);
+        const int slot = ob.swap ? 1 - r.operand : r.operand;
+        fn(src,
+           Pin{slot == 0 ? Pin::Kind::kFuIn0 : Pin::Kind::kFuIn1, ob.fu});
+      }
+    }
+    return;
+  }
+
+  // Cell writes: producer latches, environment loads, transfers.
+  for (int seg = 0; seg < s.len; ++seg) {
+    for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
+      const Pin sink{Pin::Kind::kRegIn, c.reg};
+      if (seg == 0) {
+        if (s.producer == kInvalidId) {
+          fn(Endpoint{Endpoint::Kind::kInPort, g.producer(s.members[0])},
+             sink);
+        } else {
+          fn(Endpoint{Endpoint::Kind::kFuOut, b_.op(s.producer).fu}, sink);
+        }
+        continue;
+      }
+      const Cell& parent =
+          sb.cells[static_cast<size_t>(seg) - 1][static_cast<size_t>(c.parent)];
+      if (parent.reg == c.reg) continue;  // hold: no interconnect
+      if (c.via == kInvalidId) {
+        fn(Endpoint{Endpoint::Kind::kRegOut, parent.reg}, sink);
+      } else {
+        fn(Endpoint{Endpoint::Kind::kRegOut, parent.reg},
+           Pin{Pin::Kind::kFuIn0, c.via});
+        fn(Endpoint{Endpoint::Kind::kFuOut, c.via}, sink);
+      }
+    }
+  }
+  (void)L;
+}
+
+void SearchEngine::add_use(const Endpoint& src, const Pin& sink) {
+  if (!charge_consts_ && src.kind == Endpoint::Kind::kConstPort) return;
+  const uint32_t sk = pack(sink);
+  const uint64_t key = (static_cast<uint64_t>(sk) << 32) | pack(src);
+  if (++pair_refs_[key] == 1) {
+    ++cost_.connections;
+    if (++sink_sources_[sk] > 1) ++cost_.muxes;
+  }
+}
+
+void SearchEngine::remove_use(const Endpoint& src, const Pin& sink) {
+  if (!charge_consts_ && src.kind == Endpoint::Kind::kConstPort) return;
+  const uint32_t sk = pack(sink);
+  const uint64_t key = (static_cast<uint64_t>(sk) << 32) | pack(src);
+  auto it = pair_refs_.find(key);
+  SALSA_DCHECK(it != pair_refs_.end() && it->second > 0);
+  if (--it->second == 0) {
+    pair_refs_.erase(it);
+    --cost_.connections;
+    auto st = sink_sources_.find(sk);
+    SALSA_DCHECK(st != sink_sources_.end() && st->second > 0);
+    if (--st->second == 0)
+      sink_sources_.erase(st);
+    else
+      --cost_.muxes;
+  }
+}
+
+void SearchEngine::add_gen(int gen) {
+  enum_gen_uses(gen,
+                [this](const Endpoint& s, const Pin& p) { add_use(s, p); });
+}
+
+void SearchEngine::remove_gen(int gen) {
+  enum_gen_uses(gen,
+                [this](const Endpoint& s, const Pin& p) { remove_use(s, p); });
+}
+
+void SearchEngine::remove_gen_once(int gen) {
+  if (gen_epoch_[static_cast<size_t>(gen)] == epoch_) return;
+  gen_epoch_[static_cast<size_t>(gen)] = epoch_;
+  removed_gens_.push_back(gen);
+  remove_gen(gen);
+}
+
+// ---------------------------------------------------------------------------
+// Resource claims (occupancy slots + fus_used/regs_used refcounts).
+
+void SearchEngine::add_op_claims(NodeId n) {
+  const AllocProblem& prob = b_.prob();
+  const Schedule& sched = prob.sched();
+  const FuId f = b_.op(n).fu;
+  const int oc = sched.hw().occupancy(prob.cdfg().node(n).kind);
+  for (int t = sched.start(n); t < sched.start(n) + oc; ++t) {
+    int& slot = occ_.fu_user[static_cast<size_t>(f)][static_cast<size_t>(t)];
+    SALSA_DCHECK(slot == Occupancy::kFree);
+    slot = n;
+  }
+  if (++fu_refs_[static_cast<size_t>(f)] == 1) ++cost_.fus_used;
+}
+
+void SearchEngine::remove_op_claims(NodeId n) {
+  const AllocProblem& prob = b_.prob();
+  const Schedule& sched = prob.sched();
+  const FuId f = b_.op(n).fu;
+  const int oc = sched.hw().occupancy(prob.cdfg().node(n).kind);
+  for (int t = sched.start(n); t < sched.start(n) + oc; ++t) {
+    int& slot = occ_.fu_user[static_cast<size_t>(f)][static_cast<size_t>(t)];
+    SALSA_DCHECK(slot == n);
+    slot = Occupancy::kFree;
+  }
+  if (--fu_refs_[static_cast<size_t>(f)] == 0) --cost_.fus_used;
+}
+
+void SearchEngine::add_sto_claims(int sid) {
+  const Lifetimes& lt = b_.prob().lifetimes();
+  const int L = b_.prob().sched().length();
+  const Storage& s = lt.storage(sid);
+  const StorageBinding& sb = b_.sto(sid);
+  for (int seg = 0; seg < s.len; ++seg) {
+    const int step = s.step_at(seg, L);
+    for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
+      int& slot =
+          occ_.reg_sto[static_cast<size_t>(c.reg)][static_cast<size_t>(step)];
+      SALSA_DCHECK(slot == -1 || slot == sid);
+      slot = sid;
+      if (++reg_refs_[static_cast<size_t>(c.reg)] == 1) ++cost_.regs_used;
+      if (seg > 0 && c.via != kInvalidId) {
+        const int tstep = s.step_at(seg - 1, L);
+        int& fslot = occ_.fu_user[static_cast<size_t>(c.via)]
+                                 [static_cast<size_t>(tstep)];
+        SALSA_DCHECK(fslot == Occupancy::kFree);
+        fslot = Occupancy::kPassThrough;
+        if (++fu_refs_[static_cast<size_t>(c.via)] == 1) ++cost_.fus_used;
+      }
+    }
+  }
+}
+
+void SearchEngine::remove_sto_claims(int sid) {
+  const Lifetimes& lt = b_.prob().lifetimes();
+  const int L = b_.prob().sched().length();
+  const Storage& s = lt.storage(sid);
+  const StorageBinding& sb = b_.sto(sid);
+  for (int seg = 0; seg < s.len; ++seg) {
+    const int step = s.step_at(seg, L);
+    // Several cells of one segment may share the step slot only across
+    // distinct registers (legality), so each clears its own slot.
+    for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
+      int& slot =
+          occ_.reg_sto[static_cast<size_t>(c.reg)][static_cast<size_t>(step)];
+      SALSA_DCHECK(slot == sid);
+      slot = -1;
+      if (--reg_refs_[static_cast<size_t>(c.reg)] == 0) --cost_.regs_used;
+      if (seg > 0 && c.via != kInvalidId) {
+        const int tstep = s.step_at(seg - 1, L);
+        int& fslot = occ_.fu_user[static_cast<size_t>(c.via)]
+                                 [static_cast<size_t>(tstep)];
+        SALSA_DCHECK(fslot == Occupancy::kPassThrough);
+        fslot = Occupancy::kFree;
+        if (--fu_refs_[static_cast<size_t>(c.via)] == 0) --cost_.fus_used;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transactions.
+
+OpBind& SearchEngine::touch_op(NodeId n) {
+  SALSA_DCHECK(in_txn_);
+  if (op_epoch_[static_cast<size_t>(n)] != epoch_) {
+    op_epoch_[static_cast<size_t>(n)] = epoch_;
+    touched_ops_.push_back({n, b_.op(n)});
+    remove_op_claims(n);
+    for (int gen : op_info_[static_cast<size_t>(n)].gens)
+      remove_gen_once(gen);
+  }
+  return b_.op(n);
+}
+
+StorageBinding& SearchEngine::touch_sto(int sid) {
+  SALSA_DCHECK(in_txn_);
+  if (sto_epoch_[static_cast<size_t>(sid)] != epoch_) {
+    sto_epoch_[static_cast<size_t>(sid)] = epoch_;
+    touched_stos_.push_back({sid, b_.sto(sid)});
+    remove_sto_claims(sid);
+    remove_gen_once(gen_reads(sid));
+    remove_gen_once(gen_writes(sid));
+  }
+  return b_.sto(sid);
+}
+
+void SearchEngine::finish_mutation() {
+  // Normalisation may clear `via` fields, so it must precede the re-adds.
+  for (const TouchedSto& t : touched_stos_) b_.normalize_storage(t.sid);
+  for (const TouchedOp& t : touched_ops_) add_op_claims(t.n);
+  for (const TouchedSto& t : touched_stos_) add_sto_claims(t.sid);
+  for (int gen : removed_gens_) add_gen(gen);
+  recompute_total();
+}
+
+std::optional<double> SearchEngine::propose(MoveKind kind, Rng& rng) {
+  SALSA_DCHECK(!in_txn_);
+  in_txn_ = true;
+  ++epoch_;
+  total_before_ = cost_.total;
+  if (!detail::dispatch_move(*this, kind, rng)) {
+    SALSA_DCHECK(touched_ops_.empty() && touched_stos_.empty());
+    in_txn_ = false;
+    return std::nullopt;
+  }
+  finish_mutation();
+  pending_kind_ = kind;
+  pending_delta_ = cost_.total - total_before_;
+  ++steps_;
+  MoveKindStats& ks = kind_stats_[static_cast<size_t>(kind)];
+  ++ks.attempted;
+  ks.delta_sum += pending_delta_;
+  return pending_delta_;
+}
+
+void SearchEngine::commit() {
+  SALSA_DCHECK(in_txn_);
+  MoveKindStats& ks = kind_stats_[static_cast<size_t>(pending_kind_)];
+  ++ks.accepted;
+  ks.accepted_delta_sum += pending_delta_;
+  trace_decision(true);
+  end_txn();
+#ifndef NDEBUG
+  SALSA_CHECK(matches_full_eval());
+#endif
+}
+
+void SearchEngine::rollback() {
+  SALSA_DCHECK(in_txn_);
+  trace_decision(false);
+  // Retire the move's state, restore the saved units, re-derive.
+  for (const TouchedOp& t : touched_ops_) remove_op_claims(t.n);
+  for (const TouchedSto& t : touched_stos_) remove_sto_claims(t.sid);
+  for (int gen : removed_gens_) remove_gen(gen);
+  for (TouchedOp& t : touched_ops_) b_.op(t.n) = t.saved;
+  for (TouchedSto& t : touched_stos_) b_.sto(t.sid) = std::move(t.saved);
+  for (const TouchedOp& t : touched_ops_) add_op_claims(t.n);
+  for (const TouchedSto& t : touched_stos_) add_sto_claims(t.sid);
+  for (int gen : removed_gens_) add_gen(gen);
+  recompute_total();
+  SALSA_DCHECK(cost_.total == total_before_);
+  end_txn();
+}
+
+void SearchEngine::end_txn() {
+  touched_ops_.clear();
+  touched_stos_.clear();
+  removed_gens_.clear();
+  in_txn_ = false;
+}
+
+void SearchEngine::trace_decision(bool accepted) {
+  if (!trace_) return;
+  *trace_ << "{\"step\":" << steps_ << ",\"move\":\""
+          << move_name(pending_kind_) << "\",\"delta\":" << pending_delta_
+          << ",\"accepted\":" << (accepted ? "true" : "false");
+  if (aux_name_) *trace_ << ",\"" << aux_name_ << "\":" << aux_;
+  *trace_ << "}\n";
+}
+
+bool SearchEngine::matches_full_eval() const {
+  const CostBreakdown full = evaluate_cost(b_);
+  return full.fus_used == cost_.fus_used &&
+         full.regs_used == cost_.regs_used &&
+         full.connections == cost_.connections && full.muxes == cost_.muxes &&
+         full.total == cost_.total;
+}
+
+}  // namespace salsa

@@ -1,0 +1,185 @@
+// Incremental-cost search engine: the shared mutable state behind all
+// move-based searches (improver, annealer, ILS, and the allocator facade).
+//
+// The engine owns a working Binding together with three derived structures
+// kept consistent under move transactions:
+//   * the FU/register Occupancy grid (so feasibility checks never rebuild
+//     it per proposal);
+//   * a refcounted connection index — a hash multiset of charged
+//     (sink-pin, source-endpoint) pairs plus per-sink distinct-source
+//     counts — from which `connections`, `muxes` and the weighted total
+//     update in O(move footprint) instead of re-enumerating every routed
+//     data flow of the design (what evaluate_cost does);
+//   * per-FU and per-register use refcounts backing `fus_used`/`regs_used`.
+//
+// Move proposers mutate the binding through a transaction: `touch_op` /
+// `touch_sto` record undo state for the touched unit and retire its
+// connection uses and resource claims from the index *before* the mutation;
+// `propose()` re-derives the touched footprint afterwards and returns the
+// exact cost delta. The caller then either `commit()`s (keeps the move) or
+// `rollback()`s (restores the saved units and the previous index state).
+// Acceptance policies are therefore free of per-candidate Binding copies
+// and full cost evaluations.
+//
+// Consistency is guarded two ways: in !NDEBUG builds every commit
+// cross-checks the incremental breakdown against a fresh evaluate_cost
+// (SALSA_CHECK via matches_full_eval), and tests/test_incremental_cost.cpp
+// replays thousands of randomized commit/rollback transactions against the
+// full evaluator on several benchmarks.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/moves.h"
+
+namespace salsa {
+
+class SearchEngine {
+ public:
+  /// Builds the engine state from a legal, structurally complete binding
+  /// (O(design), done once per search).
+  explicit SearchEngine(const Binding& start);
+
+  const Binding& binding() const { return b_; }
+  const AllocProblem& prob() const { return b_.prob(); }
+  /// Incrementally maintained occupancy — always consistent with binding().
+  const Occupancy& occupancy() const { return occ_; }
+  /// Incrementally maintained cost breakdown of binding().
+  const CostBreakdown& cost() const { return cost_; }
+  double total() const { return cost_.total; }
+
+  // --- move transactions ----------------------------------------------
+  /// Attempts one random move of `kind`. On a feasible instance the move is
+  /// applied tentatively and the exact cost delta is returned; the caller
+  /// must then commit() or rollback(). Returns nullopt when no feasible
+  /// instance was found (no transaction is left open).
+  std::optional<double> propose(MoveKind kind, Rng& rng);
+  /// Keeps the proposed move. In !NDEBUG builds cross-checks the
+  /// incremental breakdown against a fresh evaluate_cost.
+  void commit();
+  /// Reverts the proposed move: binding, occupancy and cost return exactly
+  /// to their pre-propose state.
+  void rollback();
+  bool in_txn() const { return in_txn_; }
+
+  /// Replaces the working binding (same AllocProblem) and rebuilds all
+  /// derived state. O(design); used when a policy restarts from its best.
+  void reset_to(const Binding& b);
+
+  // --- mutation interface for move proposers ---------------------------
+  // Must be called inside propose()'s move dispatch, before mutating the
+  // unit, and only once the move is certain to succeed. The first touch of
+  // a unit saves its undo state and retires its uses from the index.
+  OpBind& touch_op(NodeId n);
+  StorageBinding& touch_sto(int sid);
+
+  // --- observability ----------------------------------------------------
+  /// Per-move-kind attempted/accepted/delta counters over the engine's
+  /// lifetime (includes every proposal routed through it, e.g. ILS kicks).
+  const std::array<MoveKindStats, kNumMoveKinds>& kind_stats() const {
+    return kind_stats_;
+  }
+  /// Proposals that found a feasible instance (committed or rolled back).
+  long steps() const { return steps_; }
+
+  /// Streams one JSONL record per decided proposal:
+  ///   {"step":N,"move":"F2:fu-move","delta":-3,"accepted":true,...}
+  /// nullptr disables tracing.
+  void set_trace(std::ostream* os) { trace_ = os; }
+  /// Adds a policy-side field (e.g. temperature or remaining uphill budget)
+  /// to subsequent trace records; nullptr name drops the field.
+  void set_trace_aux(const char* name, double value) {
+    aux_name_ = name;
+    aux_ = value;
+  }
+
+  /// True iff the incremental breakdown equals a fresh evaluate_cost.
+  bool matches_full_eval() const;
+
+ private:
+  struct TouchedOp {
+    NodeId n;
+    OpBind saved;
+  };
+  struct TouchedSto {
+    int sid;
+    StorageBinding saved;
+  };
+  /// Static (problem-side) description of which use generators an
+  /// operation's binding feeds. Generator ids: 2*sid = reads of storage
+  /// sid, 2*sid+1 = writes of storage sid, 2*S+n = constant operands of
+  /// node n.
+  struct OpInfo {
+    std::vector<int> gens;
+    bool has_const_ins = false;
+  };
+
+  void build_static();
+  void rebuild();
+  void recompute_total();
+
+  int gen_reads(int sid) const { return 2 * sid; }
+  int gen_writes(int sid) const { return 2 * sid + 1; }
+  int gen_const(NodeId n) const { return const_gen_base_ + n; }
+
+  template <typename Fn>
+  void enum_gen_uses(int gen, Fn&& fn) const;
+  void add_gen(int gen);
+  void remove_gen(int gen);
+  void remove_gen_once(int gen);
+  void add_use(const Endpoint& src, const Pin& sink);
+  void remove_use(const Endpoint& src, const Pin& sink);
+
+  void add_op_claims(NodeId n);
+  void remove_op_claims(NodeId n);
+  void add_sto_claims(int sid);
+  void remove_sto_claims(int sid);
+
+  void finish_mutation();
+  void end_txn();
+  void trace_decision(bool accepted);
+
+  Binding b_;
+  Occupancy occ_;
+  CostBreakdown cost_;
+
+  // Connection index: packed (sink, src) pair -> number of routed uses;
+  // packed sink -> number of distinct charged sources.
+  std::unordered_map<uint64_t, int> pair_refs_;
+  std::unordered_map<uint32_t, int> sink_sources_;
+  bool charge_consts_ = false;
+
+  std::vector<int> fu_refs_;
+  std::vector<int> reg_refs_;
+
+  std::vector<OpInfo> op_info_;  // indexed by NodeId (ops only populated)
+  int const_gen_base_ = 0;
+
+  // Transaction state. Epoch stamps give O(1) already-touched /
+  // already-removed checks without clearing arrays between proposals.
+  uint32_t epoch_ = 0;
+  std::vector<uint32_t> gen_epoch_;
+  std::vector<uint32_t> op_epoch_;
+  std::vector<uint32_t> sto_epoch_;
+  std::vector<TouchedOp> touched_ops_;
+  std::vector<TouchedSto> touched_stos_;
+  std::vector<int> removed_gens_;
+  bool in_txn_ = false;
+  double total_before_ = 0;
+  MoveKind pending_kind_{};
+  double pending_delta_ = 0;
+
+  std::array<MoveKindStats, kNumMoveKinds> kind_stats_{};
+  long steps_ = 0;
+  std::ostream* trace_ = nullptr;
+  const char* aux_name_ = nullptr;
+  double aux_ = 0;
+};
+
+}  // namespace salsa

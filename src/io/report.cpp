@@ -74,4 +74,30 @@ std::string allocation_report(const Binding& b) {
   return os.str();
 }
 
+std::string search_stats_report(const ImproveStats& stats) {
+  std::ostringstream os;
+  auto fmt = [](double v) {
+    std::ostringstream s;
+    s.precision(3);
+    s << v;
+    return s.str();
+  };
+  TextTable t;
+  t.header({"move", "attempted", "accepted", "accept%", "mean delta"});
+  for (int k = 0; k < kNumMoveKinds; ++k) {
+    const MoveKindStats& mk = stats.by_kind[static_cast<size_t>(k)];
+    if (mk.attempted == 0) continue;
+    const double rate =
+        100.0 * static_cast<double>(mk.accepted) /
+        static_cast<double>(mk.attempted);
+    t.row({move_name(static_cast<MoveKind>(k)), std::to_string(mk.attempted),
+           std::to_string(mk.accepted), fmt(rate), fmt(mk.mean_delta())});
+  }
+  os << t.render();
+  os << "trials " << stats.trials << ", attempted " << stats.attempted
+     << ", accepted " << stats.accepted << ", uphill " << stats.uphill
+     << ", kicks " << stats.kicks << "\n";
+  return os.str();
+}
+
 }  // namespace salsa

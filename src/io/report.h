@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/binding.h"
+#include "core/improver.h"
 
 namespace salsa {
 
@@ -16,5 +17,10 @@ std::string allocation_report(const Binding& b);
 /// One-line-per-storage register chain, e.g.
 ///   sv2: R3 R3 R3 ->R5(via ALU1) R5 | copy@2 R7
 std::string storage_chain(const Binding& b, int sid);
+
+/// Per-move-kind search statistics table (attempted, accepted, acceptance
+/// rate, mean proposed delta) plus a totals line including uphill moves and
+/// ILS kicks.
+std::string search_stats_report(const ImproveStats& stats);
 
 }  // namespace salsa

@@ -1,0 +1,190 @@
+// Randomized equivalence test for the incremental-cost SearchEngine: on
+// several benchmarks, thousands of move transactions are proposed and then
+// either committed or rolled back at random. After every single step the
+// engine's incrementally maintained cost breakdown must equal a fresh
+// evaluate_cost of its binding, field for field, and a rollback must
+// restore the binding (and occupancy) byte-identically.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "bench_suite/dct.h"
+#include "bench_suite/ewf.h"
+#include "bench_suite/random_cdfg.h"
+#include "core/cost.h"
+#include "core/improver.h"
+#include "core/initial.h"
+#include "core/search_engine.h"
+#include "core/verify.h"
+#include "io/report.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+struct Ctx {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  std::unique_ptr<AllocProblem> prob;
+
+  Ctx(Cdfg graph, int len, int extra_regs, CostWeights weights = {}) {
+    g = std::make_unique<Cdfg>(std::move(graph));
+    sched = std::make_unique<Schedule>(
+        schedule_min_fu(*g, HwSpec{}, len).schedule);
+    prob = std::make_unique<AllocProblem>(
+        *sched, FuPool::standard(peak_fu_demand(*sched)),
+        Lifetimes(*sched).min_registers() + extra_regs, weights);
+  }
+};
+
+void expect_same_breakdown(const CostBreakdown& inc, const CostBreakdown& full,
+                           long step) {
+  ASSERT_EQ(inc.fus_used, full.fus_used) << "at step " << step;
+  ASSERT_EQ(inc.regs_used, full.regs_used) << "at step " << step;
+  ASSERT_EQ(inc.connections, full.connections) << "at step " << step;
+  ASSERT_EQ(inc.muxes, full.muxes) << "at step " << step;
+  ASSERT_EQ(inc.total, full.total) << "at step " << step;
+}
+
+void expect_same_occupancy(const Occupancy& a, const Occupancy& b, long step) {
+  ASSERT_EQ(a.fu_user, b.fu_user) << "at step " << step;
+  ASSERT_EQ(a.reg_sto, b.reg_sto) << "at step " << step;
+}
+
+// Applies `target` feasible transactions, committing or rolling back at
+// random, checking the engine against the full evaluator at every step.
+void run_equivalence(const AllocProblem& prob, uint64_t seed, long target) {
+  Binding start = initial_allocation(prob, InitialOptions{.seed = seed});
+  SearchEngine eng(start);
+  const MoveConfig moves = MoveConfig::salsa_default();
+  Rng rng(seed * 7919 + 1);
+
+  long steps = 0;
+  long committed = 0, rolled_back = 0;
+  long proposals = 0;
+  const long proposal_cap = target * 50;  // in case feasibility is scarce
+  while (steps < target && proposals < proposal_cap) {
+    ++proposals;
+    const Binding before = eng.binding();
+    const double total_before = eng.total();
+    const auto delta = eng.propose(moves.pick(rng), rng);
+    if (!delta) {
+      // A failed proposal must leave no trace.
+      ASSERT_EQ(eng.binding(), before);
+      ASSERT_EQ(eng.total(), total_before);
+      continue;
+    }
+    ++steps;
+    if (rng.chance(0.5)) {
+      eng.commit();
+      ++committed;
+      ASSERT_NEAR(eng.total(), total_before + *delta, 1e-9);
+    } else {
+      eng.rollback();
+      ++rolled_back;
+      ASSERT_EQ(eng.binding(), before) << "rollback not byte-identical";
+      ASSERT_EQ(eng.total(), total_before);
+    }
+    expect_same_breakdown(eng.cost(), evaluate_cost(eng.binding()), steps);
+    if (steps % 256 == 0) {
+      expect_same_occupancy(eng.occupancy(), eng.binding().occupancy(), steps);
+      ASSERT_TRUE(verify(eng.binding()).empty()) << "illegal at step " << steps;
+    }
+  }
+  ASSERT_GE(steps, target) << "too few feasible moves";
+  EXPECT_GT(committed, 0);
+  EXPECT_GT(rolled_back, 0);
+  expect_same_occupancy(eng.occupancy(), eng.binding().occupancy(), steps);
+  ASSERT_TRUE(verify(eng.binding()).empty());
+}
+
+TEST(IncrementalCost, MatchesFullEvalOnEwf) {
+  Ctx ctx(make_ewf(), 17, 2);
+  run_equivalence(*ctx.prob, 11, 5000);
+}
+
+TEST(IncrementalCost, MatchesFullEvalOnDct) {
+  Ctx ctx(make_dct(), 9, 2);
+  run_equivalence(*ctx.prob, 23, 5000);
+}
+
+TEST(IncrementalCost, MatchesFullEvalOnRandomCdfg) {
+  RandomCdfgParams p;
+  p.num_ops = 24;
+  p.seed = 5;
+  Ctx ctx(make_random_cdfg(p), 12, 2);
+  run_equivalence(*ctx.prob, 37, 5000);
+}
+
+TEST(IncrementalCost, MatchesFullEvalWithChargedConstants) {
+  CostWeights w;
+  w.constants_cost = true;
+  Ctx ctx(make_ewf(), 19, 2, w);
+  run_equivalence(*ctx.prob, 41, 5000);
+}
+
+TEST(IncrementalCost, ResetToRebuildsCleanly) {
+  Ctx ctx(make_ewf(), 17, 1);
+  Binding a = initial_allocation(*ctx.prob, InitialOptions{.seed = 1});
+  Binding b = initial_allocation(*ctx.prob, InitialOptions{.seed = 2});
+  SearchEngine eng(a);
+  expect_same_breakdown(eng.cost(), evaluate_cost(a), 0);
+  eng.reset_to(b);
+  ASSERT_EQ(eng.binding(), b);
+  expect_same_breakdown(eng.cost(), evaluate_cost(b), 1);
+  EXPECT_TRUE(eng.matches_full_eval());
+}
+
+TEST(IncrementalCost, TraceStreamsJsonlRecords) {
+  Ctx ctx(make_ewf(), 17, 1);
+  Binding start = initial_allocation(*ctx.prob);
+  std::ostringstream trace;
+  ImproveParams p;
+  p.max_trials = 2;
+  p.moves_per_trial = 200;
+  p.trace = &trace;
+  improve(start, p);
+  const std::string out = trace.str();
+  ASSERT_FALSE(out.empty());
+  // Every line is one JSON object with the expected fields.
+  std::istringstream lines(out);
+  std::string line;
+  long records = 0;
+  while (std::getline(lines, line)) {
+    ++records;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"step\":"), std::string::npos);
+    EXPECT_NE(line.find("\"move\":"), std::string::npos);
+    EXPECT_NE(line.find("\"delta\":"), std::string::npos);
+    EXPECT_NE(line.find("\"accepted\":"), std::string::npos);
+    EXPECT_NE(line.find("\"uphill_left\":"), std::string::npos);
+  }
+  EXPECT_GT(records, 0);
+}
+
+TEST(IncrementalCost, PerKindStatsAndReport) {
+  Ctx ctx(make_ewf(), 17, 1);
+  Binding start = initial_allocation(*ctx.prob);
+  ImproveParams p;
+  p.max_trials = 3;
+  p.moves_per_trial = 500;
+  const ImproveResult res = improve(start, p);
+  long attempted = 0, accepted = 0;
+  for (const MoveKindStats& mk : res.stats.by_kind) {
+    attempted += mk.attempted;
+    accepted += mk.accepted;
+    EXPECT_LE(mk.accepted, mk.attempted);
+  }
+  EXPECT_EQ(attempted, res.stats.attempted);
+  EXPECT_EQ(accepted, res.stats.accepted);
+  const std::string report = search_stats_report(res.stats);
+  EXPECT_NE(report.find("F2:fu-move"), std::string::npos);
+  EXPECT_NE(report.find("accept%"), std::string::npos);
+  EXPECT_NE(report.find("kicks"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace salsa
