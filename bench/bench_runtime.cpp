@@ -149,6 +149,35 @@ void BM_FullDctAllocation(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDctAllocation)->Unit(benchmark::kMillisecond)->Iterations(3);
 
+// The headline parallel-runtime number: 16 independent restarts of the EWF
+// allocation, fanned out over the thread pool. The result is byte-identical
+// for every arg (the "cost" counter must not move); wall clock should fall
+// near-linearly until the core count is exhausted. Run with
+// --benchmark_format=json for a machine-readable threads-vs-wall-clock
+// record ("threads" counter vs "real_time").
+void BM_ParallelRestarts(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  double cost = 0;
+  for (auto _ : state) {
+    AllocatorOptions opts;
+    opts.improve = standard_improve(1);
+    opts.initial.seed = 1;
+    opts.restarts = 16;
+    opts.parallelism.threads = threads;
+    cost = allocate(*ewf17().problem, opts).cost.total;
+  }
+  state.counters["threads"] = threads;
+  state.counters["cost"] = cost;  // identical across args by construction
+}
+BENCHMARK(BM_ParallelRestarts)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
 void BM_ForceDirectedSchedule(benchmark::State& state) {
   Cdfg g = make_ewf();
   HwSpec hw;

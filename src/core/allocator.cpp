@@ -1,57 +1,100 @@
 #include "core/allocator.h"
 
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "core/verify.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace salsa {
+
+namespace {
+
+// One independent restart: constructive start (plus the optional
+// traditional-model warm start), then the extended-model improvement. The
+// warm-start and main-phase stats are merged here, per restart, so the
+// caller can sum per-restart totals in restart order — the same value
+// whichever thread ran the restart, and whichever restart finished first.
+struct RestartOutcome {
+  ImproveResult result;
+  ImproveStats stats;  ///< warm start + main phase, this restart only
+};
+
+RestartOutcome run_restart(const AllocProblem& prob,
+                           const AllocatorOptions& opts, int r) {
+  // Each restart draws its seeds from SplitMix64 streams rooted at the user
+  // seeds (even streams: placement, odd streams: search), replacing the old
+  // additive scheme whose streams collided for nearby user seeds.
+  const uint64_t rr = static_cast<uint64_t>(r);
+  InitialOptions init = opts.initial;
+  init.seed = derive_seed(opts.initial.seed, 2 * rr);
+  ImproveParams params = opts.improve;
+  params.seed = derive_seed(opts.improve.seed, 2 * rr + 1);
+
+  // The constructive start (contiguous-first, splitting only when forced).
+  // For the warm start, actively look for a fully contiguous placement
+  // across a few orders before settling for a split one.
+  Binding start = initial_allocation(prob, init);
+  if (opts.warm_start_traditional && !start.is_traditional()) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      try {
+        InitialOptions strict = init;
+        strict.allow_splits = false;
+        strict.seed = derive_seed(init.seed, 1 + static_cast<uint64_t>(attempt));
+        start = initial_allocation(prob, strict);
+        break;
+      } catch (const Error&) {
+        // no contiguous placement under this order; keep trying
+      }
+    }
+  }
+  ImproveStats stats;
+  if (opts.warm_start_traditional && start.is_traditional()) {
+    // Converge within the traditional model first — the extended moves
+    // then only have to *remove* interconnect from a good contiguous
+    // allocation (value segments, copies and pass-throughs strictly add
+    // freedom, so this warm start never hurts the final result).
+    ImproveParams warm = params;
+    warm.moves = MoveConfig::traditional();
+    warm.seed = params.seed ^ 0x5A15Au;
+    ImproveResult wr = improve(start, warm);
+    stats += wr.stats;
+    start = std::move(wr.best);
+  }
+  ImproveResult res = improve(start, params);
+  stats += res.stats;
+  return RestartOutcome{std::move(res), stats};
+}
+
+}  // namespace
 
 AllocationResult allocate(const AllocProblem& prob,
                           const AllocatorOptions& opts) {
   SALSA_CHECK_MSG(opts.restarts >= 1, "allocate needs at least one restart");
-  std::optional<ImproveResult> best;
-  ImproveStats total;
-  for (int r = 0; r < opts.restarts; ++r) {
-    InitialOptions init = opts.initial;
-    init.seed = opts.initial.seed + static_cast<uint64_t>(r) * 7919;
-    ImproveParams params = opts.improve;
-    params.seed = opts.improve.seed + static_cast<uint64_t>(r) * 104729;
+  Parallelism par = opts.parallelism;
+  // A traced search streams JSONL records; interleaving restarts would
+  // corrupt the stream, so tracing pins the run to the calling thread.
+  if (opts.improve.trace != nullptr) par = Parallelism::sequential_only();
 
-    // The constructive start (contiguous-first, splitting only when forced).
-    // For the warm start, actively look for a fully contiguous placement
-    // across a few orders before settling for a split one.
-    Binding start = initial_allocation(prob, init);
-    if (opts.warm_start_traditional && !start.is_traditional()) {
-      for (int attempt = 0; attempt < 8; ++attempt) {
-        try {
-          InitialOptions strict = init;
-          strict.allow_splits = false;
-          strict.seed = init.seed + 101 + static_cast<uint64_t>(attempt);
-          start = initial_allocation(prob, strict);
-          break;
-        } catch (const Error&) {
-          // no contiguous placement under this order; keep trying
-        }
-      }
-    }
-    if (opts.warm_start_traditional && start.is_traditional()) {
-      // Converge within the traditional model first — the extended moves
-      // then only have to *remove* interconnect from a good contiguous
-      // allocation (value segments, copies and pass-throughs strictly add
-      // freedom, so this warm start never hurts the final result).
-      ImproveParams warm = params;
-      warm.moves = MoveConfig::traditional();
-      warm.seed = params.seed ^ 0x5A15Au;
-      ImproveResult wr = improve(start, warm);
-      total += wr.stats;
-      start = std::move(wr.best);
-    }
-    ImproveResult res = improve(start, params);
-    total += res.stats;
-    if (!best || res.cost.total < best->cost.total) best = std::move(res);
+  std::vector<RestartOutcome> outcomes = parallel_map(
+      par, opts.restarts,
+      [&](int r) { return run_restart(prob, opts, r); });
+
+  // Deterministic reduction in restart order: stats sum index by index; the
+  // winner is the lowest cost, ties broken by the lowest restart index
+  // (strict < keeps the earliest of equals).
+  ImproveStats total;
+  size_t best = 0;
+  for (size_t r = 0; r < outcomes.size(); ++r) {
+    total += outcomes[r].stats;
+    if (outcomes[r].result.cost.total < outcomes[best].result.cost.total)
+      best = r;
   }
-  check_legal(best->best);
-  AllocationResult out{std::move(best->best), best->cost, {}, total};
+  ImproveResult& win = outcomes[best].result;
+  check_legal(win.best);
+  AllocationResult out{std::move(win.best), win.cost, {}, total};
   out.merging = merge_muxes(out.binding);
   return out;
 }

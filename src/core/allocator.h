@@ -7,6 +7,7 @@
 #include "core/improver.h"
 #include "core/initial.h"
 #include "core/mux_merge.h"
+#include "util/thread_pool.h"
 
 namespace salsa {
 
@@ -14,8 +15,17 @@ struct AllocatorOptions {
   ImproveParams improve;
   InitialOptions initial;
   /// Independent restarts (fresh initial allocation + search seed); the best
-  /// result wins.
+  /// result wins. Seed streams are SplitMix64-derived per restart
+  /// (util/rng.h:derive_seed), so restart r's trajectory is a function of
+  /// (user seeds, r) only — never of which thread ran it.
   int restarts = 1;
+  /// Restart-level parallelism. Results are byte-identical for every thread
+  /// count: each restart owns its seed streams and SearchEngine, and the
+  /// best-of reduction (lowest cost, then lowest restart index) plus the
+  /// stats accumulation run in restart order on the calling thread. Traced
+  /// runs (improve.trace != nullptr) are forced sequential so the JSONL
+  /// stream stays well-formed.
+  Parallelism parallelism;
   /// When the constructive start is contiguous, first converge within the
   /// traditional move set, then let the extended moves strip interconnect
   /// from that allocation. Disable for the pure-extended-search ablation.
@@ -26,7 +36,10 @@ struct AllocationResult {
   Binding binding;
   CostBreakdown cost;      ///< point-to-point cost before mux merging
   MuxMergeResult merging;  ///< greedy mux-merge outcome
-  ImproveStats stats;      ///< accumulated over restarts
+  /// Accumulated over restarts: each restart's warm-start and main-phase
+  /// stats are merged first, then the per-restart totals are summed in
+  /// restart order (deterministic under any parallelism).
+  ImproveStats stats;
 };
 
 /// Allocates the problem with the extended (SALSA) binding model.

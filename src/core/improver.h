@@ -59,6 +59,11 @@ struct ImproveStats {
       by_kind[static_cast<size_t>(k)] += o.by_kind[static_cast<size_t>(k)];
     return *this;
   }
+
+  /// Exact comparison (the double delta sums included): stats must be
+  /// bit-identical for every thread count, which is why the allocator sums
+  /// per-restart stats in restart order rather than in completion order.
+  friend bool operator==(const ImproveStats&, const ImproveStats&) = default;
 };
 
 struct ImproveResult {

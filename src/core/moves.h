@@ -93,6 +93,10 @@ struct MoveKindStats {
     accepted_delta_sum += o.accepted_delta_sum;
     return *this;
   }
+
+  /// Exact comparison (doubles included): used by the parallel runtime
+  /// tests to assert bit-identical stats for every thread count.
+  friend bool operator==(const MoveKindStats&, const MoveKindStats&) = default;
 };
 
 /// Attempts one random move of the given kind on `b`. Returns true if a

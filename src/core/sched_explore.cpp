@@ -1,45 +1,72 @@
 #include "core/sched_explore.h"
 
+#include <optional>
+#include <utility>
+
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace salsa {
+
+namespace {
+
+/// One schedule variant, fully owned: the allocation's binding refers to
+/// `problem`, which refers to `schedule` — nothing shared across variants.
+struct VariantOutcome {
+  std::unique_ptr<Schedule> schedule;
+  std::unique_ptr<AllocProblem> problem;
+  AllocationResult allocation;
+};
+
+}  // namespace
 
 ScheduleExploreResult explore_schedules(const Cdfg& cdfg, const HwSpec& hw,
                                         int length, const FuBudget& budget,
                                         const ScheduleExploreParams& params) {
-  Rng rng(params.seed);
-  ScheduleExploreResult out;
-
-  auto try_variant = [&](const Schedule& sched, uint64_t alloc_seed) {
-    const Lifetimes lt(sched);
-    auto schedule = std::make_unique<Schedule>(sched);
+  // Variant 0 is the deterministic baseline list schedule; variants 1..N
+  // jitter the scheduler's priorities with a per-variant SplitMix64 stream
+  // (even streams: jitter, odd streams: allocation seed). Every variant is
+  // an independent task; infeasible jittered variants drop out without
+  // shifting the other variants' seeds.
+  auto run_variant = [&](int v) -> std::optional<VariantOutcome> {
+    const uint64_t vv = static_cast<uint64_t>(v);
+    std::optional<Schedule> sched;
+    if (v == 0) {
+      sched = list_schedule(cdfg, hw, length, budget);
+      SALSA_CHECK_MSG(sched.has_value(),
+                      "explore_schedules: infeasible length/budget combination");
+    } else {
+      Rng jitter(derive_seed(params.seed, 2 * vv));
+      sched = list_schedule(cdfg, hw, length, budget, &jitter);
+      if (!sched) return std::nullopt;
+    }
+    auto schedule = std::make_unique<Schedule>(std::move(*sched));
+    const Lifetimes lt(*schedule);
     auto problem = std::make_unique<AllocProblem>(
         *schedule, FuPool::standard(budget),
         lt.min_registers() + params.extra_regs);
     AllocatorOptions opts = params.alloc;
-    opts.improve.seed = alloc_seed;
+    opts.improve.seed = derive_seed(params.seed, 2 * vv + 1);
     AllocationResult res = allocate(*problem, opts);
-    out.variant_costs.push_back(res.cost.total);
-    out.variant_stats.push_back(res.stats);
-    if (!out.allocation || res.cost.total < out.allocation->cost.total) {
-      out.schedule = std::move(schedule);
-      out.problem = std::move(problem);
-      out.allocation.emplace(std::move(res));
-    }
+    return VariantOutcome{std::move(schedule), std::move(problem),
+                          std::move(res)};
   };
+  auto outcomes = parallel_map(params.parallelism, params.variants + 1,
+                               run_variant);
 
-  // Baseline: deterministic list schedule.
-  const auto base = list_schedule(cdfg, hw, length, budget);
-  SALSA_CHECK_MSG(base.has_value(),
-                  "explore_schedules: infeasible length/budget combination");
-  try_variant(*base, params.seed * 31 + 1);
-
-  for (int v = 0; v < params.variants; ++v) {
-    const auto variant = list_schedule(cdfg, hw, length, budget, &rng);
-    if (!variant) continue;
-    // Variants whose peak demand exceeds the budget cannot happen (the
-    // scheduler enforces it); allocate and compare.
-    try_variant(*variant, params.seed * 31 + 2 + static_cast<uint64_t>(v));
+  // Reduction in variant order: baseline first, strict < keeps the earliest
+  // of cost ties — identical for every thread count.
+  ScheduleExploreResult out;
+  for (auto& oc : outcomes) {
+    if (!oc) continue;
+    out.variant_costs.push_back(oc->allocation.cost.total);
+    out.variant_stats.push_back(oc->allocation.stats);
+    if (!out.allocation ||
+        oc->allocation.cost.total < out.allocation->cost.total) {
+      out.schedule = std::move(oc->schedule);
+      out.problem = std::move(oc->problem);
+      out.allocation.emplace(std::move(oc->allocation));
+    }
   }
   return out;
 }

@@ -22,6 +22,13 @@ struct ScheduleExploreParams {
   AllocatorOptions alloc;
   int extra_regs = 1;  ///< register budget above each variant's minimum
   uint64_t seed = 1;
+  /// Variant-level parallelism. Each variant owns its Schedule/AllocProblem
+  /// and draws schedule jitter and allocation seeds from SplitMix64 streams
+  /// of `seed`, so the winner, variant_costs and variant_stats are
+  /// byte-identical for every thread count (reduction in variant order,
+  /// ties keep the earliest variant). Composes with alloc.parallelism —
+  /// nested parallel_for calls share one process-wide pool.
+  Parallelism parallelism;
 };
 
 struct ScheduleExploreResult {

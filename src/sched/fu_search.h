@@ -6,6 +6,7 @@
 #pragma once
 
 #include "sched/list_scheduler.h"
+#include "util/thread_pool.h"
 
 namespace salsa {
 
@@ -18,8 +19,12 @@ struct FuSearchResult {
 FuBudget peak_fu_demand(const Schedule& sched);
 
 /// Finds a schedule of `length` steps minimising alu_cost*#ALU +
-/// mul_cost*#MUL. Throws if `length` is infeasible.
+/// mul_cost*#MUL. Throws if `length` is infeasible. The candidate FU
+/// lattice is probed with the list scheduler under `par`; the probe set and
+/// the in-order reduction are independent of the thread count, so the
+/// result is identical for any parallelism.
 FuSearchResult schedule_min_fu(const Cdfg& cdfg, const HwSpec& hw, int length,
-                               double alu_cost = 1.0, double mul_cost = 4.0);
+                               double alu_cost = 1.0, double mul_cost = 4.0,
+                               const Parallelism& par = {});
 
 }  // namespace salsa

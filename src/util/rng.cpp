@@ -4,17 +4,26 @@ namespace salsa {
 
 namespace {
 
-uint64_t splitmix64(uint64_t& x) {
-  x += 0x9E3779B97f4A7C15u;
-  uint64_t z = x;
+constexpr uint64_t kGolden = 0x9E3779B97f4A7C15u;
+
+uint64_t splitmix64_mix(uint64_t z) {
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9u;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBu;
   return z ^ (z >> 31);
 }
 
+uint64_t splitmix64(uint64_t& x) {
+  x += kGolden;
+  return splitmix64_mix(x);
+}
+
 uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
+
+uint64_t derive_seed(uint64_t base, uint64_t stream) {
+  return splitmix64_mix(base + (stream + 1) * kGolden);
+}
 
 void Rng::reseed(uint64_t seed) {
   for (auto& s : s_) s = splitmix64(seed);

@@ -12,6 +12,16 @@
 
 namespace salsa {
 
+/// Derives an independent seed for stream `stream` of a seed family rooted
+/// at `base` (SplitMix64: golden-gamma increment + finalizer). Used wherever
+/// one user-facing seed fans out into per-restart / per-variant / per-probe
+/// streams. Unlike the additive schemes it replaced (`seed + r*7919`),
+/// nearby bases cannot collide across streams — two derivations coincide
+/// only if the bases differ by an exact multiple of the 64-bit golden ratio
+/// constant — and the finalizer decorrelates consecutive stream indices.
+/// Stream 0 is already mixed: derive_seed(s, 0) != s in general.
+uint64_t derive_seed(uint64_t base, uint64_t stream);
+
 /// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
 class Rng {
  public:

@@ -1,0 +1,186 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/diagnostics.h"
+
+namespace salsa {
+
+namespace {
+
+// One parallel_for invocation: an atomic cursor over [0, n) plus completion
+// bookkeeping. Participants (the caller and any stolen-in workers) claim
+// indices with fetch_add until the cursor passes n.
+struct Batch {
+  int n = 0;
+  const std::function<void(int)>* fn = nullptr;
+  std::atomic<int> next{0};
+  std::atomic<int> done{0};
+  /// Worker slots still available (the caller is not counted here).
+  int worker_slots = 0;
+  std::vector<std::exception_ptr> errors;  // one slot per index
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  bool claimable() const { return next.load(std::memory_order_relaxed) < n; }
+};
+
+// Executes indices from `b` until the cursor is exhausted. Returns after
+// contributing; does not wait for other participants.
+void drain(Batch& b) {
+  for (;;) {
+    const int i = b.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= b.n) break;
+    try {
+      (*b.fn)(i);
+    } catch (...) {
+      b.errors[static_cast<size_t>(i)] = std::current_exception();
+    }
+    if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.n) {
+      // Last index: wake the batch owner. Taking the lock orders the notify
+      // after the owner's predicate check, so the wakeup cannot be missed.
+      std::lock_guard<std::mutex> lock(b.done_mutex);
+      b.done_cv.notify_all();
+    }
+  }
+}
+
+// Process-wide worker pool. Workers are spawned lazily up to the largest
+// participant count any parallel_for has requested, and sleep whenever no
+// batch has both unclaimed indices and a free worker slot.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  void run(int participants, int n, const std::function<void(int)>& fn) {
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->fn = &fn;
+    batch->errors.resize(static_cast<size_t>(n));
+    batch->worker_slots = participants - 1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ensure_workers_locked(participants - 1);
+      batches_.push_back(batch);
+    }
+    work_cv_.notify_all();
+
+    drain(*batch);
+    {
+      std::unique_lock<std::mutex> lock(batch->done_mutex);
+      batch->done_cv.wait(lock, [&] {
+        return batch->done.load(std::memory_order_acquire) == batch->n;
+      });
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      std::erase(batches_, batch);
+    }
+    for (const std::exception_ptr& e : batch->errors)
+      if (e) std::rethrow_exception(e);
+  }
+
+ private:
+  Pool() = default;
+
+  void ensure_workers_locked(int wanted) {
+    while (static_cast<int>(workers_.size()) < wanted)
+      workers_.emplace_back([this] { worker_loop(); });
+  }
+
+  // Oldest batch with unclaimed indices and a free worker slot; takes the
+  // slot. Called under mutex_.
+  std::shared_ptr<Batch> take_batch_locked() {
+    for (const auto& b : batches_) {
+      if (b->claimable() && b->worker_slots > 0) {
+        --b->worker_slots;
+        return b;
+      }
+    }
+    return nullptr;
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::shared_ptr<Batch> batch;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        work_cv_.wait(lock, [&] {
+          return stop_ || (batch = take_batch_locked()) != nullptr;
+        });
+        if (stop_) return;
+      }
+      drain(*batch);
+      // The slot is not returned: a drained participant leaving means the
+      // cursor is exhausted (or will be momentarily), so re-joining the
+      // same batch buys nothing.
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  bool stop_ = false;
+  std::deque<std::shared_ptr<Batch>> batches_;
+  std::vector<std::thread> workers_;  // joined by ~Pool at process exit
+};
+
+}  // namespace
+
+int default_thread_count() {
+  if (const char* env = std::getenv("SALSA_THREADS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int Parallelism::resolve() const {
+  return threads > 0 ? threads : default_thread_count();
+}
+
+void parallel_for(const Parallelism& par, int n,
+                  const std::function<void(int)>& fn) {
+  SALSA_CHECK_MSG(n >= 0, "parallel_for needs a non-negative index count");
+  if (n == 0) return;
+  const int participants = std::min(par.resolve(), n);
+  if (participants <= 1 || n == 1) {
+    // Sequential reference path. Runs the indices in order; exceptions are
+    // still deferred to the end (lowest index wins) so failure behaviour
+    // matches the parallel path exactly.
+    std::vector<std::exception_ptr> errors(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        errors[static_cast<size_t>(i)] = std::current_exception();
+      }
+    }
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+    return;
+  }
+  Pool::instance().run(participants, n, fn);
+}
+
+}  // namespace salsa
