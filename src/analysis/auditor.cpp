@@ -1,0 +1,83 @@
+#include "analysis/auditor.h"
+
+#include <sstream>
+
+#include "analysis/digest.h"
+#include "core/verify.h"
+
+namespace salsa {
+
+void InvariantAuditor::violation(const std::string& what) const {
+  std::ostringstream os;
+  os << "SalsaCheck violation at transaction " << stats_.txns << ": " << what;
+  fail(os.str());
+}
+
+void InvariantAuditor::on_txn_begin(const SearchEngine& eng) {
+  ++stats_.txns;
+  auditing_ = opts_.every <= 1 || stats_.txns % opts_.every == 1;
+  if (!auditing_) return;
+  ++stats_.audited;
+  if (opts_.check_digest) digest_before_ = digest_binding(eng.binding());
+  total_before_ = eng.total();
+}
+
+void InvariantAuditor::on_txn_abort(const SearchEngine& eng) {
+  ++stats_.aborts;
+  if (!auditing_) return;
+  if (opts_.check_digest && digest_binding(eng.binding()) != digest_before_)
+    violation("infeasible proposal mutated the binding");
+  if (eng.total() != total_before_)
+    violation("infeasible proposal changed the incremental total");
+}
+
+void InvariantAuditor::on_commit(const SearchEngine& eng, double delta) {
+  ++stats_.commits;
+  if (!auditing_) return;
+  if (opts_.verify_binding) {
+    const auto bad = verify(eng.binding());
+    if (!bad.empty()) {
+      std::string what = "committed binding is illegal:";
+      for (const auto& m : bad) what += "\n  - " + m;
+      violation(what);
+    }
+  }
+  if (opts_.check_index) {
+    std::string why;
+    if (!eng.index_matches_rebuild(&why))
+      violation("derived state drifted after commit: " + why);
+  }
+  if (opts_.check_cost) {
+    const CostBreakdown full = evaluate_cost(eng.binding());
+    const CostBreakdown& inc = eng.cost();
+    if (full.fus_used != inc.fus_used || full.regs_used != inc.regs_used ||
+        full.connections != inc.connections || full.muxes != inc.muxes ||
+        full.total != inc.total) {
+      std::ostringstream os;
+      os << "incremental cost breakdown diverged from evaluate_cost: "
+         << "incremental (fu " << inc.fus_used << ", reg " << inc.regs_used
+         << ", conn " << inc.connections << ", mux " << inc.muxes << ", total "
+         << inc.total << ") vs full (fu " << full.fus_used << ", reg "
+         << full.regs_used << ", conn " << full.connections << ", mux "
+         << full.muxes << ", total " << full.total << ")";
+      violation(os.str());
+    }
+    if (full.total - total_before_ != delta) {
+      std::ostringstream os;
+      os << "committed delta " << delta << " does not equal the exact "
+         << "from-scratch difference " << (full.total - total_before_);
+      violation(os.str());
+    }
+  }
+}
+
+void InvariantAuditor::on_rollback(const SearchEngine& eng) {
+  ++stats_.rollbacks;
+  if (!auditing_) return;
+  if (opts_.check_digest && digest_binding(eng.binding()) != digest_before_)
+    violation("rollback did not restore the binding byte-identically");
+  if (eng.total() != total_before_)
+    violation("rollback did not restore the incremental total");
+}
+
+}  // namespace salsa

@@ -1,0 +1,75 @@
+// SalsaCheck: a search-time invariant auditor over SearchEngine move
+// transactions. Installed as the engine's SearchObserver (see
+// core/search_engine.h), it proves the incremental machinery honest on
+// every audited transaction:
+//
+//   (a) the working binding satisfies every rule of the extended binding
+//       model (salsa::verify());
+//   (b) the refcounted connection index, the FU/register use refcounts, the
+//       occupancy grid and the cost breakdown all equal a from-scratch
+//       rebuild (SearchEngine::index_matches_rebuild);
+//   (c) the cost recomputed from scratch matches the incrementally
+//       maintained total, and the committed delta equals the exact
+//       difference of totals — no tolerance, the engine recomputes the
+//       weighted sum from integer counts so equality must be bitwise;
+//   (d) an FNV-1a digest of the canonical binding serialization taken
+//       before the move equals the digest after its undo (rollback) or
+//       after an infeasible proposal (abort), proving byte-identical
+//       restoration.
+//
+// A violation throws salsa::Error with the failing check and transaction
+// number. Checked mode is enabled through AllocatorOptions::checked (or
+// SALSA_CHECK=1 in the environment — see core/allocator.h); the observer
+// hooks themselves are compiled in always and cost one null check when off.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/search_engine.h"
+
+namespace salsa {
+
+struct AuditorOptions {
+  /// Audit every Nth transaction in full (1 = every transaction). The
+  /// digest/verify/rebuild checks are O(design) each, so a full audit of
+  /// every transaction turns an O(move footprint) search step into an
+  /// O(design) one; raise this to spot-check long searches.
+  long every = 1;
+  bool verify_binding = true;  ///< check (a)
+  bool check_index = true;     ///< check (b)
+  bool check_cost = true;      ///< check (c)
+  bool check_digest = true;    ///< check (d)
+};
+
+struct AuditorStats {
+  long txns = 0;       ///< transactions observed (feasible or not)
+  long audited = 0;    ///< transactions fully audited
+  long commits = 0;
+  long rollbacks = 0;
+  long aborts = 0;     ///< infeasible proposals observed
+};
+
+class InvariantAuditor final : public SearchObserver {
+ public:
+  explicit InvariantAuditor(AuditorOptions opts = {}) : opts_(opts) {}
+
+  const AuditorStats& stats() const { return stats_; }
+
+  // SearchObserver:
+  void on_txn_begin(const SearchEngine& eng) override;
+  void on_txn_abort(const SearchEngine& eng) override;
+  void on_commit(const SearchEngine& eng, double delta) override;
+  void on_rollback(const SearchEngine& eng) override;
+
+ private:
+  [[noreturn]] void violation(const std::string& what) const;
+
+  AuditorOptions opts_;
+  AuditorStats stats_;
+  bool auditing_ = false;        ///< current transaction is audited
+  uint64_t digest_before_ = 0;   ///< binding digest at txn begin
+  double total_before_ = 0;      ///< incremental total at txn begin
+};
+
+}  // namespace salsa

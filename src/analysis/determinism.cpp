@@ -1,0 +1,82 @@
+#include "analysis/determinism.h"
+
+#include <sstream>
+
+#include "analysis/digest.h"
+
+namespace salsa {
+
+uint64_t digest_allocation(const AllocationResult& result) {
+  Fnv1a h;
+  digest_binding(h, result.binding);
+  digest_cost(h, result.cost);
+  h.i32(result.merging.muxes_before);
+  h.i32(result.merging.muxes_after);
+  const ImproveStats& s = result.stats;
+  h.i32(s.trials);
+  h.u64(static_cast<uint64_t>(s.attempted));
+  h.u64(static_cast<uint64_t>(s.accepted));
+  h.u64(static_cast<uint64_t>(s.uphill));
+  h.u64(static_cast<uint64_t>(s.kicks));
+  for (const MoveKindStats& mk : s.by_kind) {
+    h.u64(static_cast<uint64_t>(mk.attempted));
+    h.u64(static_cast<uint64_t>(mk.accepted));
+    h.f64(mk.delta_sum);
+    h.f64(mk.accepted_delta_sum);
+  }
+  return h.value();
+}
+
+DeterminismReport audit_determinism(const AllocProblem& prob,
+                                    AllocatorOptions opts,
+                                    const DeterminismOptions& dopts) {
+  DeterminismReport rep;
+  rep.thread_counts = dopts.thread_counts;
+  SALSA_CHECK_MSG(!dopts.thread_counts.empty(),
+                  "determinism audit needs at least one thread count");
+
+  for (int tc : dopts.thread_counts) {
+    std::vector<uint64_t> stream;
+    opts.parallelism = Parallelism{tc};
+    opts.restart_digests = &stream;
+    const AllocationResult result = allocate(prob, opts);
+    rep.restart_streams.push_back(std::move(stream));
+    rep.result_digests.push_back(digest_allocation(result));
+  }
+
+  const auto& ref_stream = rep.restart_streams.front();
+  for (size_t i = 1; i < rep.thread_counts.size() && rep.ok; ++i) {
+    const auto& stream = rep.restart_streams[i];
+    if (stream.size() != ref_stream.size()) {
+      rep.ok = false;
+      std::ostringstream os;
+      os << "restart count diverged: " << ref_stream.size() << " at threads "
+         << rep.thread_counts[0] << " vs " << stream.size() << " at threads "
+         << rep.thread_counts[i];
+      rep.detail = os.str();
+      break;
+    }
+    for (size_t r = 0; r < stream.size(); ++r) {
+      if (stream[r] != ref_stream[r]) {
+        rep.ok = false;
+        std::ostringstream os;
+        os << "restart " << r << " digest diverged between threads "
+           << rep.thread_counts[0] << " and " << rep.thread_counts[i]
+           << ": its trajectory depended on which thread ran it";
+        rep.detail = os.str();
+        break;
+      }
+    }
+    if (rep.ok && rep.result_digests[i] != rep.result_digests[0]) {
+      rep.ok = false;
+      std::ostringstream os;
+      os << "final result digest diverged between threads "
+         << rep.thread_counts[0] << " and " << rep.thread_counts[i]
+         << " despite identical restart streams (reduction order bug)";
+      rep.detail = os.str();
+    }
+  }
+  return rep;
+}
+
+}  // namespace salsa

@@ -1,0 +1,50 @@
+// Determinism audit: turns the parallel runtime's "byte-identical results
+// for every thread count" claim (DESIGN.md, "Parallel search runtime") into
+// a checked property. allocate() is replayed once per requested thread
+// count; for each run the audit records the per-restart binding digest
+// stream (AllocatorOptions::restart_digests, emitted in restart order) and
+// a digest of the final result (winning binding + cost breakdown + summed
+// search stats, doubles hashed by bit pattern). Any divergence between two
+// thread counts — a differing restart digest pinpoints *which* restart's
+// trajectory depended on scheduling — fails the audit with a description.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/allocator.h"
+
+namespace salsa {
+
+struct DeterminismOptions {
+  /// Thread counts to replay allocate() at. The first entry is the
+  /// reference the others are diffed against.
+  std::vector<int> thread_counts{1, 2, 8};
+};
+
+struct DeterminismReport {
+  bool ok = true;
+  /// Human-readable description of the first divergence (empty when ok).
+  std::string detail;
+  std::vector<int> thread_counts;
+  /// restart_streams[i][r]: digest of restart r's binding at thread_counts[i].
+  std::vector<std::vector<uint64_t>> restart_streams;
+  /// result_digests[i]: digest of the full AllocationResult at
+  /// thread_counts[i].
+  std::vector<uint64_t> result_digests;
+};
+
+/// Digest of a complete allocation result: winning binding, point-to-point
+/// cost, mux-merge outcome and accumulated search stats.
+uint64_t digest_allocation(const AllocationResult& result);
+
+/// Replays allocate(prob, opts) at each thread count and diffs the digest
+/// streams. `opts.parallelism` and `opts.restart_digests` are overridden
+/// per run; every other option (seeds, restarts, checked mode) is used as
+/// given, so the audit can run with or without the invariant auditor.
+DeterminismReport audit_determinism(const AllocProblem& prob,
+                                    AllocatorOptions opts,
+                                    const DeterminismOptions& dopts = {});
+
+}  // namespace salsa

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "util/strings.h"
+
 namespace salsa {
 
 Cdfg make_ar_filter() {
@@ -9,7 +11,7 @@ Cdfg make_ar_filter() {
   const ValueId in = g.add_input("in");
   std::array<ValueId, 4> r{};
   for (int i = 0; i < 4; ++i)
-    r[static_cast<size_t>(i)] = g.add_state("r" + std::to_string(i + 1));
+    r[static_cast<size_t>(i)] = g.add_state(numbered("r", i + 1));
 
   auto mul = [&](ValueId a, ValueId b, const std::string& n) {
     return g.add_op(OpKind::kMul, a, b, n);

@@ -2,13 +2,15 @@
 
 #include <array>
 
+#include "util/strings.h"
+
 namespace salsa {
 
 Cdfg make_dct() {
   Cdfg g("dct8");
   std::array<ValueId, 8> x{};
   for (int i = 0; i < 8; ++i)
-    x[static_cast<size_t>(i)] = g.add_input("x" + std::to_string(i));
+    x[static_cast<size_t>(i)] = g.add_input(numbered("x", i));
 
   const ValueId c1 = g.add_const(251, "c1");
   const ValueId c2 = g.add_const(237, "c2");

@@ -2,6 +2,8 @@
 
 #include <array>
 
+#include "util/strings.h"
+
 namespace salsa {
 
 Cdfg make_fir8() {
@@ -9,7 +11,7 @@ Cdfg make_fir8() {
   const ValueId in = g.add_input("in");
   std::array<ValueId, 7> tap{};
   for (int i = 0; i < 7; ++i)
-    tap[static_cast<size_t>(i)] = g.add_state("z" + std::to_string(i + 1));
+    tap[static_cast<size_t>(i)] = g.add_state(numbered("z", i + 1));
 
   // Delay-line shift: z1' = in, z_{k}' = z_{k-1}. A state's next content
   // must be a computed value, so each shift is an explicit Nop move.
@@ -17,16 +19,16 @@ Cdfg make_fir8() {
   for (int i = 1; i < 7; ++i)
     g.set_state_next(tap[static_cast<size_t>(i)],
                      g.add_nop(tap[static_cast<size_t>(i - 1)],
-                               "shift" + std::to_string(i + 1)));
+                               numbered("shift", i + 1)));
 
   // Tapped sum: y = c0*in + sum c_i * z_i.
   ValueId acc = g.add_op(OpKind::kMul, in, g.add_const(2, "c0"), "p0");
   for (int i = 0; i < 7; ++i) {
     const ValueId p = g.add_op(
         OpKind::kMul, tap[static_cast<size_t>(i)],
-        g.add_const(3 + 2 * i, "c" + std::to_string(i + 1)),
-        "p" + std::to_string(i + 1));
-    acc = g.add_op(OpKind::kAdd, acc, p, "acc" + std::to_string(i + 1));
+        g.add_const(3 + 2 * i, numbered("c", i + 1)),
+        numbered("p", i + 1));
+    acc = g.add_op(OpKind::kAdd, acc, p, numbered("acc", i + 1));
   }
   g.add_output(acc, "y");
   g.validate();

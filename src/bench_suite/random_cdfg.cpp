@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace salsa {
 
@@ -38,7 +39,7 @@ Cdfg make_random_cdfg(const RandomCdfgParams& p) {
   for (int i = 0; i < p.num_inputs; ++i)
     pool.push_back(g.add_input("in" + std::to_string(i)));
   for (int i = 0; i < p.num_consts; ++i)
-    pool.push_back(g.add_const(rng.range(-9, 9), "k" + std::to_string(i)));
+    pool.push_back(g.add_const(rng.range(-9, 9), numbered("k", i)));
   for (int i = 0; i < p.num_states; ++i) {
     const ValueId s = g.add_state("st" + std::to_string(i));
     states.push_back(s);

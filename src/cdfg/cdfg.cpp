@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/strings.h"
+
 namespace salsa {
 
 bool is_binary(OpKind k) {
@@ -53,7 +55,7 @@ ValueId Cdfg::add_input(std::string name) {
 }
 
 ValueId Cdfg::add_const(int64_t value, std::string name) {
-  if (name.empty()) name = "c" + std::to_string(value);
+  if (name.empty()) name = numbered("c", value);
   Node n;
   n.kind = OpKind::kConst;
   n.name = name;

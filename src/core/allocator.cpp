@@ -1,14 +1,33 @@
 #include "core/allocator.h"
 
+#include <cstdlib>
 #include <optional>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "analysis/auditor.h"
+#include "analysis/digest.h"
 #include "core/verify.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace salsa {
+
+CheckMode default_check_mode() {
+  static const CheckMode mode = [] {
+    const char* env = std::getenv("SALSA_CHECK");
+    if (env == nullptr) return CheckMode::kFinal;
+    const std::string v(env);
+    if (v == "0" || v == "off") return CheckMode::kOff;
+    if (v == "final") return CheckMode::kFinal;
+    if (v == "1" || v == "on" || v == "audit" || v == "full")
+      return CheckMode::kAudit;
+    fail("SALSA_CHECK must be 0/off, final, or 1/on/audit/full; got '" + v +
+         "'");
+  }();
+  return mode;
+}
 
 namespace {
 
@@ -32,6 +51,15 @@ RestartOutcome run_restart(const AllocProblem& prob,
   init.seed = derive_seed(opts.initial.seed, 2 * rr);
   ImproveParams params = opts.improve;
   params.seed = derive_seed(opts.improve.seed, 2 * rr + 1);
+
+  // Checked mode: this restart's engines run under their own invariant
+  // auditor (restarts may run on different threads; the auditor is
+  // engine-local state, so each restart owns one).
+  std::optional<InvariantAuditor> auditor;
+  if (opts.checked == CheckMode::kAudit) {
+    auditor.emplace(AuditorOptions{.every = opts.audit_every});
+    params.observer = &*auditor;
+  }
 
   // The constructive start (contiguous-first, splitting only when forced).
   // For the warm start, actively look for a fully contiguous placement
@@ -87,13 +115,22 @@ AllocationResult allocate(const AllocProblem& prob,
   // (strict < keeps the earliest of equals).
   ImproveStats total;
   size_t best = 0;
+  if (opts.restart_digests) {
+    opts.restart_digests->clear();
+    opts.restart_digests->reserve(outcomes.size());
+  }
   for (size_t r = 0; r < outcomes.size(); ++r) {
     total += outcomes[r].stats;
+    if (opts.restart_digests)
+      opts.restart_digests->push_back(digest_binding(outcomes[r].result.best));
     if (outcomes[r].result.cost.total < outcomes[best].result.cost.total)
       best = r;
   }
   ImproveResult& win = outcomes[best].result;
-  check_legal(win.best);
+  // Routed through the checked-mode knob: release callers that validate
+  // results elsewhere can opt out (checked = CheckMode::kOff) of the
+  // previously unconditional O(design) legality check.
+  if (opts.checked != CheckMode::kOff) check_legal(win.best);
   AllocationResult out{std::move(win.best), win.cost, {}, total};
   out.merging = merge_muxes(out.binding);
   return out;

@@ -4,12 +4,35 @@
 // mux-merging post-pass. This is the facade examples and benchmarks use.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/improver.h"
 #include "core/initial.h"
 #include "core/mux_merge.h"
 #include "util/thread_pool.h"
 
 namespace salsa {
+
+/// How much self-checking allocate() performs (the knob the SalsaCheck
+/// subsystem hangs off — see src/analysis/auditor.h):
+///   kOff   — no checks at all: the caller owns result validation (release
+///            hot paths that would otherwise pay an O(design) check_legal()
+///            per call they never look at);
+///   kFinal — check_legal() on the winning binding only. The default, and
+///            exactly the unconditional check previous versions hardwired;
+///   kAudit — every move transaction of every restart runs under the full
+///            invariant auditor (binding verification, connection-index
+///            rebuild cross-check, from-scratch cost comparison, undo
+///            digests), plus the final check. Orders of magnitude slower;
+///            meant for tests, CI and bug hunts, not production runs.
+enum class CheckMode : uint8_t { kOff, kFinal, kAudit };
+
+/// Default check mode: the SALSA_CHECK environment variable when set
+/// ("0"/"off" → kOff, "final" → kFinal, "1"/"on"/"audit"/"full" → kAudit),
+/// otherwise kFinal. `SALSA_CHECK=1 ctest` therefore replays every
+/// allocation in the test suite under the full auditor without a rebuild.
+CheckMode default_check_mode();
 
 struct AllocatorOptions {
   ImproveParams improve;
@@ -30,6 +53,16 @@ struct AllocatorOptions {
   /// traditional move set, then let the extended moves strip interconnect
   /// from that allocation. Disable for the pure-extended-search ablation.
   bool warm_start_traditional = true;
+  /// Self-checking level (see CheckMode above). Defaults to the SALSA_CHECK
+  /// environment variable, else kFinal.
+  CheckMode checked = default_check_mode();
+  /// Audit throttle under kAudit: fully audit every Nth transaction
+  /// (AuditorOptions::every). 1 = every transaction.
+  long audit_every = 1;
+  /// When non-null, filled with one FNV-1a digest per restart (of that
+  /// restart's improved binding), in restart order — the per-restart digest
+  /// stream src/analysis/determinism.h compares across thread counts.
+  std::vector<uint64_t>* restart_digests = nullptr;
 };
 
 struct AllocationResult {

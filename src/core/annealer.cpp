@@ -13,6 +13,7 @@ ImproveResult anneal(const Binding& start, const AnnealParams& params) {
 
   SearchEngine eng(start);
   eng.set_trace(params.trace);
+  eng.set_observer(params.observer);
   Binding best = start;
   double best_cost = eng.total();
 

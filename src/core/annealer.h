@@ -19,6 +19,8 @@ struct AnnealParams {
   /// Optional JSONL search trace (see ImproveParams::trace); records carry
   /// the current temperature as "temp".
   std::ostream* trace = nullptr;
+  /// Optional transaction observer (see ImproveParams::observer).
+  SearchObserver* observer = nullptr;
 };
 
 /// Runs simulated annealing from `start` (Metropolis acceptance). Returns

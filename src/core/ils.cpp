@@ -34,6 +34,7 @@ ImproveResult iterated_local_search(const Binding& start,
 
   SearchEngine eng(start);
   eng.set_trace(params.trace);
+  eng.set_observer(params.observer);
   descend(eng, params.descent_moves, params.moves, rng, stats);
   Binding best = eng.binding();
   double best_cost = eng.total();

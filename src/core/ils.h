@@ -19,6 +19,8 @@ struct IlsParams {
   /// Optional JSONL search trace (see ImproveParams::trace); records carry
   /// 1 during kick phases and 0 during descents as "kick".
   std::ostream* trace = nullptr;
+  /// Optional transaction observer (see ImproveParams::observer).
+  SearchObserver* observer = nullptr;
 };
 
 /// Runs iterated local search from `start` (must be legal). Returns the

@@ -11,6 +11,7 @@ ImproveResult improve(const Binding& start, const ImproveParams& params) {
 
   SearchEngine eng(start);
   eng.set_trace(params.trace);
+  eng.set_observer(params.observer);
   Binding best = start;
   double best_cost = eng.total();
 

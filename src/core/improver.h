@@ -21,6 +21,8 @@
 
 namespace salsa {
 
+class SearchObserver;  // core/search_engine.h
+
 struct ImproveParams {
   MoveConfig moves = MoveConfig::salsa_default();
   int max_trials = 40;
@@ -37,6 +39,10 @@ struct ImproveParams {
   /// (step, move kind, delta, accepted, plus the policy's control variable —
   /// remaining uphill budget / temperature / kick phase).
   std::ostream* trace = nullptr;
+  /// Installed on the SearchEngine for the run — the checked mode's
+  /// invariant auditor (src/analysis/auditor.h) hooks in here. Not owned;
+  /// nullptr (the default) costs one null check per transaction.
+  SearchObserver* observer = nullptr;
 };
 
 struct ImproveStats {

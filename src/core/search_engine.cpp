@@ -357,12 +357,14 @@ void SearchEngine::finish_mutation() {
 
 std::optional<double> SearchEngine::propose(MoveKind kind, Rng& rng) {
   SALSA_DCHECK(!in_txn_);
+  if (observer_) observer_->on_txn_begin(*this);
   in_txn_ = true;
   ++epoch_;
   total_before_ = cost_.total;
   if (!detail::dispatch_move(*this, kind, rng)) {
     SALSA_DCHECK(touched_ops_.empty() && touched_stos_.empty());
     in_txn_ = false;
+    if (observer_) observer_->on_txn_abort(*this);
     return std::nullopt;
   }
   finish_mutation();
@@ -381,15 +383,28 @@ void SearchEngine::commit() {
   ++ks.accepted;
   ks.accepted_delta_sum += pending_delta_;
   trace_decision(true);
+  const double delta = pending_delta_;
   end_txn();
 #ifndef NDEBUG
   SALSA_CHECK(matches_full_eval());
 #endif
+  if (observer_) observer_->on_commit(*this, delta);
 }
 
 void SearchEngine::rollback() {
   SALSA_DCHECK(in_txn_);
   trace_decision(false);
+  if (break_next_undo_) {
+    // Test-only fault injection (inject_broken_undo_for_test): keep the
+    // mutated binding instead of restoring the saved units, then re-derive
+    // the index from it. Every derived structure stays self-consistent with
+    // the (wrong) binding, so only the auditor's digest comparison can tell
+    // that the undo lied.
+    break_next_undo_ = false;
+    end_txn();
+    if (observer_) observer_->on_rollback(*this);
+    return;
+  }
   // Retire the move's state, restore the saved units, re-derive.
   for (const TouchedOp& t : touched_ops_) remove_op_claims(t.n);
   for (const TouchedSto& t : touched_stos_) remove_sto_claims(t.sid);
@@ -402,6 +417,7 @@ void SearchEngine::rollback() {
   recompute_total();
   SALSA_DCHECK(cost_.total == total_before_);
   end_txn();
+  if (observer_) observer_->on_rollback(*this);
 }
 
 void SearchEngine::end_txn() {
@@ -426,6 +442,35 @@ bool SearchEngine::matches_full_eval() const {
          full.regs_used == cost_.regs_used &&
          full.connections == cost_.connections && full.muxes == cost_.muxes &&
          full.total == cost_.total;
+}
+
+bool SearchEngine::index_matches_rebuild(std::string* why) const {
+  SALSA_DCHECK(!in_txn_);
+  const SearchEngine fresh(b_);
+  auto diverged = [&](const std::string& what) {
+    if (why) {
+      if (!why->empty()) *why += "; ";
+      *why += what;
+    }
+    return false;
+  };
+  bool ok = true;
+  if (pair_refs_ != fresh.pair_refs_)
+    ok = diverged("connection pair refcounts differ from a rebuild");
+  if (sink_sources_ != fresh.sink_sources_)
+    ok = diverged("per-sink distinct-source counts differ from a rebuild");
+  if (fu_refs_ != fresh.fu_refs_)
+    ok = diverged("FU use refcounts differ from a rebuild");
+  if (reg_refs_ != fresh.reg_refs_)
+    ok = diverged("register use refcounts differ from a rebuild");
+  if (occ_.fu_user != fresh.occ_.fu_user || occ_.reg_sto != fresh.occ_.reg_sto)
+    ok = diverged("occupancy grid differs from a rebuild");
+  if (cost_.fus_used != fresh.cost_.fus_used ||
+      cost_.regs_used != fresh.cost_.regs_used ||
+      cost_.connections != fresh.cost_.connections ||
+      cost_.muxes != fresh.cost_.muxes || cost_.total != fresh.cost_.total)
+    ok = diverged("cost breakdown differs from a rebuild");
+  return ok;
 }
 
 }  // namespace salsa

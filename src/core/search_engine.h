@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -39,6 +40,31 @@
 #include "core/moves.h"
 
 namespace salsa {
+
+class SearchEngine;
+
+/// Transaction observer: the seam the SalsaCheck invariant auditor
+/// (src/analysis/auditor.h) hooks into. The engine invokes the callbacks
+/// around every move transaction; with no observer installed the cost is a
+/// single null check per call site, so the hooks are compiled in always.
+///
+/// Callback order per proposal:
+///   on_txn_begin   — propose() entered, binding still in its pre-move state
+///   on_txn_abort   — no feasible instance found; binding must be untouched
+///   on_commit      — the move was kept; `delta` is the incremental cost
+///                    delta the engine reported for it
+///   on_rollback    — the move was reverted; binding must be byte-identical
+///                    to its pre-move state
+/// Observers may inspect the engine (it is passed const) but must not drive
+/// transactions on it from inside a callback.
+class SearchObserver {
+ public:
+  virtual ~SearchObserver() = default;
+  virtual void on_txn_begin(const SearchEngine&) {}
+  virtual void on_txn_abort(const SearchEngine&) {}
+  virtual void on_commit(const SearchEngine&, double /*delta*/) {}
+  virtual void on_rollback(const SearchEngine&) {}
+};
 
 class SearchEngine {
  public:
@@ -101,6 +127,26 @@ class SearchEngine {
 
   /// True iff the incremental breakdown equals a fresh evaluate_cost.
   bool matches_full_eval() const;
+
+  /// True iff every derived structure — the refcounted connection index
+  /// (pair refcounts and per-sink distinct-source counts), the FU/register
+  /// use refcounts, the occupancy grid and the cost breakdown — equals that
+  /// of an engine rebuilt from scratch off the current binding. O(design);
+  /// the checked mode's per-transaction cross-check. On mismatch, appends a
+  /// description of the first divergence to `why` when non-null.
+  bool index_matches_rebuild(std::string* why = nullptr) const;
+
+  /// Installs (or clears, with nullptr) the transaction observer. The
+  /// engine does not own it; it must outlive the engine or be cleared.
+  void set_observer(SearchObserver* obs) { observer_ = obs; }
+  SearchObserver* observer() const { return observer_; }
+
+  /// Test-only fault injection: the next rollback() skips restoring the
+  /// touched units' saved state — a deliberately broken undo. Exists so the
+  /// auditor's digest check can be proven to catch silent state drift (the
+  /// mutation test in tests/test_fuzz_moves.cpp, documented in DESIGN.md);
+  /// never set outside tests.
+  void inject_broken_undo_for_test() { break_next_undo_ = true; }
 
  private:
   struct TouchedOp {
@@ -180,6 +226,8 @@ class SearchEngine {
   std::ostream* trace_ = nullptr;
   const char* aux_name_ = nullptr;
   double aux_ = 0;
+  SearchObserver* observer_ = nullptr;
+  bool break_next_undo_ = false;
 };
 
 }  // namespace salsa

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+namespace salsa {
+
+// Builds "<prefix><n>". Equivalent to `prefix + std::to_string(n)`, but the
+// append form sidesteps GCC 12's spurious -Wrestrict on the
+// operator+(const char*, std::string&&) overload when it gets inlined at -O2
+// (GCC PR 105329), which would otherwise break the -Werror build.
+inline std::string numbered(const char* prefix, long long n) {
+  std::string s(prefix);
+  s += std::to_string(n);
+  return s;
+}
+
+}  // namespace salsa

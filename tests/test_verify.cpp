@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "bench_suite/dct.h"
 #include "bench_suite/ewf.h"
 #include "core/initial.h"
 #include "core/verify.h"
@@ -7,6 +10,14 @@
 
 namespace salsa {
 namespace {
+
+// True if any complaint mentions `needle` — the per-rule tests assert the
+// *intended* rule fired, not just that verify() found something.
+bool mentions(const std::vector<std::string>& bad, const std::string& needle) {
+  return std::any_of(bad.begin(), bad.end(), [&](const std::string& m) {
+    return m.find(needle) != std::string::npos;
+  });
+}
 
 // Shared problem: EWF at 17 steps with two spare registers so corruption
 // experiments have room.
@@ -198,6 +209,245 @@ TEST_F(VerifyTest, DetectsBadReadTarget) {
     return;
   }
   FAIL() << "no reads found";
+}
+
+TEST_F(VerifyTest, DetectsMalformedCellTable) {
+  binding_->sto(0).cells.emplace_back();  // one segment row too many
+  EXPECT_TRUE(mentions(verify(*binding_), "malformed cell table"));
+}
+
+TEST_F(VerifyTest, DetectsInvalidCellRegister) {
+  binding_->sto(0).cells[0][0].reg = prob_->num_regs();  // out of range
+  EXPECT_TRUE(mentions(verify(*binding_), "invalid register"));
+}
+
+TEST_F(VerifyTest, DetectsDuplicateCopyCells) {
+  auto& cells = binding_->sto(0).cells[0];
+  cells.push_back(cells[0]);  // a copy in the same register is meaningless
+  EXPECT_TRUE(mentions(verify(*binding_), "duplicate cells"));
+}
+
+TEST_F(VerifyTest, DetectsSeg0PassThrough) {
+  binding_->sto(0).cells[0][0].via = prob_->fus().pass_capable()[0];
+  EXPECT_TRUE(mentions(verify(*binding_), "seg-0 cell with a pass-through"));
+}
+
+TEST_F(VerifyTest, DetectsInvalidViaFu) {
+  const Lifetimes& lt = prob_->lifetimes();
+  const Occupancy occ = binding_->occupancy();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    if (lt.storage(sid).len < 2) continue;
+    StorageBinding& sb = binding_->sto(sid);
+    const int step = lt.storage(sid).step_at(1, sched_->length());
+    const RegId prev_reg = sb.cells[0][0].reg;
+    for (RegId r = 0; r < prob_->num_regs(); ++r) {
+      if (r == prev_reg || !occ.reg_free(r, step)) continue;
+      sb.cells[1][0] = Cell{r, 0, prob_->fus().size()};  // via out of range
+      EXPECT_TRUE(mentions(verify(*binding_), "invalid FU"));
+      return;
+    }
+  }
+  GTEST_SKIP() << "no suitable transfer site";
+}
+
+TEST_F(VerifyTest, DetectsMalformedReadTable) {
+  const Lifetimes& lt = prob_->lifetimes();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    if (lt.storage(sid).reads.empty()) continue;
+    binding_->sto(sid).read_cell.push_back(0);  // one read entry too many
+    EXPECT_TRUE(mentions(verify(*binding_), "malformed read table"));
+    return;
+  }
+  FAIL() << "no reads found";
+}
+
+// Two verifier rules are defensive and unreachable by mutating a binding
+// alone: "occupies steps past the schedule end" can only fire on a schedule
+// that Schedule's own validation would have rejected, and "pin driven by two
+// sources" requires two connection uses that the structural passes above
+// would already have flagged. They stay in verify() as belt-and-braces for
+// hand-built bindings from io/text_format.
+
+// --- cyclic (mod-L) lifetimes ----------------------------------------------
+
+TEST_F(VerifyTest, LoopStatesYieldWrappingStorages) {
+  int wrapping = 0;
+  for (const Storage& s : prob_->lifetimes().storages()) wrapping += s.wraps;
+  EXPECT_GT(wrapping, 0) << "EWF loop states should wrap the iteration edge";
+  EXPECT_TRUE(verify(*binding_).empty());
+}
+
+TEST_F(VerifyTest, DetectsModLRegisterConflictAcrossWrapBoundary) {
+  // Collide a register *in the wrapped part* of a cyclic live range (steps
+  // below birth, i.e. past the iteration edge) with a storage born early.
+  const Lifetimes& lt = prob_->lifetimes();
+  const int L = sched_->length();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    const Storage& s = lt.storage(sid);
+    if (!s.wraps) continue;
+    for (int seg = 0; seg < s.len; ++seg) {
+      const int step = s.step_at(seg, L);
+      if (step >= s.birth) continue;  // not yet past the boundary
+      for (int other = 0; other < lt.num_storages(); ++other) {
+        if (other == sid) continue;
+        const int oseg = lt.seg_at_step(other, step);
+        if (oseg < 0) continue;
+        binding_->sto(other).cells[static_cast<size_t>(oseg)][0].reg =
+            binding_->sto(sid).cells[static_cast<size_t>(seg)][0].reg;
+        EXPECT_TRUE(mentions(verify(*binding_),
+                             "holds two storages at step " +
+                                 std::to_string(step)));
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no wrapped overlap in this allocation";
+}
+
+TEST(VerifyRules, AcceptsTransferAcrossTheWrapBoundary) {
+  // A register chain may legally hop registers exactly at the iteration
+  // edge: the pass-through runs at step L-1 and the new register is
+  // occupied from step 0 of the next iteration. The min-FU schedule keeps
+  // every ALU busy at step L-1, so grant one spare unit to host the hop.
+  Cdfg g = make_ewf();
+  const Schedule sched = schedule_min_fu(g, HwSpec{}, 17).schedule;
+  FuBudget budget = peak_fu_demand(sched);
+  budget.alu += 1;
+  AllocProblem prob(sched, FuPool::standard(budget),
+                    Lifetimes(sched).min_registers() + 2);
+  Binding b = initial_allocation(prob);
+  const Lifetimes& lt = prob.lifetimes();
+  const int L = sched.length();
+  const Occupancy occ = b.occupancy();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    const Storage& s = lt.storage(sid);
+    if (!s.wraps) continue;
+    for (int seg = 1; seg < s.len; ++seg) {
+      if (s.step_at(seg, L) != 0) continue;  // seg-1 sits at step L-1
+      StorageBinding& sb = b.sto(sid);
+      const RegId prev_reg = sb.cells[static_cast<size_t>(seg) - 1][0].reg;
+      for (RegId r = 0; r < prob.num_regs(); ++r) {
+        if (r == prev_reg || !occ.reg_free(r, 0)) continue;
+        for (FuId f : prob.fus().pass_capable()) {
+          if (!occ.fu_free(f, L - 1)) continue;
+          sb.cells[static_cast<size_t>(seg)][0] = Cell{r, 0, f};
+          EXPECT_TRUE(verify(b).empty());
+          return;
+        }
+      }
+    }
+  }
+  FAIL() << "no wrap-boundary transfer site despite the spare ALU";
+}
+
+TEST_F(VerifyTest, DetectsDuplicateCopyCellAtWrappedSegment) {
+  const Lifetimes& lt = prob_->lifetimes();
+  const int L = sched_->length();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    const Storage& s = lt.storage(sid);
+    if (!s.wraps) continue;
+    for (int seg = 0; seg < s.len; ++seg) {
+      if (s.step_at(seg, L) >= s.birth) continue;
+      auto& cells = binding_->sto(sid).cells[static_cast<size_t>(seg)];
+      cells.push_back(cells[0]);
+      EXPECT_TRUE(mentions(verify(*binding_), "duplicate cells"));
+      return;
+    }
+  }
+  GTEST_SKIP() << "no wrapping storage";
+}
+
+// --- rules needing a different problem than the fixture's ------------------
+
+TEST(VerifyRules, FlagsSwapOnNonCommutativeOp) {
+  // EWF has no subtractions, so the fixture can't reach this rule; DCT can.
+  Cdfg g = make_dct();
+  const Schedule sched = schedule_min_fu(g, HwSpec{}, 9).schedule;
+  AllocProblem prob(sched, FuPool::standard(peak_fu_demand(sched)),
+                    Lifetimes(sched).min_registers() + 1);
+  Binding b = initial_allocation(prob);
+  for (NodeId n : g.operations()) {
+    if (is_commutative(g.node(n).kind)) continue;
+    b.op(n).swap = true;
+    EXPECT_TRUE(mentions(verify(b), "swapped operands"));
+    return;
+  }
+  FAIL() << "DCT should contain non-commutative ops";
+}
+
+TEST(VerifyRules, FlagsPassThroughOnMultiCycleFuClass) {
+  // Pass-capable multipliers: a via there is structurally well-formed but
+  // illegal because the class's delay is 2, not the 1-step forward a
+  // pass-through provides.
+  Cdfg g = make_ewf();
+  const Schedule sched = schedule_min_fu(g, HwSpec{}, 17).schedule;
+  AllocProblem prob(
+      sched,
+      FuPool::standard(peak_fu_demand(sched), true, /*mul_can_pass=*/true),
+      Lifetimes(sched).min_registers() + 2);
+  Binding b = initial_allocation(prob);
+  const Lifetimes& lt = prob.lifetimes();
+  const auto muls = prob.fus().of_class(FuClass::kMul);
+  ASSERT_FALSE(muls.empty());
+  const Occupancy occ = b.occupancy();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    if (lt.storage(sid).len < 2) continue;
+    StorageBinding& sb = b.sto(sid);
+    const int step = lt.storage(sid).step_at(1, sched.length());
+    const int tstep = lt.storage(sid).step_at(0, sched.length());
+    const RegId prev_reg = sb.cells[0][0].reg;
+    for (RegId r = 0; r < prob.num_regs(); ++r) {
+      if (r == prev_reg || !occ.reg_free(r, step)) continue;
+      for (FuId m : muls) {
+        if (!occ.fu_free(m, tstep)) continue;
+        sb.cells[1][0] = Cell{r, 0, m};
+        EXPECT_TRUE(mentions(verify(b), "multi-cycle"));
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "no suitable transfer site";
+}
+
+TEST(VerifyRules, FlagsPassThroughCollidingWithResultLanding) {
+  // With pipelined multipliers an op occupies its FU only at its start step
+  // but still lands a result one step later; a pass-through there is free
+  // by occupancy yet collides on the FU output port.
+  Cdfg g = make_ewf();
+  HwSpec hw;
+  hw.pipelined_mul = true;
+  const Schedule sched = schedule_min_fu(g, hw, 17).schedule;
+  AllocProblem prob(sched,
+                    FuPool::standard(peak_fu_demand(sched), true, true),
+                    Lifetimes(sched).min_registers() + 2);
+  Binding b = initial_allocation(prob);
+  const Lifetimes& lt = prob.lifetimes();
+  const int L = sched.length();
+  const Occupancy occ = b.occupancy();
+  for (NodeId n : g.operations()) {
+    if (g.node(n).kind != OpKind::kMul) continue;
+    const FuId m = b.op(n).fu;
+    const int fin = (sched.start(n) + hw.delay(OpKind::kMul) - 1) % L;
+    if (!occ.fu_free(m, fin)) continue;
+    for (int sid = 0; sid < lt.num_storages(); ++sid) {
+      const Storage& s = lt.storage(sid);
+      for (int seg = 1; seg < s.len; ++seg) {
+        if (s.step_at(seg - 1, L) != fin) continue;
+        StorageBinding& sb = b.sto(sid);
+        const int step = s.step_at(seg, L);
+        const RegId prev_reg =
+            sb.cells[static_cast<size_t>(seg) - 1][0].reg;
+        for (RegId r = 0; r < prob.num_regs(); ++r) {
+          if (r == prev_reg || !occ.reg_free(r, step)) continue;
+          sb.cells[static_cast<size_t>(seg)][0] = Cell{r, 0, m};
+          EXPECT_TRUE(
+              mentions(verify(b), "collides with a result landing"));
+          return;
+        }
+      }
+    }
+  }
+  GTEST_SKIP() << "no suitable collision site";
 }
 
 TEST_F(VerifyTest, CheckLegalThrowsWithDetails) {

@@ -1,0 +1,155 @@
+// salsa_audit — the SalsaCheck command line: drives the move fuzzer and the
+// determinism audit over the standard targets, printing one summary line
+// per audit and exiting non-zero on any violation.
+//
+//   salsa_audit [--target ewf|dct|random|all] [--transactions N] [--seed S]
+//               [--every N] [--commit-prob P] [--weighted]
+//               [--determinism] [--restarts R] [--threads a,b,c]
+//               [--artifacts DIR] [--dump]
+//
+//   --target       which standard target(s) to audit (default: all)
+//   --transactions feasible transactions per target (default: 10000)
+//   --seed         fuzz seed; a CI failure replays with the printed seed
+//   --every        audit every Nth transaction (default: 1 = all)
+//   --commit-prob  probability a feasible move is committed (default: 0.5)
+//   --weighted     draw moves by MoveConfig weight instead of uniformly
+//   --determinism  also replay allocate() per thread count and diff the
+//                  per-restart digest streams (default thread counts 1,2,8)
+//   --restarts     restarts for the determinism audit (default: 6)
+//   --threads      comma-separated thread counts for the determinism audit
+//   --artifacts    directory for failure artifacts (seed + binding JSON)
+//   --inject-broken-undo N  mutation test: break the Nth rollback's undo
+//                  (the digest check must report a VIOLATION)
+//   --dump         print each target's start binding JSON and exit
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/determinism.h"
+#include "analysis/digest.h"
+#include "analysis/fuzz.h"
+#include "core/initial.h"
+#include "util/rng.h"
+
+using namespace salsa;
+
+namespace {
+
+std::vector<int> parse_thread_list(const std::string& arg) {
+  std::vector<int> out;
+  std::string cur;
+  for (char c : arg + ",") {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(std::atoi(cur.c_str()));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (out.empty()) fail("--threads needs a comma-separated list, got '" + arg + "'");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string target = "all";
+  FuzzParams fuzz;
+  bool determinism = false, dump = false;
+  int restarts = 6;
+  std::vector<int> threads{1, 2, 8};
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) fail("missing argument after " + arg);
+      return argv[++i];
+    };
+    if (arg == "--target") {
+      target = next();
+    } else if (arg == "--transactions") {
+      fuzz.transactions = std::atol(next().c_str());
+    } else if (arg == "--seed") {
+      fuzz.seed = std::strtoull(next().c_str(), nullptr, 10);
+    } else if (arg == "--every") {
+      fuzz.audit.every = std::atol(next().c_str());
+    } else if (arg == "--commit-prob") {
+      fuzz.commit_prob = std::atof(next().c_str());
+    } else if (arg == "--weighted") {
+      fuzz.uniform_kinds = false;
+    } else if (arg == "--determinism") {
+      determinism = true;
+    } else if (arg == "--restarts") {
+      restarts = std::atoi(next().c_str());
+    } else if (arg == "--threads") {
+      threads = parse_thread_list(next());
+    } else if (arg == "--artifacts") {
+      fuzz.artifact_dir = next();
+    } else if (arg == "--inject-broken-undo") {
+      // Mutation testing: break the Nth rollback's undo and watch the
+      // digest check catch it (expected output: a VIOLATION).
+      fuzz.inject_broken_undo_at = std::atol(next().c_str());
+    } else if (arg == "--dump") {
+      dump = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<std::string> names;
+  if (target == "all") {
+    names = FuzzTarget::names();
+  } else {
+    names.push_back(target);
+  }
+
+  bool failed = false;
+  for (const std::string& name : names) {
+    FuzzTarget t(name);
+    if (dump) {
+      const Binding start = initial_allocation(
+          t.prob(), InitialOptions{.seed = derive_seed(fuzz.seed, 0)});
+      std::printf("%s\n", binding_json(start).c_str());
+      continue;
+    }
+
+    FuzzParams p = fuzz;
+    p.name = name;
+    const FuzzResult res = run_move_fuzz(t.prob(), p);
+    std::printf(
+        "fuzz %-6s seed %llu: %ld txns (%ld commit / %ld rollback / %ld "
+        "infeasible) in %ld proposals, %ld audited — %s\n",
+        name.c_str(), static_cast<unsigned long long>(p.seed),
+        res.transactions, res.commits, res.rollbacks, res.infeasible,
+        res.proposals, res.audit.audited, res.ok ? "ok" : "VIOLATION");
+    if (!res.ok) {
+      failed = true;
+      std::fprintf(stderr, "  %s\n", res.failure.c_str());
+      if (!res.artifact_path.empty())
+        std::fprintf(stderr, "  artifact: %s\n", res.artifact_path.c_str());
+    }
+
+    if (determinism && !dump) {
+      AllocatorOptions opts;
+      opts.restarts = restarts;
+      opts.improve.seed = fuzz.seed;
+      opts.initial.seed = derive_seed(fuzz.seed, 99);
+      DeterminismOptions dopts;
+      dopts.thread_counts = threads;
+      const DeterminismReport rep = audit_determinism(t.prob(), opts, dopts);
+      std::printf("det  %-6s %d restarts over threads {", name.c_str(),
+                  restarts);
+      for (size_t k = 0; k < rep.thread_counts.size(); ++k)
+        std::printf("%s%d", k ? "," : "", rep.thread_counts[k]);
+      std::printf("}: %s\n", rep.ok ? "byte-identical" : "DIVERGED");
+      if (!rep.ok) {
+        failed = true;
+        std::fprintf(stderr, "  %s\n", rep.detail.c_str());
+      }
+    }
+  }
+  return failed ? 1 : 0;
+}
