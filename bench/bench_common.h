@@ -1,90 +1,7 @@
-// Shared plumbing for the benchmark harnesses: problem construction from a
-// (benchmark, length, pipelining, spare registers) tuple and the standard
-// traditional-vs-SALSA allocation pair used by the table generators.
-//
-// The SALSA run always additionally refines the traditional winner with the
-// extended move set and keeps the better result — the extended binding model
-// strictly subsumes the traditional one, so reporting anything worse would
-// be a search artifact, not a model property.
+// Forwarder: the benchmark harness plumbing moved into the library proper
+// (src/bench_suite/harness.h) so the pool-aware table generators and their
+// par-invariance regression test can share it. Bench mains keep including
+// "bench_common.h".
 #pragma once
 
-#include <memory>
-#include <string>
-
-#include "baseline/traditional.h"
-#include "core/allocator.h"
-#include "sched/asap_alap.h"
-#include "sched/fu_search.h"
-
-namespace salsa::benchharness {
-
-struct ProblemBundle {
-  std::unique_ptr<Cdfg> graph;
-  std::unique_ptr<Schedule> schedule;
-  std::unique_ptr<AllocProblem> problem;
-  FuBudget fus;
-  int min_regs = 0;
-};
-
-inline ProblemBundle make_problem(Cdfg graph, int length, bool pipelined,
-                                  int extra_regs) {
-  ProblemBundle b;
-  b.graph = std::make_unique<Cdfg>(std::move(graph));
-  HwSpec hw;
-  hw.pipelined_mul = pipelined;
-  const FuSearchResult sr = schedule_min_fu(*b.graph, hw, length);
-  b.schedule = std::make_unique<Schedule>(sr.schedule);
-  b.fus = sr.fus;
-  b.min_regs = Lifetimes(*b.schedule).min_registers();
-  b.problem = std::make_unique<AllocProblem>(
-      *b.schedule, FuPool::standard(b.fus), b.min_regs + extra_regs);
-  return b;
-}
-
-struct Comparison {
-  AllocationResult traditional;
-  AllocationResult salsa;
-  bool traditional_feasible = true;
-};
-
-inline ImproveParams standard_improve(uint64_t seed) {
-  ImproveParams p;
-  p.max_trials = 12;
-  p.moves_per_trial = 5000;
-  p.uphill_per_trial = 8;
-  p.seed = seed;
-  return p;
-}
-
-inline Comparison run_comparison(const AllocProblem& prob, uint64_t seed) {
-  Comparison out{AllocationResult{Binding(prob), {}, {}, {}},
-                 AllocationResult{Binding(prob), {}, {}, {}}, true};
-  TraditionalOptions topt;
-  topt.improve = standard_improve(seed);
-  topt.restarts = 2;
-  try {
-    out.traditional = allocate_traditional(prob, topt);
-  } catch (const Error&) {
-    // No contiguous placement exists within the register budget: the
-    // traditional model cannot implement this row at all (the situation the
-    // paper's tightest Table 2 rows exploit).
-    out.traditional_feasible = false;
-  }
-
-  AllocatorOptions sopt;
-  sopt.improve = standard_improve(seed + 1);
-  sopt.restarts = 2;
-  out.salsa = allocate(prob, sopt);
-  if (out.traditional_feasible) {
-    ImproveParams refine = standard_improve(seed + 2);
-    ImproveResult r = improve(out.traditional.binding, refine);
-    if (r.cost.total < out.salsa.cost.total) {
-      out.salsa.binding = std::move(r.best);
-      out.salsa.cost = r.cost;
-      out.salsa.merging = merge_muxes(out.salsa.binding);
-    }
-  }
-  return out;
-}
-
-}  // namespace salsa::benchharness
+#include "bench_suite/harness.h"  // IWYU pragma: export

@@ -178,6 +178,54 @@ BENCHMARK(BM_ParallelRestarts)
     ->UseRealTime()
     ->Iterations(1);
 
+// Speculative proposal throughput: a full improve() run on the EWF with a
+// (threads x k) grid over the ProposalPipeline. k == 1 / 1 thread is the
+// sequential baseline; the "moves_per_sec" counters are directly comparable
+// across args because the trajectory (and thus the served move stream) is
+// byte-identical for every setting — only the scoring parallelism differs.
+// The "spec_hit" counter reports served / speculated for the batched runs.
+// (On a single-core host every arg degenerates to sequential wall clock;
+// the grid is meant for multicore runs — see EXPERIMENTS.md.)
+void BM_SpeculativeMoves(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int k = static_cast<int>(state.range(1));
+  Binding b = initial_allocation(*ewf17().problem);
+  long attempted = 0;
+  SpecStats spec;
+  for (auto _ : state) {
+    ImproveParams p;
+    p.max_trials = 4;
+    p.moves_per_trial = 3000;
+    p.stop_after_stale = 4;
+    p.seed = 1;
+    p.speculation.k = k;
+    p.speculation.parallelism.threads = threads;
+    const ImproveResult r = improve(b, p);
+    benchmark::DoNotOptimize(r.cost.total);
+    attempted += r.stats.attempted;
+    spec = r.stats.spec;
+  }
+  state.counters["threads"] = threads;
+  state.counters["k"] = k;
+  state.counters["moves_per_sec"] = benchmark::Counter(
+      static_cast<double>(attempted), benchmark::Counter::kIsRate);
+  state.counters["spec_hit"] =
+      spec.speculated
+          ? static_cast<double>(spec.served) /
+                static_cast<double>(spec.speculated)
+          : 0.0;
+}
+BENCHMARK(BM_SpeculativeMoves)
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({2, 8})
+    ->Args({4, 8})
+    ->Args({8, 8})
+    ->Args({8, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
 void BM_ForceDirectedSchedule(benchmark::State& state) {
   Cdfg g = make_ewf();
   HwSpec hw;

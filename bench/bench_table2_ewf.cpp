@@ -5,10 +5,14 @@
 // equivalent-2-1-mux counts of the SALSA allocator and of the traditional
 // binding model (the stand-in for the "best reported by other researchers"
 // column — those tools all use the traditional model; see EXPERIMENTS.md).
+//
+// Rows are computed on the shared thread pool (bench_suite/harness.h:
+// table2_rows); ordering and values are identical for any thread count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "bench_suite/ewf.h"
 #include "util/table.h"
 
 using namespace salsa;
@@ -21,45 +25,26 @@ int main() {
       "'salsa' = extended binding model; '*' marks rows where the\n"
       "traditional model has no feasible contiguous placement at all.\n\n");
 
-  struct Row {
-    int steps;
-    bool pipelined;
-  };
-  const Row rows[] = {{17, false}, {17, true}, {19, false}, {19, true},
-                      {21, false}};
+  const std::vector<TableRow> rows = table2_rows(TableBudget{});
 
   TextTable t;
   t.header({"csteps", "mults", "ALUs", "MULs", "regs", "trad", "trad+merge",
             "salsa", "salsa+merge", "winner"});
-  for (const Row& row : rows) {
-    for (int extra = 0; extra <= 2; ++extra) {
-      ProblemBundle b =
-          make_problem(make_ewf(), row.steps, row.pipelined, extra);
-      const Comparison cmp =
-          run_comparison(*b.problem, 1000 + static_cast<uint64_t>(
-                                                row.steps * 10 + extra));
-      std::string trad = "*", trad_m = "*";
-      std::string winner = "salsa";
-      if (cmp.traditional_feasible) {
-        trad = std::to_string(cmp.traditional.cost.muxes);
-        trad_m = std::to_string(cmp.traditional.merging.muxes_after);
-        if (cmp.salsa.merging.muxes_after <
-            cmp.traditional.merging.muxes_after) {
-          winner = "salsa";
-        } else if (cmp.salsa.merging.muxes_after ==
-                   cmp.traditional.merging.muxes_after) {
-          winner = "tie";
-        } else {
-          winner = "trad";
-        }
-      }
-      t.row({std::to_string(row.steps), row.pipelined ? "pipe" : "non-pipe",
-             std::to_string(b.fus.alu), std::to_string(b.fus.mul),
-             std::to_string(b.min_regs + extra), trad, trad_m,
-             std::to_string(cmp.salsa.cost.muxes),
-             std::to_string(cmp.salsa.merging.muxes_after), winner});
-    }
-    t.separator();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TableRow& row = rows[i];
+    const std::string trad =
+        row.traditional_feasible ? std::to_string(row.trad_muxes) : "*";
+    const std::string trad_m =
+        row.traditional_feasible ? std::to_string(row.trad_merged) : "*";
+    t.row({std::to_string(row.steps), row.pipelined ? "pipe" : "non-pipe",
+           std::to_string(row.alus), std::to_string(row.muls),
+           std::to_string(row.regs), trad, trad_m,
+           std::to_string(row.salsa_muxes), std::to_string(row.salsa_merged),
+           row.winner});
+    // One separator per (steps, pipelining) block, as the grid is ordered.
+    if (i + 1 == rows.size() || rows[i + 1].steps != row.steps ||
+        rows[i + 1].pipelined != row.pipelined)
+      t.separator();
   }
   std::printf("%s\n", t.render().c_str());
   return 0;

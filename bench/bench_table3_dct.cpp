@@ -1,10 +1,13 @@
 // Regenerates the paper's Table 3: discrete-cosine-transform allocations for
 // four schedules (Section 5 reports four schedules under the same hardware
-// assumptions as the EWF). Columns as in bench_table2_ewf.
+// assumptions as the EWF). Columns as in bench_table2_ewf. Rows are computed
+// on the shared thread pool (bench_suite/harness.h:table3_rows); ordering
+// and values are identical for any thread count.
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
-#include "bench_suite/dct.h"
 #include "util/table.h"
 
 using namespace salsa;
@@ -12,29 +15,21 @@ using namespace salsa::benchharness;
 
 int main() {
   std::printf("Table 3 — DCT allocations (equivalent 2-1 multiplexers)\n\n");
+  const std::vector<TableRow> rows = table3_rows(TableBudget{});
   TextTable t;
   t.header({"csteps", "ALUs", "MULs", "regs", "trad", "trad+merge", "salsa",
             "salsa+merge", "winner"});
-  for (const int steps : {7, 9, 11, 13}) {
-    for (int extra : {0, 2}) {
-      ProblemBundle b = make_problem(make_dct(), steps, false, extra);
-      const Comparison cmp =
-          run_comparison(*b.problem, 3000 + static_cast<uint64_t>(
-                                                steps * 10 + extra));
-      std::string trad = "*", trad_m = "*", winner = "salsa";
-      if (cmp.traditional_feasible) {
-        trad = std::to_string(cmp.traditional.cost.muxes);
-        trad_m = std::to_string(cmp.traditional.merging.muxes_after);
-        const int s = cmp.salsa.merging.muxes_after;
-        const int tr = cmp.traditional.merging.muxes_after;
-        winner = s < tr ? "salsa" : s == tr ? "tie" : "trad";
-      }
-      t.row({std::to_string(steps), std::to_string(b.fus.alu),
-             std::to_string(b.fus.mul), std::to_string(b.min_regs + extra),
-             trad, trad_m, std::to_string(cmp.salsa.cost.muxes),
-             std::to_string(cmp.salsa.merging.muxes_after), winner});
-    }
-    t.separator();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const TableRow& row = rows[i];
+    const std::string trad =
+        row.traditional_feasible ? std::to_string(row.trad_muxes) : "*";
+    const std::string trad_m =
+        row.traditional_feasible ? std::to_string(row.trad_merged) : "*";
+    t.row({std::to_string(row.steps), std::to_string(row.alus),
+           std::to_string(row.muls), std::to_string(row.regs), trad, trad_m,
+           std::to_string(row.salsa_muxes), std::to_string(row.salsa_merged),
+           row.winner});
+    if (i + 1 == rows.size() || rows[i + 1].steps != row.steps) t.separator();
   }
   std::printf("%s\n", t.render().c_str());
   return 0;

@@ -19,7 +19,7 @@ void InvariantAuditor::on_txn_begin(const SearchEngine& eng) {
   if (!auditing_) return;
   ++stats_.audited;
   if (opts_.check_digest) digest_before_ = digest_binding(eng.binding());
-  total_before_ = eng.total();
+  cost_before_ = eng.cost();
 }
 
 void InvariantAuditor::on_txn_abort(const SearchEngine& eng) {
@@ -27,7 +27,7 @@ void InvariantAuditor::on_txn_abort(const SearchEngine& eng) {
   if (!auditing_) return;
   if (opts_.check_digest && digest_binding(eng.binding()) != digest_before_)
     violation("infeasible proposal mutated the binding");
-  if (eng.total() != total_before_)
+  if (eng.total() != cost_before_.total)
     violation("infeasible proposal changed the incremental total");
 }
 
@@ -62,10 +62,19 @@ void InvariantAuditor::on_commit(const SearchEngine& eng, double delta) {
          << full.muxes << ", total " << full.total << ")";
       violation(os.str());
     }
-    if (full.total - total_before_ != delta) {
+    // The engine defines the delta as the weighted sum of the integer
+    // component diffs (baseline-independent — see SearchEngine::propose),
+    // so the audit recomputes it the same way from the from-scratch counts.
+    const CostWeights& w = eng.prob().weights();
+    const double expected =
+        w.fu * (full.fus_used - cost_before_.fus_used) +
+        w.reg * (full.regs_used - cost_before_.regs_used) +
+        w.mux * (full.muxes - cost_before_.muxes) +
+        w.conn * (full.connections - cost_before_.connections);
+    if (expected != delta) {
       std::ostringstream os;
       os << "committed delta " << delta << " does not equal the exact "
-         << "from-scratch difference " << (full.total - total_before_);
+         << "from-scratch difference " << expected;
       violation(os.str());
     }
   }
@@ -76,8 +85,27 @@ void InvariantAuditor::on_rollback(const SearchEngine& eng) {
   if (!auditing_) return;
   if (opts_.check_digest && digest_binding(eng.binding()) != digest_before_)
     violation("rollback did not restore the binding byte-identically");
-  if (eng.total() != total_before_)
+  if (eng.total() != cost_before_.total)
     violation("rollback did not restore the incremental total");
 }
+
+void InvariantAuditor::on_speculate(const SearchEngine& worker, double delta) {
+  ++stats_.speculations;
+  const bool audit =
+      opts_.every <= 1 || stats_.speculations % opts_.every == 1;
+  if (!audit || !opts_.check_cost) return;
+  // The worker's transaction is still open: its incrementally maintained
+  // breakdown must equal a from-scratch evaluation of the speculatively
+  // mutated binding. The speculative delta is the weighted sum of the
+  // worker's component diffs, so matching counts prove the score honest.
+  if (!worker.matches_full_eval()) {
+    std::ostringstream os;
+    os << "speculative scoring (delta " << delta
+       << ") diverged from a from-scratch evaluation";
+    violation(os.str());
+  }
+}
+
+void InvariantAuditor::on_discard(const SearchEngine&) { ++stats_.discards; }
 
 }  // namespace salsa

@@ -48,6 +48,8 @@ struct AuditorStats {
   long commits = 0;
   long rollbacks = 0;
   long aborts = 0;     ///< infeasible proposals observed
+  long speculations = 0;  ///< speculative scorings observed (pipeline)
+  long discards = 0;      ///< invalidated speculations observed (pipeline)
 };
 
 class InvariantAuditor final : public SearchObserver {
@@ -61,6 +63,14 @@ class InvariantAuditor final : public SearchObserver {
   void on_txn_abort(const SearchEngine& eng) override;
   void on_commit(const SearchEngine& eng, double delta) override;
   void on_rollback(const SearchEngine& eng) override;
+  /// Speculative scoring on a worker engine (its transaction still open):
+  /// under the same `every` throttle, cross-checks the worker's incremental
+  /// breakdown against a from-scratch evaluate_cost — the speculative delta
+  /// is derived from those counts, so this proves the speculative score
+  /// honest. Called serialized by the pipeline (core/speculate.h), possibly
+  /// from pool threads.
+  void on_speculate(const SearchEngine& worker, double delta) override;
+  void on_discard(const SearchEngine& eng) override;
 
  private:
   [[noreturn]] void violation(const std::string& what) const;
@@ -69,7 +79,7 @@ class InvariantAuditor final : public SearchObserver {
   AuditorStats stats_;
   bool auditing_ = false;        ///< current transaction is audited
   uint64_t digest_before_ = 0;   ///< binding digest at txn begin
-  double total_before_ = 0;      ///< incremental total at txn begin
+  CostBreakdown cost_before_{};  ///< incremental breakdown at txn begin
 };
 
 }  // namespace salsa

@@ -11,7 +11,11 @@
 namespace salsa {
 
 struct TraditionalOptions {
-  ImproveParams improve{.moves = MoveConfig::traditional()};
+  ImproveParams improve = [] {
+    ImproveParams p;
+    p.moves = MoveConfig::traditional();
+    return p;
+  }();
   int restarts = 1;
   /// Randomised placement retries before falling back to the exact
   /// backtracking placement.

@@ -9,11 +9,12 @@ namespace salsa {
 
 ImproveResult anneal(const Binding& start, const AnnealParams& params) {
   check_legal(start);
-  Rng rng(params.seed);
 
   SearchEngine eng(start);
   eng.set_trace(params.trace);
   eng.set_observer(params.observer);
+  ProposalPipeline pipe(eng, params.moves, params.speculation, params.seed,
+                        params.trace != nullptr);
   Binding best = start;
   double best_cost = eng.total();
 
@@ -23,27 +24,30 @@ ImproveResult anneal(const Binding& start, const AnnealParams& params) {
     ++stats.trials;
     eng.set_trace_aux("temp", temp);
     for (int m = 0; m < params.moves_per_temp; ++m) {
-      const MoveKind kind = params.moves.pick(rng);
-      const auto delta = eng.propose(kind, rng);
-      if (!delta) continue;
+      const auto c = pipe.next();
+      if (!c.feasible) continue;
       ++stats.attempted;
-      bool accept = *delta <= 0;
-      if (!accept && temp > 1e-9)
-        accept = rng.uniform01() < std::exp(-*delta / temp);
-      if (!accept) {
-        eng.rollback();
-        continue;
+      bool accept = c.delta <= 0;
+      if (!accept && temp > 1e-9) {
+        // The Metropolis draw comes from the candidate's own RNG stream
+        // (continued past the proposal draws), so acceptance randomness is
+        // a function of the candidate alone — identical whether the
+        // candidate was scored speculatively or proposed live.
+        Rng r = c.rng_after;
+        accept = r.uniform01() < std::exp(-c.delta / temp);
       }
-      eng.commit();
+      pipe.decide(accept);
+      if (!accept) continue;
       ++stats.accepted;
-      if (*delta > 0) ++stats.uphill;
+      if (c.delta > 0) ++stats.uphill;
       if (eng.total() < best_cost - 1e-9) {
         best = eng.binding();
         best_cost = eng.total();
       }
     }
   }
-  stats.by_kind = eng.kind_stats();
+  stats.by_kind = pipe.kind_stats();
+  stats.spec = pipe.spec_stats();
   check_legal(best);
   CostBreakdown final_cost = evaluate_cost(best);
   return ImproveResult{std::move(best), final_cost, stats};

@@ -1,0 +1,109 @@
+#include "core/footprint.h"
+
+#include <algorithm>
+
+namespace salsa {
+
+void MoveFootprint::clear() {
+  read_mask = 0;
+  write_mask = 0;
+  sinks.clear();
+  fu_rows.clear();
+  reg_rows.clear();
+  fu_events.clear();
+  reg_events.clear();
+}
+
+namespace {
+
+void net_events(std::vector<std::pair<int, int>>& events,
+                std::vector<int>& rows) {
+  std::sort(events.begin(), events.end());
+  for (size_t i = 0; i < events.size();) {
+    int net = 0;
+    size_t j = i;
+    while (j < events.size() && events[j].first == events[i].first)
+      net += events[j++].second;
+    if (net != 0) rows.push_back(events[i].first);
+    i = j;
+  }
+  events.clear();
+}
+
+template <typename T>
+void sort_unique(std::vector<T>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+template <typename T>
+bool sorted_intersect(const std::vector<T>& a, const std::vector<T>& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j])
+      ++i;
+    else if (b[j] < a[i])
+      ++j;
+    else
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void MoveFootprint::finalize() {
+  net_events(fu_events, fu_rows);
+  net_events(reg_events, reg_rows);
+  sort_unique(sinks);
+  sort_unique(fu_rows);
+  sort_unique(reg_rows);
+}
+
+uint32_t MoveFootprint::read_mask_of(MoveKind kind) {
+  using C = MoveFootprint;
+  switch (kind) {
+    // F1/F2 scan every operation's FU binding and probe FU occupancy
+    // columns for free windows.
+    case MoveKind::kFuExchange:
+    case MoveKind::kFuMove:
+      return C::kOps | C::kFuOcc;
+    // F3 picks among commutative operations — a static property of the
+    // CDFG — and flips the chosen op's swap bit. Its only mutable-state
+    // dependencies are the connection pairs at its own pins (sink keys).
+    case MoveKind::kOperandReverse:
+      return 0;
+    // F4 collects transfer cells across all storages, reads every
+    // operation's FU (pipelined-output busy map) and FU occupancy.
+    case MoveKind::kBindPass:
+      return C::kOps | C::kStoCells | C::kFuOcc;
+    // F5 collects via cells across all storages.
+    case MoveKind::kUnbindPass:
+      return C::kStoCells;
+    // R1 reads cells only (duplicate check is within the cell trees).
+    case MoveKind::kSegExchange:
+      return C::kStoCells;
+    // R2/R3/R4/R5 additionally probe register occupancy for free slots.
+    case MoveKind::kSegMove:
+    case MoveKind::kValExchange:
+    case MoveKind::kValMove:
+    case MoveKind::kValSplit:
+      return C::kStoCells | C::kRegOcc;
+    // R6/R7 operate on the cell trees and read targets alone.
+    case MoveKind::kValMerge:
+    case MoveKind::kReadRetarget:
+      return C::kStoCells;
+  }
+  return C::kOps | C::kStoCells | C::kFuOcc | C::kRegOcc;
+}
+
+bool footprints_conflict(const MoveFootprint& spec,
+                         const MoveFootprint& committed) {
+  if ((spec.read_mask & committed.write_mask) != 0) return true;
+  if (sorted_intersect(spec.sinks, committed.sinks)) return true;
+  if (sorted_intersect(spec.fu_rows, committed.fu_rows)) return true;
+  if (sorted_intersect(spec.reg_rows, committed.reg_rows)) return true;
+  return false;
+}
+
+}  // namespace salsa

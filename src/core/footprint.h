@@ -1,0 +1,87 @@
+// Move footprints: what one move transaction read and wrote, at the
+// granularity the speculative proposal pipeline (core/speculate.h) needs to
+// decide whether a speculation scored against a stale snapshot is still
+// exact after a later move committed.
+//
+// The capture is split between a static and a dynamic part:
+//
+//   * The read side is a per-move-kind category mask (read_mask_of). Move
+//     proposers enumerate candidates with *global* scans — F2 walks every
+//     operation and every FU's occupancy column, the R-moves collect cells
+//     across all storages — so per-instance read tracking would be as
+//     expensive as the proposal itself. The coarse mask is sound because it
+//     covers everything a proposer of that kind can possibly inspect.
+//   * The dynamic part is captured by the SearchEngine during the
+//     transaction: every connection-index sink key the move retired or
+//     charged (`sinks`), and every FU/register whose use refcount changed
+//     net (`fu_rows`/`reg_rows`). These cover the *delta* computation: the
+//     incremental cost of a move depends only on the pair/source sets at
+//     its own sink pins and on whether its refcount rows cross the 0/1
+//     boundary.
+//   * The write side (`write_mask`) is derived from the transaction's
+//     touched set: which categories of mutable state the committed move
+//     actually changed.
+//
+// A speculation S scored against snapshot state is still exact after move C
+// committed iff !footprints_conflict(S, C): C wrote no category S's
+// proposer reads, and the two transactions share no sink key and no
+// refcount row. DESIGN.md ("Speculative move proposals") carries the full
+// soundness argument; tests/test_speculation.cpp enforces it by comparing
+// speculative trajectories byte-for-byte against sequential ones.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/moves.h"
+
+namespace salsa {
+
+struct MoveFootprint {
+  /// State categories, used in both read_mask and write_mask. `Ops` is the
+  /// per-operation binding (fu, operand swap); `StoCells` the storage cell
+  /// trees including read targets; `FuOcc`/`RegOcc` the occupancy grids.
+  enum Category : uint32_t {
+    kOps = 1u << 0,
+    kStoCells = 1u << 1,
+    kFuOcc = 1u << 2,
+    kRegOcc = 1u << 3,
+  };
+
+  uint32_t read_mask = 0;   ///< categories the proposer may have read
+  uint32_t write_mask = 0;  ///< categories the transaction changed
+
+  /// Packed connection-index sink keys (SearchEngine's Pin packing) the
+  /// transaction retired or charged pairs at. Sorted and deduplicated by
+  /// finalize().
+  std::vector<uint32_t> sinks;
+
+  /// FUs / registers whose use refcount changed net over the transaction
+  /// (the 0/1 crossings of these rows are the fus_used/regs_used terms of
+  /// the delta). Sorted and deduplicated by finalize().
+  std::vector<int> fu_rows;
+  std::vector<int> reg_rows;
+
+  /// Raw refcount events ((id, +1/-1)) recorded during the transaction;
+  /// finalize() nets them into fu_rows/reg_rows and clears them.
+  std::vector<std::pair<int, int>> fu_events;
+  std::vector<std::pair<int, int>> reg_events;
+
+  void clear();
+  /// Nets the refcount events into rows and sorts/dedups every list.
+  void finalize();
+
+  /// The static read mask of one move kind (see file header).
+  static uint32_t read_mask_of(MoveKind kind);
+};
+
+/// True iff a speculation with footprint `spec`, scored before the move
+/// with footprint `committed` was applied, can no longer be trusted: the
+/// committed move wrote a category the speculation's proposer reads, or
+/// the two share a connection-index sink key or a refcounted resource row.
+/// Both footprints must be finalize()d.
+bool footprints_conflict(const MoveFootprint& spec,
+                         const MoveFootprint& committed);
+
+}  // namespace salsa

@@ -8,19 +8,16 @@ namespace salsa {
 namespace {
 
 // Greedy descent: accept downhill/equal moves only.
-void descend(SearchEngine& eng, int budget, const MoveConfig& moves, Rng& rng,
+void descend(SearchEngine& eng, ProposalPipeline& pipe, int budget,
              ImproveStats& stats) {
   eng.set_trace_aux("kick", 0);
   for (int m = 0; m < budget; ++m) {
-    const auto delta = eng.propose(moves.pick(rng), rng);
-    if (!delta) continue;
+    const auto c = pipe.next();
+    if (!c.feasible) continue;
     ++stats.attempted;
-    if (*delta <= 0) {
-      eng.commit();
-      ++stats.accepted;
-    } else {
-      eng.rollback();
-    }
+    const bool accept = c.delta <= 0;
+    pipe.decide(accept);
+    if (accept) ++stats.accepted;
   }
 }
 
@@ -29,19 +26,20 @@ void descend(SearchEngine& eng, int budget, const MoveConfig& moves, Rng& rng,
 ImproveResult iterated_local_search(const Binding& start,
                                     const IlsParams& params) {
   check_legal(start);
-  Rng rng(params.seed);
   ImproveStats stats;
 
   SearchEngine eng(start);
   eng.set_trace(params.trace);
   eng.set_observer(params.observer);
-  descend(eng, params.descent_moves, params.moves, rng, stats);
+  ProposalPipeline pipe(eng, params.moves, params.speculation, params.seed,
+                        params.trace != nullptr);
+  descend(eng, pipe, params.descent_moves, stats);
   Binding best = eng.binding();
   double best_cost = eng.total();
 
   for (int round = 0; round < params.iterations; ++round) {
     ++stats.trials;
-    eng.reset_to(best);
+    pipe.reset_to(best);
     // Kick: force a few random feasible moves, cost-blind. These are
     // perturbations of the incumbent, not acceptances of the descent
     // policy — they get their own counter.
@@ -49,19 +47,20 @@ ImproveResult iterated_local_search(const Binding& start,
     int kicked = 0;
     for (int k = 0; k < params.kick_moves * 4 && kicked < params.kick_moves;
          ++k) {
-      if (eng.propose(params.moves.pick(rng), rng)) {
-        eng.commit();
-        ++kicked;
-        ++stats.kicks;
-      }
+      const auto c = pipe.next();
+      if (!c.feasible) continue;
+      pipe.decide(true);
+      ++kicked;
+      ++stats.kicks;
     }
-    descend(eng, params.descent_moves, params.moves, rng, stats);
+    descend(eng, pipe, params.descent_moves, stats);
     if (eng.total() < best_cost - 1e-9) {
       best = eng.binding();
       best_cost = eng.total();
     }
   }
-  stats.by_kind = eng.kind_stats();
+  stats.by_kind = pipe.kind_stats();
+  stats.spec = pipe.spec_stats();
   check_legal(best);
   CostBreakdown final_cost = evaluate_cost(best);
   return ImproveResult{std::move(best), final_cost, stats};

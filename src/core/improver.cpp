@@ -7,11 +7,17 @@ namespace salsa {
 
 ImproveResult improve(const Binding& start, const ImproveParams& params) {
   check_legal(start);
-  Rng rng(params.seed);
 
   SearchEngine eng(start);
   eng.set_trace(params.trace);
   eng.set_observer(params.observer);
+  // All proposals flow through the speculation pipeline: candidate i draws
+  // from its own derived RNG stream and is either scored speculatively
+  // against a snapshot or proposed live — the served trajectory is the
+  // same either way. Traced runs are forced sequential so the JSONL stream
+  // interleaves with engine state exactly as written.
+  ProposalPipeline pipe(eng, params.moves, params.speculation, params.seed,
+                        params.trace != nullptr);
   Binding best = start;
   double best_cost = eng.total();
 
@@ -22,22 +28,18 @@ ImproveResult improve(const Binding& start, const ImproveParams& params) {
     int uphill_left = params.uphill_per_trial;
     bool improved = false;
     for (int m = 0; m < params.moves_per_trial; ++m) {
-      const MoveKind kind = params.moves.pick(rng);
       eng.set_trace_aux("uphill_left", uphill_left);
-      const auto delta = eng.propose(kind, rng);
-      if (!delta) continue;
+      const auto c = pipe.next();
+      if (!c.feasible) continue;
       ++stats.attempted;
-      bool accept = *delta <= 0;
-      if (!accept && uphill_left > 0 && *delta <= params.max_uphill_delta) {
+      bool accept = c.delta <= 0;
+      if (!accept && uphill_left > 0 && c.delta <= params.max_uphill_delta) {
         accept = true;
         --uphill_left;
         ++stats.uphill;
       }
-      if (!accept) {
-        eng.rollback();
-        continue;
-      }
-      eng.commit();
+      pipe.decide(accept);
+      if (!accept) continue;
       ++stats.accepted;
       if (eng.total() < best_cost - 1e-9) {
         best = eng.binding();
@@ -49,11 +51,12 @@ ImproveResult improve(const Binding& start, const ImproveParams& params) {
       stale = 0;
     } else {
       // Return to the best known allocation before exploring again.
-      eng.reset_to(best);
+      pipe.reset_to(best);
       if (++stale >= params.stop_after_stale) break;
     }
   }
-  stats.by_kind = eng.kind_stats();
+  stats.by_kind = pipe.kind_stats();
+  stats.spec = pipe.spec_stats();
   check_legal(best);
   CostBreakdown final_cost = evaluate_cost(best);
   return ImproveResult{std::move(best), final_cost, stats};

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <ostream>
 
+#include "core/footprint.h"
+
 namespace salsa {
 
 namespace {
@@ -196,6 +198,7 @@ void SearchEngine::enum_gen_uses(int gen, Fn&& fn) const {
 void SearchEngine::add_use(const Endpoint& src, const Pin& sink) {
   if (!charge_consts_ && src.kind == Endpoint::Kind::kConstPort) return;
   const uint32_t sk = pack(sink);
+  if (fp_) fp_->sinks.push_back(sk);
   const uint64_t key = (static_cast<uint64_t>(sk) << 32) | pack(src);
   if (++pair_refs_[key] == 1) {
     ++cost_.connections;
@@ -206,6 +209,7 @@ void SearchEngine::add_use(const Endpoint& src, const Pin& sink) {
 void SearchEngine::remove_use(const Endpoint& src, const Pin& sink) {
   if (!charge_consts_ && src.kind == Endpoint::Kind::kConstPort) return;
   const uint32_t sk = pack(sink);
+  if (fp_) fp_->sinks.push_back(sk);
   const uint64_t key = (static_cast<uint64_t>(sk) << 32) | pack(src);
   auto it = pair_refs_.find(key);
   SALSA_DCHECK(it != pair_refs_.end() && it->second > 0);
@@ -251,6 +255,7 @@ void SearchEngine::add_op_claims(NodeId n) {
     SALSA_DCHECK(slot == Occupancy::kFree);
     slot = n;
   }
+  if (fp_) fp_->fu_events.push_back({f, +1});
   if (++fu_refs_[static_cast<size_t>(f)] == 1) ++cost_.fus_used;
 }
 
@@ -264,6 +269,7 @@ void SearchEngine::remove_op_claims(NodeId n) {
     SALSA_DCHECK(slot == n);
     slot = Occupancy::kFree;
   }
+  if (fp_) fp_->fu_events.push_back({f, -1});
   if (--fu_refs_[static_cast<size_t>(f)] == 0) --cost_.fus_used;
 }
 
@@ -279,6 +285,7 @@ void SearchEngine::add_sto_claims(int sid) {
           occ_.reg_sto[static_cast<size_t>(c.reg)][static_cast<size_t>(step)];
       SALSA_DCHECK(slot == -1 || slot == sid);
       slot = sid;
+      if (fp_) fp_->reg_events.push_back({c.reg, +1});
       if (++reg_refs_[static_cast<size_t>(c.reg)] == 1) ++cost_.regs_used;
       if (seg > 0 && c.via != kInvalidId) {
         const int tstep = s.step_at(seg - 1, L);
@@ -286,6 +293,7 @@ void SearchEngine::add_sto_claims(int sid) {
                                  [static_cast<size_t>(tstep)];
         SALSA_DCHECK(fslot == Occupancy::kFree);
         fslot = Occupancy::kPassThrough;
+        if (fp_) fp_->fu_events.push_back({c.via, +1});
         if (++fu_refs_[static_cast<size_t>(c.via)] == 1) ++cost_.fus_used;
       }
     }
@@ -306,6 +314,7 @@ void SearchEngine::remove_sto_claims(int sid) {
           occ_.reg_sto[static_cast<size_t>(c.reg)][static_cast<size_t>(step)];
       SALSA_DCHECK(slot == sid);
       slot = -1;
+      if (fp_) fp_->reg_events.push_back({c.reg, -1});
       if (--reg_refs_[static_cast<size_t>(c.reg)] == 0) --cost_.regs_used;
       if (seg > 0 && c.via != kInvalidId) {
         const int tstep = s.step_at(seg - 1, L);
@@ -313,6 +322,7 @@ void SearchEngine::remove_sto_claims(int sid) {
                                  [static_cast<size_t>(tstep)];
         SALSA_DCHECK(fslot == Occupancy::kPassThrough);
         fslot = Occupancy::kFree;
+        if (fp_) fp_->fu_events.push_back({c.via, -1});
         if (--fu_refs_[static_cast<size_t>(c.via)] == 0) --cost_.fus_used;
       }
     }
@@ -355,21 +365,62 @@ void SearchEngine::finish_mutation() {
   recompute_total();
 }
 
-std::optional<double> SearchEngine::propose(MoveKind kind, Rng& rng) {
+std::optional<double> SearchEngine::propose(MoveKind kind, Rng& rng,
+                                            MoveFootprint* fp) {
   SALSA_DCHECK(!in_txn_);
   if (observer_) observer_->on_txn_begin(*this);
   in_txn_ = true;
   ++epoch_;
-  total_before_ = cost_.total;
+  cost_before_ = cost_;
+  if (fp) {
+    fp->clear();
+    fp->read_mask = MoveFootprint::read_mask_of(kind);
+  }
+  fp_ = fp;
   if (!detail::dispatch_move(*this, kind, rng)) {
     SALSA_DCHECK(touched_ops_.empty() && touched_stos_.empty());
+    fp_ = nullptr;
     in_txn_ = false;
     if (observer_) observer_->on_txn_abort(*this);
     return std::nullopt;
   }
   finish_mutation();
+  if (fp) {
+    // Write categories from the touched set. FuOcc is written when an op
+    // changed FU or when any touched storage carries a pass-through `via`
+    // in its saved or current cells (via claims occupy FU slots; the
+    // conservative both-sides check covers moves that add or drop a via).
+    if (!touched_ops_.empty()) fp->write_mask |= MoveFootprint::kOps;
+    if (!touched_stos_.empty())
+      fp->write_mask |= MoveFootprint::kStoCells | MoveFootprint::kRegOcc;
+    for (const TouchedOp& t : touched_ops_)
+      if (b_.op(t.n).fu != t.saved.fu) fp->write_mask |= MoveFootprint::kFuOcc;
+    auto has_via = [](const StorageBinding& sb) {
+      for (const auto& seg : sb.cells)
+        for (const Cell& c : seg)
+          if (c.via != kInvalidId) return true;
+      return false;
+    };
+    for (const TouchedSto& t : touched_stos_)
+      if (has_via(t.saved) || has_via(b_.sto(t.sid)))
+        fp->write_mask |= MoveFootprint::kFuOcc;
+    fp->finalize();
+  }
+  fp_ = nullptr;
   pending_kind_ = kind;
-  pending_delta_ = cost_.total - total_before_;
+  // The delta is the weighted sum of the *integer component diffs*, not
+  // total_after - total_before: that way it depends only on what the move
+  // changed, never on the absolute counts it changed them from, so a
+  // speculation scored against a snapshot reproduces the live delta
+  // bit-for-bit even under fractional cost weights (the replay cross-check
+  // in core/speculate.cpp relies on this).
+  {
+    const CostWeights& w = b_.prob().weights();
+    pending_delta_ = w.fu * (cost_.fus_used - cost_before_.fus_used) +
+                     w.reg * (cost_.regs_used - cost_before_.regs_used) +
+                     w.mux * (cost_.muxes - cost_before_.muxes) +
+                     w.conn * (cost_.connections - cost_before_.connections);
+  }
   ++steps_;
   MoveKindStats& ks = kind_stats_[static_cast<size_t>(kind)];
   ++ks.attempted;
@@ -415,7 +466,7 @@ void SearchEngine::rollback() {
   for (const TouchedSto& t : touched_stos_) add_sto_claims(t.sid);
   for (int gen : removed_gens_) add_gen(gen);
   recompute_total();
-  SALSA_DCHECK(cost_.total == total_before_);
+  SALSA_DCHECK(cost_.total == cost_before_.total);
   end_txn();
   if (observer_) observer_->on_rollback(*this);
 }

@@ -42,6 +42,7 @@
 namespace salsa {
 
 class SearchEngine;
+struct MoveFootprint;  // core/footprint.h
 
 /// Transaction observer: the seam the SalsaCheck invariant auditor
 /// (src/analysis/auditor.h) hooks into. The engine invokes the callbacks
@@ -57,6 +58,18 @@ class SearchEngine;
 ///                    to its pre-move state
 /// Observers may inspect the engine (it is passed const) but must not drive
 /// transactions on it from inside a callback.
+///
+/// The speculative proposal pipeline (core/speculate.h) adds two callbacks
+/// of its own. They are invoked by the pipeline, not by an engine:
+///   on_speculate — a speculation was scored on a worker engine; called
+///                  with that worker engine while its transaction is still
+///                  open (so the observer can compare the speculative
+///                  incremental cost against a from-scratch evaluation).
+///                  May be called from a pool thread, but never
+///                  concurrently — the pipeline serializes observer calls.
+///   on_discard   — a pending speculation was invalidated because a move
+///                  that committed before it wrote state in its footprint;
+///                  called with the main engine.
 class SearchObserver {
  public:
   virtual ~SearchObserver() = default;
@@ -64,6 +77,8 @@ class SearchObserver {
   virtual void on_txn_abort(const SearchEngine&) {}
   virtual void on_commit(const SearchEngine&, double /*delta*/) {}
   virtual void on_rollback(const SearchEngine&) {}
+  virtual void on_speculate(const SearchEngine&, double /*delta*/) {}
+  virtual void on_discard(const SearchEngine&) {}
 };
 
 class SearchEngine {
@@ -85,7 +100,15 @@ class SearchEngine {
   /// applied tentatively and the exact cost delta is returned; the caller
   /// must then commit() or rollback(). Returns nullopt when no feasible
   /// instance was found (no transaction is left open).
-  std::optional<double> propose(MoveKind kind, Rng& rng);
+  ///
+  /// When `fp` is non-null the transaction's footprint is captured into it
+  /// (see core/footprint.h): the per-kind read mask, every connection-index
+  /// sink key retired or charged, the net-changed FU/register refcount
+  /// rows, and the write categories derived from the touched set. The
+  /// footprint is finalize()d before propose returns; rollback is not part
+  /// of the capture.
+  std::optional<double> propose(MoveKind kind, Rng& rng,
+                                MoveFootprint* fp = nullptr);
   /// Keeps the proposed move. In !NDEBUG builds cross-checks the
   /// incremental breakdown against a fresh evaluate_cost.
   void commit();
@@ -217,9 +240,11 @@ class SearchEngine {
   std::vector<TouchedSto> touched_stos_;
   std::vector<int> removed_gens_;
   bool in_txn_ = false;
-  double total_before_ = 0;
+  CostBreakdown cost_before_;  ///< breakdown at propose() entry
   MoveKind pending_kind_{};
   double pending_delta_ = 0;
+
+  MoveFootprint* fp_ = nullptr;  ///< capture target during propose(), else null
 
   std::array<MoveKindStats, kNumMoveKinds> kind_stats_{};
   long steps_ = 0;

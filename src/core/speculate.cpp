@@ -1,0 +1,257 @@
+#include "core/speculate.h"
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "util/diagnostics.h"
+
+namespace salsa {
+
+int default_speculation_k() {
+  static const int k = [] {
+    const char* env = std::getenv("SALSA_SPECULATION");
+    if (env == nullptr) return 1;
+    const std::string v(env);
+    if (v == "0" || v == "off") return 1;
+    if (v == "on" || v == "auto") return 8;
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (end != v.c_str() && *end == '\0' && n >= 1 && n <= 4096)
+      return static_cast<int>(n);
+    fail("SALSA_SPECULATION must be 0/off, on/auto, or a width >= 1; got '" +
+         v + "'");
+  }();
+  return k;
+}
+
+ProposalPipeline::ProposalPipeline(SearchEngine& eng, const MoveConfig& moves,
+                                   const SpeculationConfig& cfg, uint64_t seed,
+                                   bool force_sequential)
+    : eng_(eng), moves_(moves), cfg_(cfg), seed_(seed) {
+  k_ = force_sequential ? 1 : cfg_.resolve_k();
+  SALSA_CHECK_MSG(k_ >= 1, "speculation width must be >= 1");
+}
+
+ProposalPipeline::~ProposalPipeline() {
+  if (live_txn_) eng_.rollback();
+}
+
+// ---------------------------------------------------------------------------
+// Candidate generation. Candidate i of the run always draws from the RNG
+// stream derive_seed(seed_, i) — never from a shared stream — so what a
+// candidate proposes is a function of (seed, i) and the engine state it is
+// scored against, independent of scoring order and thread count.
+
+ProposalPipeline::Candidate ProposalPipeline::next_sequential() {
+  cur_step_ = step_;
+  Rng r(derive_seed(seed_, static_cast<uint64_t>(step_)));
+  const MoveKind kind = moves_.pick(r);
+  cur_kind_ = kind;
+  const auto d = eng_.propose(kind, r);
+  if (!d) {
+    advance();
+    return Candidate{cur_step_, kind, false, 0.0, r};
+  }
+  cur_delta_ = *d;
+  live_txn_ = true;
+  pending_ = true;
+  MoveKindStats& ks = kind_stats_[static_cast<size_t>(kind)];
+  ++ks.attempted;
+  ks.delta_sum += *d;
+  return Candidate{cur_step_, kind, true, *d, r};
+}
+
+ProposalPipeline::Candidate ProposalPipeline::next() {
+  SALSA_DCHECK(!pending_);
+  if (k_ <= 1) return next_sequential();
+  if (batch_pos_ >= batch_.size()) fill_batch();
+  Entry& e = batch_[batch_pos_];
+  cur_step_ = e.step;
+  if (e.valid) {
+    ++stats_.served;
+    cur_kind_ = e.kind;
+    cur_delta_ = e.delta;
+    if (!e.feasible) {
+      advance();
+      return Candidate{e.step, e.kind, false, 0.0, e.rng_after};
+    }
+    MoveKindStats& ks = kind_stats_[static_cast<size_t>(e.kind)];
+    ++ks.attempted;
+    ks.delta_sum += e.delta;
+    pending_ = true;
+    return Candidate{e.step, e.kind, true, e.delta, e.rng_after};
+  }
+  // The speculation was invalidated by an earlier commit: re-score live on
+  // the main engine — by construction the engine is now in exactly the
+  // state the sequential search would have at this step.
+  ++stats_.rescored;
+  Rng r(derive_seed(seed_, static_cast<uint64_t>(e.step)));
+  const MoveKind kind = moves_.pick(r);
+  cur_kind_ = kind;
+  const auto d = eng_.propose(kind, r, &live_fp_);
+  if (!d) {
+    advance();
+    return Candidate{e.step, kind, false, 0.0, r};
+  }
+  cur_delta_ = *d;
+  live_txn_ = true;
+  pending_ = true;
+  MoveKindStats& ks = kind_stats_[static_cast<size_t>(kind)];
+  ++ks.attempted;
+  ks.delta_sum += *d;
+  return Candidate{e.step, kind, true, *d, r};
+}
+
+void ProposalPipeline::decide(bool accept) {
+  SALSA_DCHECK(pending_);
+  pending_ = false;
+  if (accept) {
+    MoveKindStats& ks = kind_stats_[static_cast<size_t>(cur_kind_)];
+    ++ks.accepted;
+    ks.accepted_delta_sum += cur_delta_;
+  }
+  if (live_txn_) {
+    live_txn_ = false;
+    if (accept) {
+      eng_.commit();
+      if (k_ > 1) on_committed(live_fp_, cur_step_);
+    } else {
+      eng_.rollback();
+    }
+  } else if (accept) {
+    // Snapshot-scored candidate accepted: replay the proposal on the main
+    // engine from the candidate's own RNG stream. Because no conflicting
+    // move committed since the snapshot, the replay takes the identical
+    // instance and its live delta must reproduce the speculative score
+    // bit-for-bit — checked always, not just in debug builds.
+    Rng r(derive_seed(seed_, static_cast<uint64_t>(cur_step_)));
+    const MoveKind kind = moves_.pick(r);
+    SALSA_CHECK_MSG(kind == cur_kind_,
+                    "speculative replay drew a different move kind");
+    MoveFootprint fp;
+    const auto d = eng_.propose(kind, r, &fp);
+    SALSA_CHECK_MSG(d.has_value(),
+                    "speculative replay found the move infeasible");
+    SALSA_CHECK_MSG(*d == cur_delta_,
+                    "speculative delta diverged from the live replay");
+    eng_.commit();
+    on_committed(fp, cur_step_);
+  }
+  // Rejecting a snapshot-scored candidate leaves the engine untouched, so
+  // every remaining speculation in the batch stays exact.
+  advance();
+}
+
+void ProposalPipeline::advance() {
+  step_ = cur_step_ + 1;
+  if (k_ > 1) ++batch_pos_;
+}
+
+void ProposalPipeline::on_committed(const MoveFootprint& fp, long step) {
+  commit_log_.push_back(step);
+  for (size_t i = batch_pos_ + 1; i < batch_.size(); ++i) {
+    Entry& o = batch_[i];
+    if (!o.valid) continue;
+    if (!footprints_conflict(o.fp, fp)) continue;
+    if (skip_conflict_nth_ != 0 && ++conflict_hits_ == skip_conflict_nth_)
+      continue;  // test-only mutation: pretend the footprints are disjoint
+    o.valid = false;
+    ++stats_.discarded;
+    if (SearchObserver* obs = eng_.observer()) obs->on_discard(eng_);
+  }
+}
+
+void ProposalPipeline::reset_to(const Binding& b) {
+  SALSA_DCHECK(!pending_ && !live_txn_);
+  eng_.reset_to(b);
+  // Unserved speculations die with the snapshot; their step numbers are
+  // re-proposed against the new state by the next fill — exactly what the
+  // sequential search would propose at those steps.
+  batch_.clear();
+  batch_pos_ = 0;
+  commit_log_.clear();
+  ++generation_;
+}
+
+// ---------------------------------------------------------------------------
+// Batch scoring. During a fill nothing mutates the main engine: every
+// parallel_for participant (the calling thread included) scores on a
+// private worker engine, and eng_ is only read (binding copies for fresh
+// workers). Worker engines are pooled across fills and caught up to the
+// main engine by replaying the commit log — the same derived-RNG recipe
+// the main engine executed, so worker state is bit-identical to eng_'s.
+
+ProposalPipeline::Worker ProposalPipeline::acquire_worker() {
+  {
+    std::lock_guard<std::mutex> lk(workers_mu_);
+    if (!free_workers_.empty()) {
+      Worker w = std::move(free_workers_.back());
+      free_workers_.pop_back();
+      return w;
+    }
+  }
+  Worker w;
+  w.eng = std::make_unique<SearchEngine>(eng_.binding());
+  w.applied = commit_log_.size();
+  w.generation = generation_;
+  return w;
+}
+
+void ProposalPipeline::release_worker(Worker w) {
+  std::lock_guard<std::mutex> lk(workers_mu_);
+  free_workers_.push_back(std::move(w));
+}
+
+void ProposalPipeline::replay_commit(SearchEngine& e, long step) {
+  Rng r(derive_seed(seed_, static_cast<uint64_t>(step)));
+  const MoveKind kind = moves_.pick(r);
+  const auto d = e.propose(kind, r);
+  SALSA_CHECK_MSG(d.has_value(), "speculation catch-up replay infeasible");
+  e.commit();
+}
+
+void ProposalPipeline::catch_up(Worker& w) {
+  if (w.generation != generation_) {
+    w.eng->reset_to(eng_.binding());
+    w.applied = commit_log_.size();
+    w.generation = generation_;
+    return;
+  }
+  while (w.applied < commit_log_.size())
+    replay_commit(*w.eng, commit_log_[w.applied++]);
+}
+
+void ProposalPipeline::fill_batch() {
+  ++stats_.batches;
+  stats_.speculated += k_;
+  batch_.assign(static_cast<size_t>(k_), Entry{});
+  const long base = step_;
+  parallel_for(cfg_.parallelism, k_, [&](int i) {
+    Worker w = acquire_worker();
+    catch_up(w);
+    Entry& e = batch_[static_cast<size_t>(i)];
+    e.step = base + i;
+    Rng r(derive_seed(seed_, static_cast<uint64_t>(e.step)));
+    e.kind = moves_.pick(r);
+    const auto d = w.eng->propose(e.kind, r, &e.fp);
+    e.feasible = d.has_value();
+    e.valid = true;
+    if (d) {
+      e.delta = *d;
+      e.rng_after = r;
+      if (SearchObserver* obs = eng_.observer()) {
+        // Serialized: observers (the invariant auditor) are not
+        // thread-safe. The worker's transaction is still open so the
+        // observer can cross-check the speculative delta in place.
+        std::lock_guard<std::mutex> lk(observer_mu_);
+        obs->on_speculate(*w.eng, *d);
+      }
+      w.eng->rollback();
+    }
+    release_worker(std::move(w));
+  });
+  batch_pos_ = 0;
+}
+
+}  // namespace salsa

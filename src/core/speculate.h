@@ -1,0 +1,216 @@
+// Speculative parallel move proposals: the per-engine parallelism level of
+// the search runtime (ROADMAP: "speculative proposal evaluation inside a
+// single SearchEngine"), one level below PR 2's restart fan-out.
+//
+// A ProposalPipeline sits between an acceptance policy (improver, annealer,
+// ILS) and its SearchEngine. Per batch it proposes k candidate moves
+// against a *frozen snapshot* of the binding, scores their cost deltas in
+// parallel on the shared thread pool — each speculation runs on a private
+// worker engine caught up to the snapshot and captures a MoveFootprint
+// (core/footprint.h) — then serves the candidates to the policy in strict
+// proposal order:
+//
+//   * The policy accepts a candidate → the move is replayed on the main
+//     engine (same derived RNG stream, so the same instance), its delta is
+//     cross-checked against the speculative score (SALSA_CHECK), and every
+//     later speculation in the batch whose footprint intersects the
+//     committed move's write-set is discarded.
+//   * The policy rejects a candidate → the engine state is unchanged, so
+//     every later speculation remains exact. Nothing to do.
+//   * A discarded speculation that reaches the front is re-scored live on
+//     the main engine, exactly as in sequential mode.
+//
+// Determinism: candidate i of the run is always proposed from the RNG
+// stream derive_seed(seed, i) — a function of (seed, i) alone — and scored
+// either against engine state identical to what the sequential search had
+// at step i (snapshot + no intervening conflicting commit) or live on that
+// very state. Trajectories, accepted-move streams and the pipeline's move
+// statistics are therefore byte-identical to sequential execution for any
+// thread count and any k. tests/test_speculation.cpp enforces this;
+// DESIGN.md ("Speculative move proposals") carries the full argument.
+//
+// With k == 1 the pipeline degenerates to plain sequential proposing on the
+// policy's engine (no snapshots, no workers, no replay) — speculation off.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/footprint.h"
+#include "core/moves.h"
+#include "core/search_engine.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace salsa {
+
+/// Speculation width from the SALSA_SPECULATION environment variable:
+/// unset, "0" or "off" → 1 (speculation disabled); "on" or "auto" → 8; a
+/// number n >= 1 → n. Anything else fails.
+int default_speculation_k();
+
+/// Knob threaded through AllocatorOptions / ImproveParams / AnnealParams /
+/// IlsParams down to the ProposalPipeline.
+struct SpeculationConfig {
+  /// Proposals scored per speculative batch. 1 disables speculation
+  /// (candidates are proposed one at a time on the policy's engine);
+  /// 0 = auto: the SALSA_SPECULATION environment variable, else 1.
+  int k = 0;
+  /// Thread budget for scoring one batch (the caller participates).
+  Parallelism parallelism;
+
+  /// Resolved batch width (always >= 1).
+  int resolve_k() const { return k > 0 ? k : default_speculation_k(); }
+};
+
+/// Speculation effectiveness counters (surfaced through
+/// ImproveStats::spec and bench_runtime's BM_SpeculativeMoves). All five
+/// are deterministic for a fixed (seed, k) — independent of thread count.
+struct SpecStats {
+  long batches = 0;     ///< speculative batches filled
+  long speculated = 0;  ///< proposals scored against a snapshot
+  long served = 0;      ///< snapshot scores still valid when served
+  long discarded = 0;   ///< invalidated by an earlier commit's footprint
+  long rescored = 0;    ///< re-proposed live after invalidation
+
+  SpecStats& operator+=(const SpecStats& o) {
+    batches += o.batches;
+    speculated += o.speculated;
+    served += o.served;
+    discarded += o.discarded;
+    rescored += o.rescored;
+    return *this;
+  }
+  friend bool operator==(const SpecStats&, const SpecStats&) = default;
+};
+
+class ProposalPipeline {
+ public:
+  /// One candidate move, served in proposal order. `rng_after` is the RNG
+  /// state after the proposal's draws — policies that need acceptance
+  /// randomness (the annealer's Metropolis draw) take it from here so the
+  /// draw is a function of the candidate, not of scoring order.
+  struct Candidate {
+    long step = 0;
+    MoveKind kind{};
+    bool feasible = false;
+    double delta = 0;
+    Rng rng_after{0};
+  };
+
+  /// The pipeline drives `eng` (not owned; must outlive the pipeline).
+  /// `seed` roots the per-candidate RNG streams. `force_sequential`
+  /// overrides the config to k = 1 — used by traced runs, whose JSONL
+  /// stream must interleave with engine state exactly as written.
+  ProposalPipeline(SearchEngine& eng, const MoveConfig& moves,
+                   const SpeculationConfig& cfg, uint64_t seed,
+                   bool force_sequential = false);
+  ~ProposalPipeline();
+
+  ProposalPipeline(const ProposalPipeline&) = delete;
+  ProposalPipeline& operator=(const ProposalPipeline&) = delete;
+
+  /// Serves the next candidate. For a feasible candidate the caller must
+  /// call decide() before the next next(); infeasible candidates need no
+  /// decision. In sequential mode (and on the live re-score path) a
+  /// feasible candidate leaves an open transaction on the engine until
+  /// decide().
+  Candidate next();
+
+  /// Accepts (commits) or rejects the candidate returned by the last
+  /// next(). On acceptance of a snapshot-scored candidate the move is
+  /// replayed on the main engine and the speculative delta is cross-checked
+  /// exactly.
+  void decide(bool accept);
+
+  /// Restores the engine to `b` and drops every pending speculation (their
+  /// step numbers are re-proposed against the new state). Mirrors
+  /// SearchEngine::reset_to for pipeline users.
+  void reset_to(const Binding& b);
+
+  /// Resolved batch width (1 = sequential).
+  int k() const { return k_; }
+
+  /// Per-move-kind counters of the *trajectory*: every candidate served to
+  /// the policy, and only those. Discarded speculations are excluded by
+  /// construction, so these are byte-identical across modes, thread counts
+  /// and k — unlike SearchEngine::kind_stats(), which also counts worker
+  /// catch-up replays and accept-path replays.
+  const std::array<MoveKindStats, kNumMoveKinds>& kind_stats() const {
+    return kind_stats_;
+  }
+  const SpecStats& spec_stats() const { return stats_; }
+
+  /// Test-only mutation hook: the `nth` footprint-conflict hit (1-based,
+  /// over the pipeline's lifetime) does NOT invalidate its speculation —
+  /// simulating a missed dependency. The stale candidate must then be
+  /// caught by the replay delta cross-check or by the trajectory digest
+  /// audit (the mutation test in tests/test_fuzz_moves.cpp proves it is);
+  /// never set outside tests.
+  void inject_skip_footprint_check_for_test(long nth) {
+    skip_conflict_nth_ = nth;
+  }
+
+ private:
+  struct Entry {
+    long step = 0;
+    MoveKind kind{};
+    bool feasible = false;
+    bool valid = false;  ///< snapshot score still exact?
+    double delta = 0;
+    Rng rng_after{0};
+    MoveFootprint fp;
+  };
+  /// A pool-side scoring engine plus how far along the commit log it is.
+  struct Worker {
+    std::unique_ptr<SearchEngine> eng;
+    size_t applied = 0;      ///< commit_log_ entries already replayed
+    uint64_t generation = 0; ///< reset_to() epoch the engine belongs to
+  };
+
+  Candidate next_sequential();
+  void fill_batch();
+  Worker acquire_worker();
+  void release_worker(Worker w);
+  void catch_up(Worker& w);
+  void replay_commit(SearchEngine& e, long step);
+  void on_committed(const MoveFootprint& fp, long step);
+  void advance();
+
+  SearchEngine& eng_;
+  MoveConfig moves_;
+  SpeculationConfig cfg_;
+  uint64_t seed_;
+  int k_ = 1;
+
+  long step_ = 0;  ///< next step (candidate index) to serve
+  std::vector<Entry> batch_;
+  size_t batch_pos_ = 0;
+
+  // Candidate currently awaiting decide().
+  bool pending_ = false;
+  bool live_txn_ = false;  ///< the pending candidate holds an open txn
+  long cur_step_ = 0;
+  MoveKind cur_kind_{};
+  double cur_delta_ = 0;
+  MoveFootprint live_fp_;
+
+  // Steps of committed moves since the last reset (maintained only when
+  // k > 1): the recipe workers replay to catch their engines up to the
+  // main engine before scoring a batch.
+  std::vector<long> commit_log_;
+  uint64_t generation_ = 0;
+  std::vector<Worker> free_workers_;
+  std::mutex workers_mu_;
+  std::mutex observer_mu_;
+
+  std::array<MoveKindStats, kNumMoveKinds> kind_stats_{};
+  SpecStats stats_;
+  long skip_conflict_nth_ = 0;
+  long conflict_hits_ = 0;
+};
+
+}  // namespace salsa

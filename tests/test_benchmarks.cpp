@@ -1,10 +1,12 @@
-// Census and structural checks of the remaining benchmark suite, plus
-// generator properties of the random-CDFG factory.
+// Census and structural checks of the remaining benchmark suite, generator
+// properties of the random-CDFG factory, and the par-invariance regression
+// for the pool-aware table generators.
 #include <gtest/gtest.h>
 
 #include "bench_suite/ar_filter.h"
 #include "bench_suite/diffeq.h"
 #include "bench_suite/fir.h"
+#include "bench_suite/harness.h"
 #include "bench_suite/random_cdfg.h"
 #include "cdfg/eval.h"
 #include "sched/asap_alap.h"
@@ -109,6 +111,43 @@ TEST_P(RandomCdfgProperties, AlwaysWellFormedAndSchedulable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomCdfgProperties, ::testing::Range(1, 40));
+
+// --- pool-aware table generators -------------------------------------------
+
+TEST(TableRows, Table3RowOrderAndValuesThreadCountInvariant) {
+  // The config-grid fan-out must not affect what the tables print: rows are
+  // seeded by grid position and collected in index order, so the full row
+  // set is byte-identical for every thread count.
+  benchharness::TableBudget budget;
+  budget.max_trials = 2;
+  budget.moves_per_trial = 150;
+  budget.restarts = 1;
+  const auto seq = benchharness::table3_rows(budget, Parallelism{1});
+  ASSERT_EQ(seq.size(), 8u);  // 4 schedules x {0, 2} spare registers
+  for (int threads : {2, 8}) {
+    const auto par = benchharness::table3_rows(budget, Parallelism{threads});
+    EXPECT_EQ(par, seq) << "threads=" << threads;
+  }
+  // The grid enumerates schedules outermost, in ascending length.
+  for (size_t i = 1; i < seq.size(); ++i)
+    EXPECT_LE(seq[i - 1].steps, seq[i].steps);
+}
+
+TEST(TableRows, Table2RowOrderAndValuesThreadCountInvariant) {
+  benchharness::TableBudget budget;
+  budget.max_trials = 2;
+  budget.moves_per_trial = 150;
+  budget.restarts = 1;
+  const auto seq = benchharness::table2_rows(budget, Parallelism{1});
+  ASSERT_EQ(seq.size(), 15u);  // 5 schedules x {0, 1, 2} spare registers
+  const auto par = benchharness::table2_rows(budget, Parallelism{4});
+  EXPECT_EQ(par, seq);
+  // Spot-check the grid shape the renderer's separators rely on.
+  EXPECT_EQ(seq[0].steps, 17);
+  EXPECT_FALSE(seq[0].pipelined);
+  EXPECT_TRUE(seq[3].pipelined);
+  EXPECT_EQ(seq[14].steps, 21);
+}
 
 }  // namespace
 }  // namespace salsa

@@ -1,0 +1,341 @@
+// Speculative proposal pipeline (core/speculate.h): the determinism
+// contract — speculative and sequential engines produce identical move
+// trajectories (per-commit delta + binding-digest streams), final bindings
+// and search statistics for every thread count and speculation width — plus
+// the footprint-soundness property that two overlapping register-level
+// moves can never both commit from one snapshot, and the ImproveStats
+// guarantee that discarded speculations never leak into by_kind.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "analysis/digest.h"
+#include "bench_suite/dct.h"
+#include "bench_suite/ewf.h"
+#include "bench_suite/random_cdfg.h"
+#include "core/annealer.h"
+#include "core/footprint.h"
+#include "core/ils.h"
+#include "core/improver.h"
+#include "core/initial.h"
+#include "core/search_engine.h"
+#include "core/speculate.h"
+#include "core/verify.h"
+#include "sched/fu_search.h"
+
+namespace salsa {
+namespace {
+
+struct Ctx {
+  std::unique_ptr<Cdfg> g;
+  std::unique_ptr<Schedule> sched;
+  std::unique_ptr<AllocProblem> prob;
+
+  Ctx(Cdfg graph, int len, int extra_regs) {
+    g = std::make_unique<Cdfg>(std::move(graph));
+    HwSpec hw;
+    sched = std::make_unique<Schedule>(schedule_min_fu(*g, hw, len).schedule);
+    prob = std::make_unique<AllocProblem>(
+        *sched, FuPool::standard(peak_fu_demand(*sched)),
+        Lifetimes(*sched).min_registers() + extra_regs);
+  }
+};
+
+// Records the search trajectory through the SearchObserver seam: one
+// (delta, binding digest) pair per committed move on the observed engine.
+// Speculative scorings happen on worker engines and must not appear here.
+struct TrajectoryRecorder final : public SearchObserver {
+  std::vector<std::pair<double, uint64_t>> commits;
+  void on_commit(const SearchEngine& eng, double delta) override {
+    commits.emplace_back(delta, digest_binding(eng.binding()));
+  }
+};
+
+ImproveParams speculative_params(uint64_t seed, int k, int threads) {
+  ImproveParams p;
+  p.max_trials = 3;
+  p.moves_per_trial = 600;
+  p.seed = seed;
+  p.speculation.k = k;
+  p.speculation.parallelism.threads = threads;
+  return p;
+}
+
+struct TrajRun {
+  std::vector<std::pair<double, uint64_t>> commits;
+  ImproveResult result;
+};
+
+TrajRun run_improve(const Binding& start, ImproveParams p) {
+  TrajectoryRecorder rec;
+  p.observer = &rec;
+  ImproveResult res = improve(start, p);
+  return TrajRun{std::move(rec.commits), std::move(res)};
+}
+
+void expect_same_stats_modulo_spec(ImproveStats a, ImproveStats b) {
+  // SpecStats depend on the speculation width by design (zero when off);
+  // everything else must be byte-identical.
+  a.spec = SpecStats{};
+  b.spec = SpecStats{};
+  EXPECT_TRUE(a == b);
+}
+
+void expect_identical_trajectories(const AllocProblem& prob, uint64_t seed,
+                                   int moves_per_trial = 600) {
+  const Binding start = initial_allocation(prob);
+  ImproveParams ref_p = speculative_params(seed, 1, 1);
+  ref_p.moves_per_trial = moves_per_trial;
+  const TrajRun ref = run_improve(start, ref_p);
+  ASSERT_FALSE(ref.commits.empty());
+  for (int threads : {1, 2, 8}) {
+    for (int k : {1, 4, 16}) {
+      ImproveParams p = speculative_params(seed, k, threads);
+      p.moves_per_trial = moves_per_trial;
+      const TrajRun run = run_improve(start, p);
+      // Digest streams: every commit applied the same move to the same
+      // binding, in the same order.
+      ASSERT_EQ(run.commits.size(), ref.commits.size())
+          << "threads=" << threads << " k=" << k;
+      for (size_t i = 0; i < ref.commits.size(); ++i) {
+        EXPECT_EQ(run.commits[i].first, ref.commits[i].first)
+            << "delta diverged at commit " << i << " (threads=" << threads
+            << ", k=" << k << ")";
+        EXPECT_EQ(run.commits[i].second, ref.commits[i].second)
+            << "digest diverged at commit " << i << " (threads=" << threads
+            << ", k=" << k << ")";
+      }
+      EXPECT_EQ(run.result.best, ref.result.best);
+      EXPECT_EQ(run.result.cost.total, ref.result.cost.total);
+      expect_same_stats_modulo_spec(run.result.stats, ref.result.stats);
+    }
+  }
+}
+
+// ------------------------------------------------- trajectory identity ----
+
+TEST(Speculation, EwfTrajectoryIdenticalAcrossThreadsAndWidths) {
+  Ctx ctx(make_ewf(), 17, 1);
+  expect_identical_trajectories(*ctx.prob, 3);
+}
+
+TEST(Speculation, DctTrajectoryIdenticalAcrossThreadsAndWidths) {
+  Ctx ctx(make_dct(), 9, 1);
+  expect_identical_trajectories(*ctx.prob, 4);
+}
+
+TEST(Speculation, RandomCdfgTrajectoriesIdentical20Seeds) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    RandomCdfgParams rp;
+    rp.num_ops = 16;
+    rp.seed = seed;
+    // Some graphs need a longer schedule than others; take the first
+    // feasible length so every seed contributes a problem.
+    std::unique_ptr<Ctx> ctx;
+    for (int len : {8, 10, 12, 16}) {
+      try {
+        ctx = std::make_unique<Ctx>(make_random_cdfg(rp), len, 1);
+        break;
+      } catch (const Error&) {
+      }
+    }
+    ASSERT_NE(ctx, nullptr) << "seed " << seed << " unschedulable";
+    expect_identical_trajectories(*ctx->prob, seed, /*moves_per_trial=*/250);
+  }
+}
+
+TEST(Speculation, SpecStatsDeterministicAcrossThreadCounts) {
+  // The hit/discard counters are a function of (seed, k) alone.
+  Ctx ctx(make_ewf(), 17, 1);
+  const Binding start = initial_allocation(*ctx.prob);
+  const TrajRun ref = run_improve(start, speculative_params(5, 4, 1));
+  EXPECT_GT(ref.result.stats.spec.batches, 0);
+  EXPECT_EQ(ref.result.stats.spec.speculated,
+            ref.result.stats.spec.batches * 4);
+  for (int threads : {2, 8}) {
+    const TrajRun run = run_improve(start, speculative_params(5, 4, threads));
+    EXPECT_TRUE(run.result.stats.spec == ref.result.stats.spec);
+  }
+}
+
+// -------------------------------------------------- annealer and ILS ----
+
+TEST(Speculation, AnnealerTrajectoryIdentical) {
+  Ctx ctx(make_ewf(), 17, 1);
+  const Binding start = initial_allocation(*ctx.prob);
+  AnnealParams ap;
+  ap.num_temps = 4;
+  ap.moves_per_temp = 500;
+  ap.seed = 2;
+  TrajectoryRecorder ref_rec;
+  ap.observer = &ref_rec;
+  ap.speculation = SpeculationConfig{1, Parallelism{1}};
+  const ImproveResult ref = anneal(start, ap);
+  for (int k : {4, 16}) {
+    TrajectoryRecorder rec;
+    AnnealParams sp = ap;
+    sp.observer = &rec;
+    sp.speculation = SpeculationConfig{k, Parallelism{2}};
+    const ImproveResult res = anneal(start, sp);
+    EXPECT_EQ(rec.commits, ref_rec.commits) << "k=" << k;
+    EXPECT_EQ(res.best, ref.best);
+    expect_same_stats_modulo_spec(res.stats, ref.stats);
+  }
+}
+
+TEST(Speculation, IlsTrajectoryIdentical) {
+  Ctx ctx(make_ewf(), 17, 1);
+  const Binding start = initial_allocation(*ctx.prob);
+  IlsParams ip;
+  ip.iterations = 3;
+  ip.descent_moves = 500;
+  ip.seed = 2;
+  TrajectoryRecorder ref_rec;
+  ip.observer = &ref_rec;
+  ip.speculation = SpeculationConfig{1, Parallelism{1}};
+  const ImproveResult ref = iterated_local_search(start, ip);
+  for (int k : {4, 16}) {
+    TrajectoryRecorder rec;
+    IlsParams sp = ip;
+    sp.observer = &rec;
+    sp.speculation = SpeculationConfig{k, Parallelism{2}};
+    const ImproveResult res = iterated_local_search(start, sp);
+    EXPECT_EQ(rec.commits, ref_rec.commits) << "k=" << k;
+    EXPECT_EQ(res.best, ref.best);
+    expect_same_stats_modulo_spec(res.stats, ref.stats);
+  }
+}
+
+// ------------------------------------------------- footprint soundness ----
+
+TEST(Speculation, OverlappingRegisterMovesAlwaysConflict) {
+  // Any committed register-level move writes the storage cell trees
+  // (kStoCells), and every register-level proposer reads them — so two
+  // R-moves scored from one snapshot always conflict, whatever cells they
+  // touch. This is the coarse invariant behind "a crafted pair of
+  // overlapping R-moves can never both commit from one snapshot".
+  Ctx ctx(make_ewf(), 17, 2);
+  const Binding start = initial_allocation(*ctx.prob);
+  SearchEngine eng(start);
+  const MoveKind rkinds[] = {MoveKind::kSegExchange, MoveKind::kSegMove,
+                             MoveKind::kValExchange, MoveKind::kValMove,
+                             MoveKind::kValSplit,    MoveKind::kValMerge,
+                             MoveKind::kReadRetarget};
+  // Capture one committed-move footprint per feasible R-kind.
+  std::vector<MoveFootprint> committed;
+  for (MoveKind kind : rkinds) {
+    for (uint64_t s = 0; s < 64 && committed.size() < 16; ++s) {
+      Rng r(derive_seed(7, s));
+      MoveFootprint fp;
+      if (eng.propose(kind, r, &fp)) {
+        eng.rollback();
+        EXPECT_NE(fp.write_mask & MoveFootprint::kStoCells, 0u)
+            << move_name(kind);
+        committed.push_back(std::move(fp));
+        break;
+      }
+    }
+  }
+  ASSERT_GE(committed.size(), 3u);
+  for (MoveKind spec_kind : rkinds) {
+    MoveFootprint spec;
+    spec.read_mask = MoveFootprint::read_mask_of(spec_kind);
+    spec.finalize();
+    for (const MoveFootprint& c : committed)
+      EXPECT_TRUE(footprints_conflict(spec, c))
+          << "speculated " << move_name(spec_kind) << " survived a commit";
+  }
+}
+
+TEST(Speculation, FirstCommitDiscardsWholeRegisterBatch) {
+  // Pipeline-level version of the same property: with only register moves
+  // enabled, the first accepted candidate of a batch must invalidate every
+  // remaining speculation in it, and the remainder re-scores live.
+  Ctx ctx(make_ewf(), 17, 2);
+  const Binding start = initial_allocation(*ctx.prob);
+  SearchEngine eng(start);
+  MoveConfig rconf{};
+  rconf.weight[static_cast<size_t>(MoveKind::kSegExchange)] = 1.0;
+  rconf.weight[static_cast<size_t>(MoveKind::kSegMove)] = 1.0;
+  const int k = 4;
+  SpeculationConfig sc{k, Parallelism{2}};
+  ProposalPipeline pipe(eng, rconf, sc, /*seed=*/11);
+  int served_in_batch = 0;
+  bool committed = false;
+  for (int i = 0; i < 8 * k && !committed; ++i) {
+    if (i % k == 0) served_in_batch = 0;
+    const long discarded_before = pipe.spec_stats().discarded;
+    const auto c = pipe.next();
+    ++served_in_batch;
+    if (!c.feasible) continue;
+    pipe.decide(true);
+    committed = true;
+    // Every remaining speculation of this batch reads kStoCells, the
+    // committed move wrote it: all must be discarded at once.
+    EXPECT_EQ(pipe.spec_stats().discarded - discarded_before,
+              k - served_in_batch);
+    // ... and the rest of the batch re-scores live on the main engine.
+    const long rescored_before = pipe.spec_stats().rescored;
+    for (int rest = served_in_batch; rest < k; ++rest) {
+      const auto rc = pipe.next();
+      if (rc.feasible) pipe.decide(false);
+    }
+    EXPECT_EQ(pipe.spec_stats().rescored - rescored_before,
+              k - served_in_batch);
+  }
+  EXPECT_TRUE(committed) << "no feasible register move in 8 batches";
+}
+
+// ------------------------------------------------- by_kind exclusion ----
+
+TEST(Speculation, ByKindCountsExcludeDiscardedSpeculations) {
+  // Discarded speculations were scored but never served — they are not part
+  // of the trajectory and must not appear in ImproveStats::by_kind. With a
+  // healthy discard count, by_kind must still be byte-identical to the
+  // sequential run, and its totals must reconcile with the scalar counters.
+  Ctx ctx(make_ewf(), 17, 1);
+  const Binding start = initial_allocation(*ctx.prob);
+  const TrajRun seq = run_improve(start, speculative_params(3, 1, 1));
+  const TrajRun spec = run_improve(start, speculative_params(3, 16, 2));
+  EXPECT_GT(spec.result.stats.spec.discarded, 0)
+      << "test needs discards to be meaningful";
+  for (int kind = 0; kind < kNumMoveKinds; ++kind) {
+    EXPECT_TRUE(spec.result.stats.by_kind[static_cast<size_t>(kind)] ==
+                seq.result.stats.by_kind[static_cast<size_t>(kind)])
+        << "by_kind[" << kind << "] leaked discarded speculations";
+  }
+  long attempted = 0, accepted = 0;
+  for (const MoveKindStats& ks : spec.result.stats.by_kind) {
+    attempted += ks.attempted;
+    accepted += ks.accepted;
+  }
+  EXPECT_EQ(attempted, spec.result.stats.attempted);
+  EXPECT_EQ(accepted, spec.result.stats.accepted);
+}
+
+// ------------------------------------------------------------- knobs ----
+
+TEST(Speculation, ConfigResolution) {
+  EXPECT_EQ((SpeculationConfig{5, Parallelism{}}).resolve_k(), 5);
+  EXPECT_GE((SpeculationConfig{}).resolve_k(), 1);
+  EXPECT_GE(default_speculation_k(), 1);
+}
+
+TEST(Speculation, PipelineStatsAccounting) {
+  Ctx ctx(make_ewf(), 17, 1);
+  const Binding start = initial_allocation(*ctx.prob);
+  const TrajRun run = run_improve(start, speculative_params(9, 8, 2));
+  const SpecStats& s = run.result.stats.spec;
+  EXPECT_GT(s.batches, 0);
+  EXPECT_EQ(s.speculated, s.batches * 8);
+  EXPECT_GT(s.served, 0);
+  EXPECT_EQ(s.rescored, s.discarded);  // every discard is re-scored (or
+                                       // dropped unserved at run end)
+  EXPECT_LE(s.served + s.rescored, s.speculated);
+}
+
+}  // namespace
+}  // namespace salsa

@@ -20,6 +20,12 @@
 //   --artifacts    directory for failure artifacts (seed + binding JSON)
 //   --inject-broken-undo N  mutation test: break the Nth rollback's undo
 //                  (the digest check must report a VIOLATION)
+//   --speculation  also fuzz the speculative proposal pipeline: seeded
+//                  k-way batches diffed against a sequential reference run
+//   --spec-k       speculative batch width (default: 8)
+//   --spec-steps   candidates served per speculation fuzz run (default: 4000)
+//   --spec-skip N  mutation test: let the Nth footprint-conflict hit slip
+//                  through uninvalidated (expected output: a VIOLATION)
 //   --dump         print each target's start binding JSON and exit
 #include <cstdio>
 #include <cstdlib>
@@ -57,7 +63,8 @@ std::vector<int> parse_thread_list(const std::string& arg) {
 int main(int argc, char** argv) {
   std::string target = "all";
   FuzzParams fuzz;
-  bool determinism = false, dump = false;
+  SpecFuzzParams spec;
+  bool determinism = false, speculation = false, dump = false;
   int restarts = 6;
   std::vector<int> threads{1, 2, 8};
 
@@ -91,6 +98,16 @@ int main(int argc, char** argv) {
       // Mutation testing: break the Nth rollback's undo and watch the
       // digest check catch it (expected output: a VIOLATION).
       fuzz.inject_broken_undo_at = std::atol(next().c_str());
+    } else if (arg == "--speculation") {
+      speculation = true;
+    } else if (arg == "--spec-k") {
+      spec.k = std::atoi(next().c_str());
+    } else if (arg == "--spec-steps") {
+      spec.steps = std::atol(next().c_str());
+    } else if (arg == "--spec-skip") {
+      // Mutation testing: skip the Nth footprint invalidation and watch the
+      // replay cross-check / trajectory diff catch it.
+      spec.skip_footprint_check_at = std::atol(next().c_str());
     } else if (arg == "--dump") {
       dump = true;
     } else {
@@ -130,6 +147,28 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "  %s\n", res.failure.c_str());
       if (!res.artifact_path.empty())
         std::fprintf(stderr, "  artifact: %s\n", res.artifact_path.c_str());
+    }
+
+    if (speculation) {
+      SpecFuzzParams sp = spec;
+      sp.seed = fuzz.seed;
+      sp.audit = fuzz.audit;
+      sp.artifact_dir = fuzz.artifact_dir;
+      sp.name = name + "-spec";
+      const SpecFuzzResult sres = run_speculation_fuzz(t.prob(), sp);
+      std::printf(
+          "spec %-6s seed %llu k=%d: %ld commits, %ld batches (%ld served / "
+          "%ld discarded / %ld rescored) — %s\n",
+          name.c_str(), static_cast<unsigned long long>(sp.seed), sp.k,
+          sres.commits, sres.spec.batches, sres.spec.served,
+          sres.spec.discarded, sres.spec.rescored,
+          sres.ok ? "ok" : "VIOLATION");
+      if (!sres.ok) {
+        failed = true;
+        std::fprintf(stderr, "  %s\n", sres.failure.c_str());
+        if (!sres.artifact_path.empty())
+          std::fprintf(stderr, "  artifact: %s\n", sres.artifact_path.c_str());
+      }
     }
 
     if (determinism && !dump) {
