@@ -6,7 +6,9 @@
 // and a datapath simulation step.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <memory>
+#include <vector>
 
 #include "bench_common.h"
 #include "bench_suite/dct.h"
@@ -15,6 +17,7 @@
 #include "core/search_engine.h"
 #include "datapath/simulator.h"
 #include "sched/force_directed.h"
+#include "util/flat_map.h"
 
 using namespace salsa;
 using namespace salsa::benchharness;
@@ -102,6 +105,34 @@ void BM_EngineMoveStep(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineMoveStep);
 
+// Raw connection-index throughput: refcount churn (increment / lookup /
+// decrement with backward-shift erase) over packed 64-bit pair keys — the
+// op mix the engine's transaction drain drives against FlatMap. Half the
+// key set is pre-seeded, so increments split between creating entries
+// (erased again on the decrement) and bumping live ones, and lookups mix
+// hits with misses. ops_per_sec counts individual table operations.
+void BM_IndexOps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  std::vector<uint64_t> keys(static_cast<size_t>(n));
+  for (uint64_t& key : keys) key = rng.next();
+  FlatMap<uint64_t> index;
+  index.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; i += 2) index.increment(keys[static_cast<size_t>(i)]);
+  long ops = 0;
+  for (auto _ : state) {
+    const uint64_t hot = keys[static_cast<size_t>(rng.uniform(n))];
+    const uint64_t probe = keys[static_cast<size_t>(rng.uniform(n))];
+    index.increment(hot);
+    benchmark::DoNotOptimize(index.find(probe));
+    index.decrement(hot);
+    ops += 3;
+  }
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_IndexOps)->Arg(1 << 10)->Arg(1 << 14);
+
 void BM_InitialAllocation(benchmark::State& state) {
   uint64_t seed = 0;
   for (auto _ : state) {
@@ -186,10 +217,10 @@ BENCHMARK(BM_ParallelRestarts)
 // The "spec_hit" counter reports served / speculated for the batched runs.
 // (On a single-core host every arg degenerates to sequential wall clock;
 // the grid is meant for multicore runs — see EXPERIMENTS.md.)
-void BM_SpeculativeMoves(benchmark::State& state) {
+void speculative_moves(benchmark::State& state, ProblemBundle& bundle) {
   const int threads = static_cast<int>(state.range(0));
   const int k = static_cast<int>(state.range(1));
-  Binding b = initial_allocation(*ewf17().problem);
+  Binding b = initial_allocation(*bundle.problem);
   long attempted = 0;
   SpecStats spec;
   for (auto _ : state) {
@@ -215,6 +246,10 @@ void BM_SpeculativeMoves(benchmark::State& state) {
                 static_cast<double>(spec.speculated)
           : 0.0;
 }
+
+void BM_SpeculativeMoves(benchmark::State& state) {
+  speculative_moves(state, ewf17());
+}
 BENCHMARK(BM_SpeculativeMoves)
     ->Args({1, 1})
     ->Args({1, 8})
@@ -222,6 +257,19 @@ BENCHMARK(BM_SpeculativeMoves)
     ->Args({4, 8})
     ->Args({8, 8})
     ->Args({8, 16})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(1);
+
+// The same measurement on the DCT, the paper's larger benchmark. The
+// {1, 1} row is the second sequential-throughput acceptance number next to
+// BM_SpeculativeMoves/1/1 (see EXPERIMENTS.md "Move throughput").
+void BM_SpeculativeMovesDct(benchmark::State& state) {
+  speculative_moves(state, dct9());
+}
+BENCHMARK(BM_SpeculativeMovesDct)
+    ->Args({1, 1})
+    ->Args({8, 8})
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime()
     ->Iterations(1);
@@ -244,6 +292,47 @@ void BM_SimulateIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateIteration);
 
+// Display reporter that additionally captures every run carrying a
+// moves_per_sec counter into throughput rows for the machine-readable
+// record written by main(). Counters reach the reporter already finalized
+// (rates divided by elapsed time). Because an explicit display reporter is
+// installed, --benchmark_format is ignored — use --benchmark_out=<file>
+// for a full google-benchmark JSON record.
+class ThroughputCapture : public benchmark::ConsoleReporter {
+ public:
+  std::vector<benchharness::ThroughputRow> rows;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      const auto it = run.counters.find("moves_per_sec");
+      if (it == run.counters.end()) continue;
+      benchharness::ThroughputRow row;
+      row.benchmark = run.benchmark_name();
+      row.moves_per_sec = it->second.value;
+      if (const auto t = run.counters.find("threads"); t != run.counters.end())
+        row.threads = static_cast<int>(t->second.value);
+      if (const auto kk = run.counters.find("k"); kk != run.counters.end())
+        row.k = static_cast<int>(kk->second.value);
+      rows.push_back(std::move(row));
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus the throughput record: every run with a
+// moves_per_sec counter lands in BENCH_throughput.json (override the path
+// with SALSA_BENCH_JSON), stamped with the tree's `git describe`.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ThroughputCapture reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* path = std::getenv("SALSA_BENCH_JSON");
+  benchharness::write_throughput_json(
+      path != nullptr ? path : "BENCH_throughput.json", reporter.rows,
+      benchharness::git_describe());
+  return 0;
+}

@@ -1,9 +1,12 @@
 #include "bench_suite/harness.h"
 
+#include <cstdio>
+#include <fstream>
 #include <utility>
 
 #include "bench_suite/dct.h"
 #include "bench_suite/ewf.h"
+#include "util/diagnostics.h"
 
 namespace salsa::benchharness {
 
@@ -142,6 +145,39 @@ std::vector<TableRow> table3_rows(const TableBudget& budget,
   return parallel_map(parallelism, static_cast<int>(grid.size()), [&](int i) {
     return make_row(grid[static_cast<size_t>(i)], make_dct(), budget);
   });
+}
+
+std::string git_describe(std::string fallback) {
+  FILE* pipe = popen("git describe --always --dirty --tags 2>/dev/null", "r");
+  if (pipe == nullptr) return fallback;
+  std::string out;
+  char buf[256];
+  while (fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  const int rc = pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  if (rc != 0 || out.empty()) return fallback;
+  return out;
+}
+
+void write_throughput_json(const std::string& path,
+                           const std::vector<ThroughputRow>& rows,
+                           const std::string& git_version) {
+  std::ofstream os(path);
+  SALSA_CHECK_MSG(os.good(), "cannot open throughput record " + path);
+  os << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.10g", r.moves_per_sec);
+    os << "  {\"benchmark\": \"" << r.benchmark
+       << "\", \"moves_per_sec\": " << rate << ", \"threads\": " << r.threads
+       << ", \"k\": " << r.k << ", \"git\": \"" << git_version << "\"}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  os.close();
+  SALSA_CHECK_MSG(os.good(), "failed writing throughput record " + path);
 }
 
 }  // namespace salsa::benchharness

@@ -84,4 +84,26 @@ std::vector<TableRow> table2_rows(const TableBudget& budget,
 std::vector<TableRow> table3_rows(const TableBudget& budget,
                                   Parallelism parallelism = {});
 
+/// One row of the throughput record bench_runtime emits
+/// (BENCH_throughput.json): a benchmark's served-move rate at one
+/// (threads, k) proposal-pipeline setting.
+struct ThroughputRow {
+  std::string benchmark;
+  double moves_per_sec = 0;
+  int threads = 1;
+  int k = 1;
+};
+
+/// `git describe --always --dirty --tags` of the tree the benchmark runs
+/// in, or `fallback` when git (or a repository) is unavailable — bench
+/// binaries run from arbitrary build directories.
+std::string git_describe(std::string fallback = "unknown");
+
+/// Writes the rows to `path` as a JSON array of {benchmark, moves_per_sec,
+/// threads, k, git} objects. Overwrites; fails hard on I/O errors so CI
+/// artifact uploads never silently archive a stale record.
+void write_throughput_json(const std::string& path,
+                           const std::vector<ThroughputRow>& rows,
+                           const std::string& git_version);
+
 }  // namespace salsa::benchharness

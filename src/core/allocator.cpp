@@ -29,6 +29,22 @@ CheckMode default_check_mode() {
   return mode;
 }
 
+int default_restart_patience() {
+  static const int patience = [] {
+    const char* env = std::getenv("SALSA_RESTART_PATIENCE");
+    if (env == nullptr) return 0;
+    const std::string v(env);
+    if (v == "0" || v == "off") return 0;
+    char* end = nullptr;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    if (end != v.c_str() && *end == '\0' && n >= 1 && n <= 1000000)
+      return static_cast<int>(n);
+    fail("SALSA_RESTART_PATIENCE must be 0/off or a positive restart count; "
+         "got '" + v + "'");
+  }();
+  return patience;
+}
+
 namespace {
 
 // One independent restart: constructive start (plus the optional
@@ -107,9 +123,43 @@ AllocationResult allocate(const AllocProblem& prob,
   // corrupt the stream, so tracing pins the run to the calling thread.
   if (opts.improve.trace != nullptr) par = Parallelism::sequential_only();
 
-  std::vector<RestartOutcome> outcomes = parallel_map(
-      par, opts.restarts,
-      [&](int r) { return run_restart(prob, opts, r); });
+  const int patience = opts.restart_patience > 0 ? opts.restart_patience
+                       : opts.restart_patience == 0 ? default_restart_patience()
+                                                    : 0;
+
+  std::vector<RestartOutcome> outcomes;
+  if (patience <= 0 || opts.restarts <= patience) {
+    outcomes = parallel_map(par, opts.restarts,
+                            [&](int r) { return run_restart(prob, opts, r); });
+  } else {
+    // Early stopping, deterministically: restarts are computed in
+    // thread-sized waves, but the stop rule — cut after the first index r
+    // whose distance from the earliest best index reaches `patience` — is
+    // evaluated over outcomes in restart-index order and every outcome past
+    // the cut is dropped. The retained prefix (hence the winner and the
+    // stats) is therefore a function of the restart outcomes alone, never
+    // of the wave width or which thread ran what; only the amount of
+    // discarded surplus work varies with the thread count.
+    const int wave = par.resolve();
+    size_t best = 0;
+    bool stop = false;
+    while (!stop && static_cast<int>(outcomes.size()) < opts.restarts) {
+      const int base = static_cast<int>(outcomes.size());
+      const int count = std::min(wave, opts.restarts - base);
+      std::vector<RestartOutcome> batch = parallel_map(
+          par, count, [&](int i) { return run_restart(prob, opts, base + i); });
+      for (RestartOutcome& o : batch) {
+        outcomes.push_back(std::move(o));
+        const size_t r = outcomes.size() - 1;
+        if (outcomes[r].result.cost.total < outcomes[best].result.cost.total)
+          best = r;
+        if (r - best >= static_cast<size_t>(patience)) {
+          stop = true;
+          break;
+        }
+      }
+    }
+  }
 
   // Deterministic reduction in restart order: stats sum index by index; the
   // winner is the lowest cost, ties broken by the lowest restart index

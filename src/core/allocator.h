@@ -34,6 +34,11 @@ enum class CheckMode : uint8_t { kOff, kFinal, kAudit };
 /// allocation in the test suite under the full auditor without a rebuild.
 CheckMode default_check_mode();
 
+/// Default restart patience: the SALSA_RESTART_PATIENCE environment
+/// variable when set ("0"/"off" → no early stop, a positive count → stop
+/// after that many consecutive non-improving restarts), otherwise 0.
+int default_restart_patience();
+
 struct AllocatorOptions {
   ImproveParams improve;
   InitialOptions initial;
@@ -42,6 +47,16 @@ struct AllocatorOptions {
   /// (util/rng.h:derive_seed), so restart r's trajectory is a function of
   /// (user seeds, r) only — never of which thread ran it.
   int restarts = 1;
+  /// Early restart stopping: stop launching restarts once `patience`
+  /// consecutive restarts (in restart-index order) failed to improve the
+  /// best cost; at least patience + 1 restarts always run. 0 = auto: the
+  /// SALSA_RESTART_PATIENCE environment variable, else no early stop;
+  /// negative = never stop early regardless of the environment. The stop
+  /// index is a function of the restart outcomes in restart order alone —
+  /// restarts are computed in thread-sized waves, and every outcome past
+  /// the stop index is discarded before the best-of reduction — so results
+  /// stay byte-identical for any thread count.
+  int restart_patience = 0;
   /// Restart-level parallelism. Results are byte-identical for every thread
   /// count: each restart owns its seed streams and SearchEngine, and the
   /// best-of reduction (lowest cost, then lowest restart index) plus the

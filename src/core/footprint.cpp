@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/flat_map.h"
+
 namespace salsa {
 
 void MoveFootprint::clear() {
@@ -18,15 +20,15 @@ namespace {
 
 void net_events(std::vector<std::pair<int, int>>& events,
                 std::vector<int>& rows) {
-  std::sort(events.begin(), events.end());
-  for (size_t i = 0; i < events.size();) {
-    int net = 0;
-    size_t j = i;
-    while (j < events.size() && events[j].first == events[i].first)
-      net += events[j++].second;
-    if (net != 0) rows.push_back(events[i].first);
-    i = j;
-  }
+  if (events.empty()) return;
+  // Net the +-1 events through a FlatMap refcount accumulator — O(events)
+  // instead of sort-and-scan — keeping only rows with a nonzero net. The
+  // table is thread_local (batch-scoring workers finalize concurrently) and
+  // keeps its capacity, so finalize() is allocation-free after warm-up.
+  // Drain order is slot order, not id order; finalize() sorts rows after.
+  thread_local FlatMap<uint32_t> net;
+  for (const auto& [id, delta] : events) net.add(static_cast<uint32_t>(id), delta);
+  net.drain([&rows](uint32_t id, int) { rows.push_back(static_cast<int>(id)); });
   events.clear();
 }
 

@@ -78,22 +78,13 @@ struct CellRef {
   int sid, seg, pos;
 };
 
-template <typename Pred>
-std::vector<CellRef> collect_cells(const Binding& b, Pred pred) {
-  std::vector<CellRef> out;
-  const Lifetimes& lt = b.prob().lifetimes();
-  for (int sid = 0; sid < lt.num_storages(); ++sid) {
-    const StorageBinding& sb = b.sto(sid);
-    for (int seg = 0; seg < static_cast<int>(sb.cells.size()); ++seg)
-      for (int pos = 0;
-           pos < static_cast<int>(sb.cells[static_cast<size_t>(seg)].size());
-           ++pos)
-        if (pred(sid, seg, sb.cells[static_cast<size_t>(seg)]
-                               [static_cast<size_t>(pos)]))
-          out.push_back({sid, seg, pos});
-  }
-  return out;
-}
+// Candidate lists are collected into thread_local scratch buffers:
+// proposals run thousands of times per second on pool threads, and reusing
+// the buffers keeps the hot path allocation-free. Contents are fully
+// rewritten on every call, and each proposer holds at most one collected
+// list at a time. Cell scans run in (sid, seg, pos)-lexicographic order —
+// the candidate-order contract the engine's per-storage statistics
+// (num_cells/num_vias/num_bare_transfers) prune against.
 
 const Cell& cell_at(const Binding& b, const CellRef& cr) {
   return b.sto(cr.sid).cells[static_cast<size_t>(cr.seg)]
@@ -123,23 +114,24 @@ RegId single_reg_of(const StorageBinding& sb) {
 
 bool move_fu_exchange(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
-  const Cdfg& g = b.prob().cdfg();
   const Schedule& sched = b.prob().sched();
-  const auto ops = g.operations();
+  const std::vector<NodeId>& ops = eng.operations();
   if (ops.size() < 2) return false;
   const Occupancy& occ = eng.occupancy();
   const NodeId a = ops[static_cast<size_t>(rng.uniform(static_cast<int>(ops.size())))];
-  std::vector<NodeId> cands;
-  for (NodeId o : ops)
-    if (o != a && fu_class_of(g.node(o).kind) == fu_class_of(g.node(a).kind) &&
-        b.op(o).fu != b.op(a).fu)
-      cands.push_back(o);
+  const FuId fa0 = b.op(a).fu;
+  static thread_local std::vector<NodeId> cands;
+  cands.clear();
+  // Same-class ops in operations() order, pre-grouped by the engine — the
+  // candidate list (and hence the draw below) matches a full scan's.
+  for (NodeId o : eng.ops_of_class(eng.op_class(a)))
+    if (o != a && b.op(o).fu != fa0) cands.push_back(o);
   if (cands.empty()) return false;
   const NodeId c =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
   const FuId fa = b.op(a).fu, fc = b.op(c).fu;
   auto window_ok = [&](NodeId n, FuId target, NodeId other) {
-    const int oc = sched.hw().occupancy(g.node(n).kind);
+    const int oc = eng.op_occupancy(n);
     for (int t = sched.start(n); t < sched.start(n) + oc; ++t) {
       const int user =
           occ.fu_user[static_cast<size_t>(target)][static_cast<size_t>(t)];
@@ -155,18 +147,20 @@ bool move_fu_exchange(SearchEngine& eng, Rng& rng) {
 
 bool move_fu_move(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
-  const Cdfg& g = b.prob().cdfg();
   const Schedule& sched = b.prob().sched();
-  const auto ops = g.operations();
+  const std::vector<NodeId>& ops = eng.operations();
   if (ops.empty()) return false;
   const Occupancy& occ = eng.occupancy();
   const NodeId a = ops[static_cast<size_t>(rng.uniform(static_cast<int>(ops.size())))];
-  std::vector<FuId> cands;
-  for (FuId f : b.prob().fus().of_class(fu_class_of(g.node(a).kind))) {
-    if (f == b.op(a).fu) continue;
+  const FuId cur = b.op(a).fu;
+  const int start = sched.start(a);
+  const int oc = eng.op_occupancy(a);
+  static thread_local std::vector<FuId> cands;
+  cands.clear();
+  for (FuId f : eng.fus_of_class(eng.op_class(a))) {
+    if (f == cur) continue;
     bool free = true;
-    const int oc = sched.hw().occupancy(g.node(a).kind);
-    for (int t = sched.start(a); t < sched.start(a) + oc; ++t)
+    for (int t = start; t < start + oc; ++t)
       if (!occ.fu_free(f, t)) {
         free = false;
         break;
@@ -180,11 +174,9 @@ bool move_fu_move(SearchEngine& eng, Rng& rng) {
 }
 
 bool move_operand_reverse(SearchEngine& eng, Rng& rng) {
-  const Binding& b = eng.binding();
-  const Cdfg& g = b.prob().cdfg();
-  std::vector<NodeId> cands;
-  for (NodeId n : g.operations())
-    if (is_commutative(g.node(n).kind)) cands.push_back(n);
+  // Commutativity is CDFG-static; the engine's pre-filtered list is the
+  // full scan's candidate list (same order), with no per-proposal walk.
+  const std::vector<NodeId>& cands = eng.commutative_ops();
   if (cands.empty()) return false;
   const NodeId a =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
@@ -197,12 +189,25 @@ bool move_bind_pass(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   const int L = b.prob().sched().length();
-  auto cands = collect_cells(b, [&](int sid, int seg, const Cell& c) {
-    if (seg == 0 || c.via != kInvalidId) return false;
-    const Cell& parent = b.sto(sid).cells[static_cast<size_t>(seg) - 1]
-                                         [static_cast<size_t>(c.parent)];
-    return parent.reg != c.reg;
-  });
+  // Bindable candidates are the direct inter-register transfers; the
+  // engine's per-storage transfer counts let the scan skip the (typical)
+  // storages that have none, leaving the candidate order unchanged.
+  static thread_local std::vector<CellRef> cands;
+  cands.clear();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    if (eng.num_bare_transfers(sid) == 0) continue;
+    const StorageBinding& sb = b.sto(sid);
+    for (int seg = 1; seg < static_cast<int>(sb.cells.size()); ++seg) {
+      const auto& cells = sb.cells[static_cast<size_t>(seg)];
+      for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos) {
+        const Cell& c = cells[static_cast<size_t>(pos)];
+        if (c.via != kInvalidId) continue;
+        const Cell& parent = sb.cells[static_cast<size_t>(seg) - 1]
+                                     [static_cast<size_t>(c.parent)];
+        if (parent.reg != c.reg) cands.push_back({sid, seg, pos});
+      }
+    }
+  }
   if (cands.empty()) return false;
   const CellRef cr =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
@@ -210,23 +215,20 @@ bool move_bind_pass(SearchEngine& eng, Rng& rng) {
   const Occupancy& occ = eng.occupancy();
   // An FU whose output carries a landing result at tstep cannot pass
   // (relevant for pipelined units whose occupancy ends before their delay).
-  const Cdfg& g = b.prob().cdfg();
-  const Schedule& sched = b.prob().sched();
-  std::vector<bool> out_busy(static_cast<size_t>(b.prob().fus().size()), false);
-  for (NodeId n : g.operations()) {
-    const int fin = sched.start(n) + sched.hw().delay(g.node(n).kind) - 1;
-    if (fin % L == tstep) out_busy[static_cast<size_t>(b.op(n).fu)] = true;
-  }
-  std::vector<FuId> fus;
-  for (FuId f : b.prob().fus().pass_capable()) {
-    // Only single-cycle FU classes can forward combinationally.
-    const OpKind probe = b.prob().fus().fu(f).cls == FuClass::kAlu
-                             ? OpKind::kAdd
-                             : OpKind::kMul;
-    if (sched.hw().delay(probe) != 1) continue;
-    if (occ.fu_free(f, tstep) && !out_busy[static_cast<size_t>(f)])
-      fus.push_back(f);
-  }
+  // Landing steps are schedule-static, so only the few ops the engine lists
+  // for tstep need their (dynamic) FU binding checked.
+  const std::vector<NodeId>& landing = eng.ops_finishing_at(tstep);
+  auto out_busy = [&](FuId f) {
+    for (NodeId n : landing)
+      if (b.op(n).fu == f) return true;
+    return false;
+  };
+  static thread_local std::vector<FuId> fus;
+  fus.clear();
+  // Pre-filtered to single-cycle classes (only those forward
+  // combinationally) — same scan order as filtering pass_capable_fus().
+  for (FuId f : eng.single_cycle_pass_fus())
+    if (occ.fu_free(f, tstep) && !out_busy(f)) fus.push_back(f);
   if (fus.empty()) return false;
   mut_cell(eng.touch_sto(cr.sid), cr).via =
       fus[static_cast<size_t>(rng.uniform(static_cast<int>(fus.size())))];
@@ -235,8 +237,19 @@ bool move_bind_pass(SearchEngine& eng, Rng& rng) {
 
 bool move_unbind_pass(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
-  auto cands = collect_cells(
-      b, [](int, int, const Cell& c) { return c.via != kInvalidId; });
+  const Lifetimes& lt = b.prob().lifetimes();
+  static thread_local std::vector<CellRef> cands;
+  cands.clear();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    if (eng.num_vias(sid) == 0) continue;  // typical: skip the whole storage
+    const StorageBinding& sb = b.sto(sid);
+    for (int seg = 0; seg < static_cast<int>(sb.cells.size()); ++seg) {
+      const auto& cells = sb.cells[static_cast<size_t>(seg)];
+      for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos)
+        if (cells[static_cast<size_t>(pos)].via != kInvalidId)
+          cands.push_back({sid, seg, pos});
+    }
+  }
   if (cands.empty()) return false;
   const CellRef cr =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
@@ -246,13 +259,13 @@ bool move_unbind_pass(SearchEngine& eng, Rng& rng) {
 
 bool move_seg_exchange(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
-  const Lifetimes& lt = b.prob().lifetimes();
   const int L = b.prob().sched().length();
   const int step = rng.uniform(L);
-  std::vector<CellRef> here;
-  for (int sid = 0; sid < lt.num_storages(); ++sid) {
-    const int seg = lt.seg_at_step(sid, step);
-    if (seg < 0) continue;
+  static thread_local std::vector<CellRef> here;
+  here.clear();
+  // Liveness is schedule-static: the engine's per-step (sid, seg) list is
+  // the non-negative seg_at_step results of a sid-ascending scan.
+  for (const auto& [sid, seg] : eng.live_at_step(step)) {
     const auto& cells = b.sto(sid).cells[static_cast<size_t>(seg)];
     for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos)
       here.push_back({sid, seg, pos});
@@ -284,13 +297,24 @@ bool move_seg_move(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   const int L = b.prob().sched().length();
-  auto cands = collect_cells(b, [](int, int, const Cell&) { return true; });
-  if (cands.empty()) return false;
-  const CellRef cr =
-      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  // Every cell is a candidate, so map a uniform draw through the engine's
+  // per-storage cell counts to the cell at that index of the
+  // (sid, seg, pos)-lexicographic enumeration — the same pick a
+  // materialized list would give, without walking every storage.
+  const int total = eng.total_cells();
+  if (total == 0) return false;
+  int idx = rng.uniform(total);
+  int sid = 0;
+  while (idx >= eng.num_cells(sid)) idx -= eng.num_cells(sid++);
+  const StorageBinding& sbr = b.sto(sid);
+  int seg = 0;
+  while (idx >= static_cast<int>(sbr.cells[static_cast<size_t>(seg)].size()))
+    idx -= static_cast<int>(sbr.cells[static_cast<size_t>(seg++)].size());
+  const CellRef cr{sid, seg, idx};
   const int step = (lt.storage(cr.sid).birth + cr.seg) % L;
   const Occupancy& occ = eng.occupancy();
-  std::vector<RegId> regs;
+  static thread_local std::vector<RegId> regs;
+  regs.clear();
   for (RegId r = 0; r < b.prob().num_regs(); ++r)
     if (occ.reg_free(r, step)) regs.push_back(r);
   if (regs.empty()) return false;
@@ -336,7 +360,9 @@ bool move_val_move(SearchEngine& eng, Rng& rng) {
   const int sid = rng.uniform(n);
   const Storage& s = lt.storage(sid);
   const Occupancy& occ = eng.occupancy();
-  std::vector<RegId> regs;
+  const RegId cur = single_reg_of(b.sto(sid));
+  static thread_local std::vector<RegId> regs;
+  regs.clear();
   for (RegId r = 0; r < b.prob().num_regs(); ++r) {
     bool ok = true;
     for (int seg = 0; seg < s.len && ok; ++seg) {
@@ -344,7 +370,7 @@ bool move_val_move(SearchEngine& eng, Rng& rng) {
                                   [static_cast<size_t>(s.step_at(seg, L))];
       ok = user == -1 || user == sid;
     }
-    if (ok && single_reg_of(b.sto(sid)) != r) regs.push_back(r);
+    if (ok && cur != r) regs.push_back(r);
   }
   if (regs.empty()) return false;
   const RegId r =
@@ -368,7 +394,8 @@ bool move_val_split(SearchEngine& eng, Rng& rng) {
   const int seg = rng.uniform(s.len);
   const int step = s.step_at(seg, L);
   const Occupancy& occ = eng.occupancy();
-  std::vector<RegId> regs;
+  static thread_local std::vector<RegId> regs;
+  regs.clear();
   for (RegId r = 0; r < b.prob().num_regs(); ++r)
     if (occ.reg_free(r, step)) regs.push_back(r);
   if (regs.empty()) return false;
@@ -392,24 +419,30 @@ bool move_val_split(SearchEngine& eng, Rng& rng) {
 
 bool move_val_merge(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
-  auto removable = collect_cells(b, [&](int sid, int seg, const Cell&) {
+  const Lifetimes& lt = b.prob().lifetimes();
+  // Candidates are leaf cells of multi-cell segments (no child in the next
+  // segment). A storage with exactly len cells has only single-cell
+  // segments, so the engine's cell counts skip it outright.
+  static thread_local std::vector<CellRef> leaves;
+  leaves.clear();
+  for (int sid = 0; sid < lt.num_storages(); ++sid) {
+    if (eng.num_cells(sid) == lt.storage(sid).len) continue;
     const StorageBinding& sb = b.sto(sid);
-    if (sb.cells[static_cast<size_t>(seg)].size() < 2) return false;
-    return true;
-  });
-  // Filter to leaf cells (no child in the next segment).
-  std::vector<CellRef> leaves;
-  for (const CellRef& cr : removable) {
-    const StorageBinding& sb = b.sto(cr.sid);
-    bool leaf = true;
-    if (cr.seg + 1 < static_cast<int>(sb.cells.size())) {
-      for (const Cell& child : sb.cells[static_cast<size_t>(cr.seg) + 1])
-        if (child.parent == cr.pos) {
-          leaf = false;
-          break;
+    for (int seg = 0; seg < static_cast<int>(sb.cells.size()); ++seg) {
+      const auto& cells = sb.cells[static_cast<size_t>(seg)];
+      if (cells.size() < 2) continue;
+      for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos) {
+        bool leaf = true;
+        if (seg + 1 < static_cast<int>(sb.cells.size())) {
+          for (const Cell& child : sb.cells[static_cast<size_t>(seg) + 1])
+            if (child.parent == pos) {
+              leaf = false;
+              break;
+            }
         }
+        if (leaf) leaves.push_back({sid, seg, pos});
+      }
     }
-    if (leaf) leaves.push_back(cr);
   }
   if (leaves.empty()) return false;
   const CellRef cr =
@@ -435,9 +468,11 @@ bool move_val_merge(SearchEngine& eng, Rng& rng) {
 bool move_read_retarget(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
-  std::vector<std::pair<int, int>> cands;  // (sid, read index)
+  static thread_local std::vector<std::pair<int, int>> cands;  // (sid, read)
+  cands.clear();
   for (int sid = 0; sid < lt.num_storages(); ++sid) {
     const Storage& s = lt.storage(sid);
+    if (eng.num_cells(sid) == s.len) continue;  // no multi-cell segment
     const StorageBinding& sb = b.sto(sid);
     for (size_t ri = 0; ri < s.reads.size(); ++ri)
       if (sb.cells[static_cast<size_t>(s.reads[ri].seg)].size() >= 2)

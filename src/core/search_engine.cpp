@@ -26,6 +26,15 @@ uint32_t pack(const Pin& p) {
 
 SearchEngine::SearchEngine(const Binding& start) : b_(start) {
   build_static();
+  init_from_statics();
+  rebuild();
+}
+
+SearchEngine::SearchEngine(const Binding& start, const SearchEngine& other)
+    : b_(start), statics_(other.statics_) {
+  SALSA_CHECK_MSG(&start.prob() == &other.b_.prob(),
+                  "sharing engine statics needs bindings of the same problem");
+  init_from_statics();
   rebuild();
 }
 
@@ -34,10 +43,11 @@ void SearchEngine::build_static() {
   const Cdfg& g = prob.cdfg();
   const Lifetimes& lt = prob.lifetimes();
   const int S = lt.num_storages();
-  charge_consts_ = prob.weights().constants_cost;
-  const_gen_base_ = 2 * S;
+  EngineStatics st;
+  st.charge_consts = prob.weights().constants_cost;
+  st.const_gen_base = 2 * S;
 
-  op_info_.assign(static_cast<size_t>(g.num_nodes()), OpInfo{});
+  st.op_info.assign(static_cast<size_t>(g.num_nodes()), OpInfo{});
   // Which storages each operation reads (its operand-fetch sinks live in
   // the storages' read generators) and which storage it produces.
   std::vector<int> produced(static_cast<size_t>(g.num_nodes()), -1);
@@ -49,13 +59,13 @@ void SearchEngine::build_static() {
     }
     for (const StorageRead& r : s.reads) {
       if (g.node(r.consumer).kind == OpKind::kOutput) continue;
-      auto& gens = op_info_[static_cast<size_t>(r.consumer)].gens;
+      auto& gens = st.op_info[static_cast<size_t>(r.consumer)].gens;
       if (gens.empty() || gens.back() != gen_reads(sid))
         gens.push_back(gen_reads(sid));
     }
   }
   for (NodeId n : g.operations()) {
-    OpInfo& info = op_info_[static_cast<size_t>(n)];
+    OpInfo& info = st.op_info[static_cast<size_t>(n)];
     // Dedup read generators (an op may read two operands of one storage,
     // interleaved with other storages in the scan above).
     std::sort(info.gens.begin(), info.gens.end());
@@ -65,13 +75,57 @@ void SearchEngine::build_static() {
       info.gens.push_back(gen_writes(produced[static_cast<size_t>(n)]));
     for (ValueId v : g.node(n).ins)
       if (g.is_const_value(v)) info.has_const_ins = true;
-    if (info.has_const_ins) info.gens.push_back(gen_const(n));
+    if (info.has_const_ins) info.gens.push_back(st.const_gen_base + n);
   }
+  st.num_gens = st.const_gen_base + g.num_nodes();
+  st.ops = g.operations();
+  for (size_t c = 0; c < st.fus_by_class.size(); ++c)
+    st.fus_by_class[c] = prob.fus().of_class(static_cast<FuClass>(c));
+  st.pass_fus = prob.fus().pass_capable();
+  const Schedule& sched = prob.sched();
+  st.finishing_at.assign(static_cast<size_t>(sched.length()), {});
+  for (NodeId n : st.ops) {
+    const int fin = sched.start(n) + sched.hw().delay(g.node(n).kind) - 1;
+    st.finishing_at[static_cast<size_t>(fin % sched.length())].push_back(n);
+  }
+  st.op_class.assign(static_cast<size_t>(g.num_nodes()), FuClass::kAlu);
+  st.op_occ.assign(static_cast<size_t>(g.num_nodes()), 0);
+  for (NodeId n : st.ops) {
+    const OpKind kind = g.node(n).kind;
+    const FuClass c = fu_class_of(kind);
+    st.op_class[static_cast<size_t>(n)] = c;
+    st.op_occ[static_cast<size_t>(n)] = sched.hw().occupancy(kind);
+    st.ops_by_class[static_cast<size_t>(c)].push_back(n);
+    if (is_commutative(kind)) st.commutative_ops.push_back(n);
+  }
+  for (FuId f : st.pass_fus) {
+    // Only single-cycle FU classes can forward combinationally.
+    const OpKind probe =
+        prob.fus().fu(f).cls == FuClass::kAlu ? OpKind::kAdd : OpKind::kMul;
+    if (sched.hw().delay(probe) == 1) st.pass_fus_1cyc.push_back(f);
+  }
+  st.live_at.assign(static_cast<size_t>(sched.length()), {});
+  for (int t = 0; t < sched.length(); ++t)
+    for (int sid = 0; sid < S; ++sid) {
+      const int seg = lt.seg_at_step(sid, t);
+      if (seg >= 0) st.live_at[static_cast<size_t>(t)].push_back({sid, seg});
+    }
+  statics_ = std::make_shared<const EngineStatics>(std::move(st));
+}
 
-  gen_epoch_.assign(static_cast<size_t>(const_gen_base_ + g.num_nodes()), 0);
+void SearchEngine::init_from_statics() {
+  const Cdfg& g = b_.prob().cdfg();
+  const int S = b_.prob().lifetimes().num_storages();
+  gen_epoch_.assign(static_cast<size_t>(statics_->num_gens), 0);
+  gen_keys_.assign(static_cast<size_t>(statics_->num_gens), {});
   op_epoch_.assign(static_cast<size_t>(g.num_nodes()), 0);
   sto_epoch_.assign(static_cast<size_t>(S), 0);
+  sto_save_.assign(static_cast<size_t>(S), StorageBinding{});
   epoch_ = 0;
+  // The audited index tables are the targets of the backward-shift
+  // mutation hook (flat_map_hooks; no effect unless a test arms it).
+  pair_refs_.mark_mutation_target();
+  sink_sources_.mark_mutation_target();
 }
 
 void SearchEngine::rebuild() {
@@ -85,6 +139,11 @@ void SearchEngine::rebuild() {
 
   const Cdfg& g = prob.cdfg();
   const Lifetimes& lt = prob.lifetimes();
+  sto_cells_.assign(static_cast<size_t>(lt.num_storages()), 0);
+  sto_vias_.assign(static_cast<size_t>(lt.num_storages()), 0);
+  sto_xfers_.assign(static_cast<size_t>(lt.num_storages()), 0);
+  total_cells_ = 0;
+  for (int sid = 0; sid < lt.num_storages(); ++sid) refresh_sto_stats(sid);
   for (NodeId n : g.operations()) {
     const FuId f = b_.op(n).fu;
     if (++fu_refs_[static_cast<size_t>(f)] == 1) ++cost_.fus_used;
@@ -102,7 +161,8 @@ void SearchEngine::rebuild() {
     add_gen(gen_writes(sid));
   }
   for (NodeId n : g.operations())
-    if (op_info_[static_cast<size_t>(n)].has_const_ins) add_gen(gen_const(n));
+    if (statics_->op_info[static_cast<size_t>(n)].has_const_ins)
+      add_gen(gen_const(n));
   recompute_total();
   SALSA_DCHECK(matches_full_eval());
 }
@@ -133,8 +193,8 @@ void SearchEngine::enum_gen_uses(int gen, Fn&& fn) const {
   const Lifetimes& lt = prob.lifetimes();
   const int L = prob.sched().length();
 
-  if (gen >= const_gen_base_) {  // constant operands of one operation
-    const NodeId n = gen - const_gen_base_;
+  if (gen >= statics_->const_gen_base) {  // constant operands of one operation
+    const NodeId n = gen - statics_->const_gen_base;
     const Node& nd = g.node(n);
     const OpBind& ob = b_.op(n);
     for (size_t k = 0; k < nd.ins.size(); ++k) {
@@ -152,8 +212,11 @@ void SearchEngine::enum_gen_uses(int gen, Fn&& fn) const {
   if (gen == gen_reads(sid)) {  // operand fetches and output samples
     for (size_t ri = 0; ri < s.reads.size(); ++ri) {
       const StorageRead& r = s.reads[ri];
-      const Endpoint src{Endpoint::Kind::kRegOut,
-                         b_.read_reg(sid, static_cast<int>(ri))};
+      // Binding::read_reg(sid, ri), with the storage rows already in hand.
+      const RegId rreg =
+          sb.cells[static_cast<size_t>(r.seg)]
+                  [static_cast<size_t>(sb.read_cell[ri])].reg;
+      const Endpoint src{Endpoint::Kind::kRegOut, rreg};
       const Node& cn = g.node(r.consumer);
       if (cn.kind == OpKind::kOutput) {
         fn(src, Pin{Pin::Kind::kOutPort, r.consumer});
@@ -195,82 +258,95 @@ void SearchEngine::enum_gen_uses(int gen, Fn&& fn) const {
   (void)L;
 }
 
-void SearchEngine::add_use(const Endpoint& src, const Pin& sink) {
-  if (!charge_consts_ && src.kind == Endpoint::Kind::kConstPort) return;
-  const uint32_t sk = pack(sink);
-  if (fp_) fp_->sinks.push_back(sk);
-  const uint64_t key = (static_cast<uint64_t>(sk) << 32) | pack(src);
-  if (++pair_refs_[key] == 1) {
+void SearchEngine::add_key(uint64_t key) {
+  if (pair_refs_.increment(key) == 1) {
     ++cost_.connections;
-    if (++sink_sources_[sk] > 1) ++cost_.muxes;
+    if (sink_sources_.increment(static_cast<uint32_t>(key >> 32)) > 1)
+      ++cost_.muxes;
   }
 }
 
-void SearchEngine::remove_use(const Endpoint& src, const Pin& sink) {
-  if (!charge_consts_ && src.kind == Endpoint::Kind::kConstPort) return;
-  const uint32_t sk = pack(sink);
-  if (fp_) fp_->sinks.push_back(sk);
-  const uint64_t key = (static_cast<uint64_t>(sk) << 32) | pack(src);
-  auto it = pair_refs_.find(key);
-  SALSA_DCHECK(it != pair_refs_.end() && it->second > 0);
-  if (--it->second == 0) {
-    pair_refs_.erase(it);
+void SearchEngine::remove_key(uint64_t key) {
+  if (pair_refs_.decrement(key) == 0) {
     --cost_.connections;
-    auto st = sink_sources_.find(sk);
-    SALSA_DCHECK(st != sink_sources_.end() && st->second > 0);
-    if (--st->second == 0)
-      sink_sources_.erase(st);
-    else
+    if (sink_sources_.decrement(static_cast<uint32_t>(key >> 32)) != 0)
       --cost_.muxes;
   }
 }
 
 void SearchEngine::add_gen(int gen) {
-  enum_gen_uses(gen,
-                [this](const Endpoint& s, const Pin& p) { add_use(s, p); });
-}
-
-void SearchEngine::remove_gen(int gen) {
-  enum_gen_uses(gen,
-                [this](const Endpoint& s, const Pin& p) { remove_use(s, p); });
+  // Enumerate from the binding and refresh the generator's key cache in
+  // the same pass (see gen_keys_ in the header): the cache stays current
+  // for as long as the generator's enumeration inputs do, which the
+  // touch-before-mutate protocol guarantees.
+  std::vector<uint64_t>& keys = gen_keys_[static_cast<size_t>(gen)];
+  keys.clear();
+  enum_gen_uses(gen, [this, &keys](const Endpoint& src, const Pin& sink) {
+    if (!statics_->charge_consts && src.kind == Endpoint::Kind::kConstPort)
+      return;
+    const uint32_t sk = pack(sink);
+    if (fp_) fp_->sinks.push_back(sk);
+    const uint64_t key = (static_cast<uint64_t>(sk) << 32) | pack(src);
+    keys.push_back(key);
+    if (in_txn_)
+      txn_delta_.add(key, +1);
+    else
+      add_key(key);
+  });
 }
 
 void SearchEngine::remove_gen_once(int gen) {
   if (gen_epoch_[static_cast<size_t>(gen)] == epoch_) return;
   gen_epoch_[static_cast<size_t>(gen)] = epoch_;
+  const size_t stash = removed_gens_.size();
   removed_gens_.push_back(gen);
-  remove_gen(gen);
+  if (stash >= gen_stash_.size()) gen_stash_.emplace_back();
+  // Stash the still-fresh cache (rollback swaps it back) and retire the
+  // generator's uses by replaying it — no binding re-enumeration. The
+  // cache slot left behind is refilled by finish_mutation's add_gen.
+  std::vector<uint64_t>& keys = gen_stash_[stash];
+  keys.swap(gen_keys_[static_cast<size_t>(gen)]);
+  for (const uint64_t key : keys) {
+    if (fp_) fp_->sinks.push_back(static_cast<uint32_t>(key >> 32));
+    txn_delta_.add(key, -1);
+  }
 }
 
 // ---------------------------------------------------------------------------
-// Resource claims (occupancy slots + fus_used/regs_used refcounts).
+// Resource claims (occupancy slots + fus_used/regs_used refcounts). Every
+// scalar write inside a transaction is journaled first, so rollback can
+// restore the grid and the refcount rows without re-enumerating the claims.
 
 void SearchEngine::add_op_claims(NodeId n) {
-  const AllocProblem& prob = b_.prob();
-  const Schedule& sched = prob.sched();
+  const Schedule& sched = b_.prob().sched();
   const FuId f = b_.op(n).fu;
-  const int oc = sched.hw().occupancy(prob.cdfg().node(n).kind);
+  const int oc = statics_->op_occ[static_cast<size_t>(n)];
   for (int t = sched.start(n); t < sched.start(n) + oc; ++t) {
     int& slot = occ_.fu_user[static_cast<size_t>(f)][static_cast<size_t>(t)];
     SALSA_DCHECK(slot == Occupancy::kFree);
+    journal_int(slot);
     slot = n;
   }
   if (fp_) fp_->fu_events.push_back({f, +1});
-  if (++fu_refs_[static_cast<size_t>(f)] == 1) ++cost_.fus_used;
+  int& refs = fu_refs_[static_cast<size_t>(f)];
+  journal_int(refs);
+  if (++refs == 1) ++cost_.fus_used;
 }
 
 void SearchEngine::remove_op_claims(NodeId n) {
-  const AllocProblem& prob = b_.prob();
-  const Schedule& sched = prob.sched();
+  const Schedule& sched = b_.prob().sched();
   const FuId f = b_.op(n).fu;
-  const int oc = sched.hw().occupancy(prob.cdfg().node(n).kind);
+  const int oc = statics_->op_occ[static_cast<size_t>(n)];
   for (int t = sched.start(n); t < sched.start(n) + oc; ++t) {
     int& slot = occ_.fu_user[static_cast<size_t>(f)][static_cast<size_t>(t)];
     SALSA_DCHECK(slot == n);
+    journal_int(slot);
     slot = Occupancy::kFree;
   }
   if (fp_) fp_->fu_events.push_back({f, -1});
-  if (--fu_refs_[static_cast<size_t>(f)] == 0) --cost_.fus_used;
+  int& refs = fu_refs_[static_cast<size_t>(f)];
+  journal_int(refs);
+  if (--refs == 0) --cost_.fus_used;
 }
 
 void SearchEngine::add_sto_claims(int sid) {
@@ -284,17 +360,23 @@ void SearchEngine::add_sto_claims(int sid) {
       int& slot =
           occ_.reg_sto[static_cast<size_t>(c.reg)][static_cast<size_t>(step)];
       SALSA_DCHECK(slot == -1 || slot == sid);
+      journal_int(slot);
       slot = sid;
       if (fp_) fp_->reg_events.push_back({c.reg, +1});
-      if (++reg_refs_[static_cast<size_t>(c.reg)] == 1) ++cost_.regs_used;
+      int& rrefs = reg_refs_[static_cast<size_t>(c.reg)];
+      journal_int(rrefs);
+      if (++rrefs == 1) ++cost_.regs_used;
       if (seg > 0 && c.via != kInvalidId) {
         const int tstep = s.step_at(seg - 1, L);
         int& fslot = occ_.fu_user[static_cast<size_t>(c.via)]
                                  [static_cast<size_t>(tstep)];
         SALSA_DCHECK(fslot == Occupancy::kFree);
+        journal_int(fslot);
         fslot = Occupancy::kPassThrough;
         if (fp_) fp_->fu_events.push_back({c.via, +1});
-        if (++fu_refs_[static_cast<size_t>(c.via)] == 1) ++cost_.fus_used;
+        int& frefs = fu_refs_[static_cast<size_t>(c.via)];
+        journal_int(frefs);
+        if (++frefs == 1) ++cost_.fus_used;
       }
     }
   }
@@ -313,20 +395,54 @@ void SearchEngine::remove_sto_claims(int sid) {
       int& slot =
           occ_.reg_sto[static_cast<size_t>(c.reg)][static_cast<size_t>(step)];
       SALSA_DCHECK(slot == sid);
+      journal_int(slot);
       slot = -1;
       if (fp_) fp_->reg_events.push_back({c.reg, -1});
-      if (--reg_refs_[static_cast<size_t>(c.reg)] == 0) --cost_.regs_used;
+      int& rrefs = reg_refs_[static_cast<size_t>(c.reg)];
+      journal_int(rrefs);
+      if (--rrefs == 0) --cost_.regs_used;
       if (seg > 0 && c.via != kInvalidId) {
         const int tstep = s.step_at(seg - 1, L);
         int& fslot = occ_.fu_user[static_cast<size_t>(c.via)]
                                  [static_cast<size_t>(tstep)];
         SALSA_DCHECK(fslot == Occupancy::kPassThrough);
+        journal_int(fslot);
         fslot = Occupancy::kFree;
         if (fp_) fp_->fu_events.push_back({c.via, -1});
-        if (--fu_refs_[static_cast<size_t>(c.via)] == 0) --cost_.fus_used;
+        int& frefs = fu_refs_[static_cast<size_t>(c.via)];
+        journal_int(frefs);
+        if (--frefs == 0) --cost_.fus_used;
       }
     }
   }
+}
+
+void SearchEngine::refresh_sto_stats(int sid) {
+  const StorageBinding& sb = b_.sto(sid);
+  int cells = 0, vias = 0, xfers = 0;
+  for (size_t seg = 0; seg < sb.cells.size(); ++seg) {
+    cells += static_cast<int>(sb.cells[seg].size());
+    for (const Cell& c : sb.cells[seg]) {
+      if (c.via != kInvalidId) {
+        ++vias;
+      } else if (seg > 0 &&
+                 sb.cells[seg - 1][static_cast<size_t>(c.parent)].reg !=
+                     c.reg) {
+        ++xfers;
+      }
+    }
+  }
+  int& cc = sto_cells_[static_cast<size_t>(sid)];
+  int& vv = sto_vias_[static_cast<size_t>(sid)];
+  int& xx = sto_xfers_[static_cast<size_t>(sid)];
+  journal_int(cc);
+  journal_int(vv);
+  journal_int(xx);
+  journal_int(total_cells_);
+  total_cells_ += cells - cc;
+  cc = cells;
+  vv = vias;
+  xx = xfers;
 }
 
 // ---------------------------------------------------------------------------
@@ -338,7 +454,7 @@ OpBind& SearchEngine::touch_op(NodeId n) {
     op_epoch_[static_cast<size_t>(n)] = epoch_;
     touched_ops_.push_back({n, b_.op(n)});
     remove_op_claims(n);
-    for (int gen : op_info_[static_cast<size_t>(n)].gens)
+    for (int gen : statics_->op_info[static_cast<size_t>(n)].gens)
       remove_gen_once(gen);
   }
   return b_.op(n);
@@ -348,7 +464,11 @@ StorageBinding& SearchEngine::touch_sto(int sid) {
   SALSA_DCHECK(in_txn_);
   if (sto_epoch_[static_cast<size_t>(sid)] != epoch_) {
     sto_epoch_[static_cast<size_t>(sid)] = epoch_;
-    touched_stos_.push_back({sid, b_.sto(sid)});
+    // The per-sid save buffer has this storage's exact segment shape after
+    // the first touch ever, so the copy-assignment refills the existing
+    // cell vectors in place — no reallocation on the steady-state path.
+    touched_sids_.push_back(sid);
+    sto_save_[static_cast<size_t>(sid)] = b_.sto(sid);
     remove_sto_claims(sid);
     remove_gen_once(gen_reads(sid));
     remove_gen_once(gen_writes(sid));
@@ -358,10 +478,28 @@ StorageBinding& SearchEngine::touch_sto(int sid) {
 
 void SearchEngine::finish_mutation() {
   // Normalisation may clear `via` fields, so it must precede the re-adds.
-  for (const TouchedSto& t : touched_stos_) b_.normalize_storage(t.sid);
+  for (int sid : touched_sids_) b_.normalize_storage(sid);
   for (const TouchedOp& t : touched_ops_) add_op_claims(t.n);
-  for (const TouchedSto& t : touched_stos_) add_sto_claims(t.sid);
+  for (int sid : touched_sids_) {
+    add_sto_claims(sid);
+    refresh_sto_stats(sid);
+  }
   for (int gen : removed_gens_) add_gen(gen);
+  // Flush the netted use deltas to the shared index: most retire/re-charge
+  // pairs cancelled inside txn_delta_; only the moves' real changes reach
+  // pair_refs_/sink_sources_ (and the undo journal). Per-key refcount
+  // arithmetic commutes, so the scratch table's layout-dependent apply
+  // order yields the exact counts sequential application would.
+  txn_delta_.drain([this](uint64_t key, int net) {
+    for (; net > 0; --net) {
+      undo_uses_.push_back({key, true});
+      add_key(key);
+    }
+    for (; net < 0; ++net) {
+      undo_uses_.push_back({key, false});
+      remove_key(key);
+    }
+  });
   recompute_total();
 }
 
@@ -378,7 +516,7 @@ std::optional<double> SearchEngine::propose(MoveKind kind, Rng& rng,
   }
   fp_ = fp;
   if (!detail::dispatch_move(*this, kind, rng)) {
-    SALSA_DCHECK(touched_ops_.empty() && touched_stos_.empty());
+    SALSA_DCHECK(touched_ops_.empty() && touched_sids_.empty());
     fp_ = nullptr;
     in_txn_ = false;
     if (observer_) observer_->on_txn_abort(*this);
@@ -391,7 +529,7 @@ std::optional<double> SearchEngine::propose(MoveKind kind, Rng& rng,
     // in its saved or current cells (via claims occupy FU slots; the
     // conservative both-sides check covers moves that add or drop a via).
     if (!touched_ops_.empty()) fp->write_mask |= MoveFootprint::kOps;
-    if (!touched_stos_.empty())
+    if (!touched_sids_.empty())
       fp->write_mask |= MoveFootprint::kStoCells | MoveFootprint::kRegOcc;
     for (const TouchedOp& t : touched_ops_)
       if (b_.op(t.n).fu != t.saved.fu) fp->write_mask |= MoveFootprint::kFuOcc;
@@ -401,9 +539,11 @@ std::optional<double> SearchEngine::propose(MoveKind kind, Rng& rng,
           if (c.via != kInvalidId) return true;
       return false;
     };
-    for (const TouchedSto& t : touched_stos_)
-      if (has_via(t.saved) || has_via(b_.sto(t.sid)))
+    for (int sid : touched_sids_) {
+      if (has_via(sto_save_[static_cast<size_t>(sid)]) ||
+          has_via(b_.sto(sid)))
         fp->write_mask |= MoveFootprint::kFuOcc;
+    }
     fp->finalize();
   }
   fp_ = nullptr;
@@ -447,34 +587,48 @@ void SearchEngine::rollback() {
   trace_decision(false);
   if (break_next_undo_) {
     // Test-only fault injection (inject_broken_undo_for_test): keep the
-    // mutated binding instead of restoring the saved units, then re-derive
-    // the index from it. Every derived structure stays self-consistent with
-    // the (wrong) binding, so only the auditor's digest comparison can tell
-    // that the undo lied.
+    // mutated binding instead of restoring the saved units. Every derived
+    // structure stays self-consistent with the (wrong) binding, so only
+    // the auditor's digest comparison can tell that the undo lied.
     break_next_undo_ = false;
     end_txn();
     if (observer_) observer_->on_rollback(*this);
     return;
   }
-  // Retire the move's state, restore the saved units, re-derive.
-  for (const TouchedOp& t : touched_ops_) remove_op_claims(t.n);
-  for (const TouchedSto& t : touched_stos_) remove_sto_claims(t.sid);
-  for (int gen : removed_gens_) remove_gen(gen);
-  for (TouchedOp& t : touched_ops_) b_.op(t.n) = t.saved;
-  for (TouchedSto& t : touched_stos_) b_.sto(t.sid) = std::move(t.saved);
-  for (const TouchedOp& t : touched_ops_) add_op_claims(t.n);
-  for (const TouchedSto& t : touched_stos_) add_sto_claims(t.sid);
-  for (int gen : removed_gens_) add_gen(gen);
-  recompute_total();
-  SALSA_DCHECK(cost_.total == cost_before_.total);
+  // Restore the saved units, then replay the undo journal in reverse: the
+  // connection index takes back each charged/retired pair, and every
+  // occupancy slot and refcount row returns to its recorded value — no
+  // re-enumeration of the touched units' uses or claims.
+  for (const TouchedOp& t : touched_ops_) b_.op(t.n) = t.saved;
+  // The retired generators' caches were refreshed from the post-move
+  // binding; swap the stashed pre-move key lists back so they match the
+  // binding being restored.
+  for (size_t i = removed_gens_.size(); i-- > 0;)
+    gen_keys_[static_cast<size_t>(removed_gens_[i])].swap(gen_stash_[i]);
+  for (int sid : touched_sids_) {
+    // Copy (not move): the per-sid save buffer keeps its shape for reuse,
+    // and the binding's own cell vectors are refilled in place.
+    b_.sto(sid) = sto_save_[static_cast<size_t>(sid)];
+  }
+  for (size_t i = undo_uses_.size(); i-- > 0;) {
+    const UseUndo& u = undo_uses_[i];
+    if (u.add)
+      remove_key(u.key);
+    else
+      add_key(u.key);
+  }
+  for (size_t i = undo_ints_.size(); i-- > 0;) *undo_ints_[i].p = undo_ints_[i].old;
+  cost_ = cost_before_;
   end_txn();
   if (observer_) observer_->on_rollback(*this);
 }
 
 void SearchEngine::end_txn() {
   touched_ops_.clear();
-  touched_stos_.clear();
+  touched_sids_.clear();
   removed_gens_.clear();
+  undo_ints_.clear();
+  undo_uses_.clear();
   in_txn_ = false;
 }
 
@@ -497,7 +651,7 @@ bool SearchEngine::matches_full_eval() const {
 
 bool SearchEngine::index_matches_rebuild(std::string* why) const {
   SALSA_DCHECK(!in_txn_);
-  const SearchEngine fresh(b_);
+  const SearchEngine fresh(b_, *this);
   auto diverged = [&](const std::string& what) {
     if (why) {
       if (!why->empty()) *why += "; ";
@@ -506,9 +660,9 @@ bool SearchEngine::index_matches_rebuild(std::string* why) const {
     return false;
   };
   bool ok = true;
-  if (pair_refs_ != fresh.pair_refs_)
+  if (!(pair_refs_ == fresh.pair_refs_))
     ok = diverged("connection pair refcounts differ from a rebuild");
-  if (sink_sources_ != fresh.sink_sources_)
+  if (!(sink_sources_ == fresh.sink_sources_))
     ok = diverged("per-sink distinct-source counts differ from a rebuild");
   if (fu_refs_ != fresh.fu_refs_)
     ok = diverged("FU use refcounts differ from a rebuild");

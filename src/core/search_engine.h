@@ -21,6 +21,22 @@
 // Acceptance policies are therefore free of per-candidate Binding copies
 // and full cost evaluations.
 //
+// The connection index lives in two FlatMap tables (util/flat_map.h):
+// packed (sink, source) pair -> refcount and packed sink -> distinct-source
+// count. Every index mutation a transaction performs — map increments and
+// decrements, occupancy-slot writes, FU/register refcount updates — is
+// additionally recorded in an undo journal, so rollback() restores the
+// derived state by replaying the journal in reverse (O(journal), no
+// re-enumeration of the touched units' uses) and restoring the saved
+// binding units; the cost breakdown returns wholesale to its
+// propose()-entry value. Commit is O(1): the journal is simply dropped.
+//
+// The problem-side static tables (per-operation generator lists, constant
+// layout) are immutable after construction and shared between engines of
+// the same problem via shared_ptr — the speculation pipeline's worker
+// engines (core/speculate.h) score candidates against the very rows the
+// main engine reads, and constructing a worker no longer re-derives them.
+//
 // Consistency is guarded two ways: in !NDEBUG builds every commit
 // cross-checks the incremental breakdown against a fresh evaluate_cost
 // (SALSA_CHECK via matches_full_eval), and tests/test_incremental_cost.cpp
@@ -31,13 +47,14 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/cost.h"
 #include "core/moves.h"
+#include "util/flat_map.h"
 
 namespace salsa {
 
@@ -87,6 +104,12 @@ class SearchEngine {
   /// (O(design), done once per search).
   explicit SearchEngine(const Binding& start);
 
+  /// Builds an engine over `start` sharing `other`'s immutable problem-side
+  /// static tables (per-op generator lists) instead of re-deriving them.
+  /// Both bindings must be of the same AllocProblem. This is how the
+  /// speculation pipeline stamps out worker engines cheaply.
+  SearchEngine(const Binding& start, const SearchEngine& other);
+
   const Binding& binding() const { return b_; }
   const AllocProblem& prob() const { return b_.prob(); }
   /// Incrementally maintained occupancy — always consistent with binding().
@@ -127,6 +150,57 @@ class SearchEngine {
   // a unit saves its undo state and retires its uses from the index.
   OpBind& touch_op(NodeId n);
   StorageBinding& touch_sto(int sid);
+
+  // Cached problem-side candidate tables for move proposers (equal to
+  // cdfg().operations(), fus().of_class(c) and fus().pass_capable(), but
+  // derived once per problem instead of allocated per proposal).
+  const std::vector<NodeId>& operations() const { return statics_->ops; }
+  const std::vector<FuId>& fus_of_class(FuClass c) const {
+    return statics_->fus_by_class[static_cast<size_t>(c)];
+  }
+  const std::vector<FuId>& pass_capable_fus() const {
+    return statics_->pass_fus;
+  }
+  const std::vector<NodeId>& ops_finishing_at(int step) const {
+    return statics_->finishing_at[static_cast<size_t>(step)];
+  }
+  FuClass op_class(NodeId n) const {
+    return statics_->op_class[static_cast<size_t>(n)];
+  }
+  int op_occupancy(NodeId n) const {
+    return statics_->op_occ[static_cast<size_t>(n)];
+  }
+  const std::vector<NodeId>& ops_of_class(FuClass c) const {
+    return statics_->ops_by_class[static_cast<size_t>(c)];
+  }
+  const std::vector<NodeId>& commutative_ops() const {
+    return statics_->commutative_ops;
+  }
+  const std::vector<FuId>& single_cycle_pass_fus() const {
+    return statics_->pass_fus_1cyc;
+  }
+  const std::vector<std::pair<int, int>>& live_at_step(int step) const {
+    return statics_->live_at[static_cast<size_t>(step)];
+  }
+
+  // Incrementally maintained per-storage binding statistics (journaled like
+  // every other derived scalar, so they are transaction-consistent). Move
+  // proposers use them to skip storages that cannot contribute a candidate
+  // — e.g. a storage with num_cells == len has no multi-cell segment — and
+  // to map a uniform cell draw through prefix sums instead of materializing
+  // the full cell list. They only prune provably-empty scans, so candidate
+  // sets and RNG draws are unchanged.
+  /// Total register cells bound across all segments of storage `sid`.
+  int num_cells(int sid) const { return sto_cells_[static_cast<size_t>(sid)]; }
+  /// Total cells across all storages.
+  int total_cells() const { return total_cells_; }
+  /// Cells of `sid` routed through a pass-through FU.
+  int num_vias(int sid) const { return sto_vias_[static_cast<size_t>(sid)]; }
+  /// Direct (no-via) inter-register transfer cells of `sid` — the bindable
+  /// candidates of the pass-through binder.
+  int num_bare_transfers(int sid) const {
+    return sto_xfers_[static_cast<size_t>(sid)];
+  }
 
   // --- observability ----------------------------------------------------
   /// Per-move-kind attempted/accepted/delta counters over the engine's
@@ -176,10 +250,6 @@ class SearchEngine {
     NodeId n;
     OpBind saved;
   };
-  struct TouchedSto {
-    int sid;
-    StorageBinding saved;
-  };
   /// Static (problem-side) description of which use generators an
   /// operation's binding feeds. Generator ids: 2*sid = reads of storage
   /// sid, 2*sid+1 = writes of storage sid, 2*S+n = constant operands of
@@ -188,27 +258,87 @@ class SearchEngine {
     std::vector<int> gens;
     bool has_const_ins = false;
   };
+  /// Immutable problem-side rows, derived once per problem and shared
+  /// between the main engine and its speculation workers (see the second
+  /// constructor): which generators each operation feeds, the generator id
+  /// layout, whether constant operands are charged, and the candidate
+  /// tables the move proposers scan every proposal (operation nodes, FUs
+  /// by class, pass-capable FUs) — cached here so proposals stop paying an
+  /// allocation per Cdfg::operations()/FuPool::of_class() call.
+  struct EngineStatics {
+    std::vector<OpInfo> op_info;  // indexed by NodeId (ops only populated)
+    int const_gen_base = 0;
+    int num_gens = 0;
+    bool charge_consts = false;
+    std::vector<NodeId> ops;
+    std::array<std::vector<FuId>, 2> fus_by_class;  // indexed by FuClass
+    std::vector<FuId> pass_fus;
+    // Ops whose result lands (start + delay - 1, mod schedule length) at
+    // each control step — schedule-side, so static per problem. Lets the
+    // pass-through binder test "does some op's output occupy FU f at step
+    // t" against the couple of ops landing at t instead of scanning all.
+    std::vector<std::vector<NodeId>> finishing_at;
+    // More pre-resolved problem-side predicates the proposers evaluate per
+    // candidate per proposal: op FU class and occupancy length (indexed by
+    // NodeId), ops grouped by FU class, commutative ops, pass-capable FUs
+    // of single-cycle classes (the only ones the pass binder can use), and
+    // the (storage, segment) pairs live at each control step — all fixed by
+    // the CDFG/schedule, so deriving them once removes an out-of-line
+    // predicate call per scanned candidate from the move hot path. Each
+    // list preserves the scan order of the loop it replaces, so candidate
+    // sets (hence RNG draws and trajectories) are unchanged.
+    std::vector<FuClass> op_class;
+    std::vector<int> op_occ;
+    std::array<std::vector<NodeId>, 2> ops_by_class;  // indexed by FuClass
+    std::vector<NodeId> commutative_ops;
+    std::vector<FuId> pass_fus_1cyc;
+    std::vector<std::vector<std::pair<int, int>>> live_at;  // [step]->(sid,seg)
+  };
+
+  /// One reversed scalar write: *p held `old` before the transaction's
+  /// mutation (occupancy slots and fu_refs_/reg_refs_ rows; the pointees
+  /// are stable for the life of a transaction).
+  struct IntUndo {
+    int* p;
+    int old;
+  };
+  /// One reversed connection-index mutation: the packed (sink, source)
+  /// pair key that was charged (`add` true) or retired (`add` false).
+  struct UseUndo {
+    uint64_t key;
+    bool add;
+  };
 
   void build_static();
+  void init_from_statics();
   void rebuild();
   void recompute_total();
 
   int gen_reads(int sid) const { return 2 * sid; }
   int gen_writes(int sid) const { return 2 * sid + 1; }
-  int gen_const(NodeId n) const { return const_gen_base_ + n; }
+  int gen_const(NodeId n) const { return statics_->const_gen_base + n; }
 
   template <typename Fn>
   void enum_gen_uses(int gen, Fn&& fn) const;
   void add_gen(int gen);
-  void remove_gen(int gen);
   void remove_gen_once(int gen);
-  void add_use(const Endpoint& src, const Pin& sink);
-  void remove_use(const Endpoint& src, const Pin& sink);
+  /// The packed-key halves of a use charge/retire: maintain the two index
+  /// tables and the connections/muxes counts for one charged pair key.
+  /// Shared by the forward path and the journal replay (rollback).
+  void add_key(uint64_t key);
+  void remove_key(uint64_t key);
+  /// Records a scalar about to be overwritten into the undo journal.
+  void journal_int(int& slot) {
+    if (in_txn_) undo_ints_.push_back({&slot, slot});
+  }
 
   void add_op_claims(NodeId n);
   void remove_op_claims(NodeId n);
   void add_sto_claims(int sid);
   void remove_sto_claims(int sid);
+  /// Recounts sto_cells_/sto_vias_/sto_xfers_ (and total_cells_) for one
+  /// storage from its current binding, journaling the overwritten values.
+  void refresh_sto_stats(int sid);
 
   void finish_mutation();
   void end_txn();
@@ -219,16 +349,42 @@ class SearchEngine {
   CostBreakdown cost_;
 
   // Connection index: packed (sink, src) pair -> number of routed uses;
-  // packed sink -> number of distinct charged sources.
-  std::unordered_map<uint64_t, int> pair_refs_;
-  std::unordered_map<uint32_t, int> sink_sources_;
-  bool charge_consts_ = false;
+  // packed sink -> number of distinct charged sources. Flat open-addressing
+  // tables — see util/flat_map.h for the layout and the iteration-order
+  // contract that keeps rebuild comparisons content-based.
+  FlatMap<uint64_t> pair_refs_;
+  FlatMap<uint32_t> sink_sources_;
+  // Net per-pair index delta accumulated over the open transaction.
+  // Touching a unit retires *all* its uses and finish_mutation re-charges
+  // the mostly-unchanged set, so use mutations are first netted here (a
+  // small, cache-hot scratch table) and only nonzero nets reach the shared
+  // tables above — the final counts, and hence the delta, are identical
+  // because per-key refcount arithmetic commutes. Cleared on apply.
+  FlatMap<uint64_t> txn_delta_;
 
   std::vector<int> fu_refs_;
   std::vector<int> reg_refs_;
 
-  std::vector<OpInfo> op_info_;  // indexed by NodeId (ops only populated)
-  int const_gen_base_ = 0;
+  // Per-storage candidate statistics (see the accessors above).
+  std::vector<int> sto_cells_;
+  std::vector<int> sto_vias_;
+  std::vector<int> sto_xfers_;
+  int total_cells_ = 0;
+
+  std::shared_ptr<const EngineStatics> statics_;
+
+  // Per-generator cache of the charged packed pair keys the generator's
+  // enumeration produced last time add_gen ran. The transaction protocol
+  // guarantees a generator is removed (remove_gen_once) before any binding
+  // state its enumeration reads can change — touch_op/touch_sto retire all
+  // dependent generators up front — so a live cache is always current and
+  // retiring a generator replays the cached keys instead of re-walking the
+  // binding. finish_mutation's add_gen refreshes the cache from the
+  // post-move binding; rollback swaps the pre-move cache back from the
+  // stash pool below (indexed parallel to removed_gens_, buffers pooled
+  // across transactions).
+  std::vector<std::vector<uint64_t>> gen_keys_;
+  std::vector<std::vector<uint64_t>> gen_stash_;
 
   // Transaction state. Epoch stamps give O(1) already-touched /
   // already-removed checks without clearing arrays between proposals.
@@ -237,8 +393,19 @@ class SearchEngine {
   std::vector<uint32_t> op_epoch_;
   std::vector<uint32_t> sto_epoch_;
   std::vector<TouchedOp> touched_ops_;
-  std::vector<TouchedSto> touched_stos_;
+  // Touched-storage undo state: the sids touched this transaction, and one
+  // save buffer *per storage* (indexed by sid). A dedicated buffer always
+  // has exactly the segment shape of the storage it saves, so the
+  // copy-assignment in touch_sto refills the existing cell vectors in
+  // place — a shared slot pool would reshape (destroy/reallocate) its
+  // inner vectors whenever consecutive transactions touch storages of
+  // different lengths.
+  std::vector<int> touched_sids_;
+  std::vector<StorageBinding> sto_save_;
   std::vector<int> removed_gens_;
+  // Undo journal (see the class comment): replayed in reverse by rollback.
+  std::vector<IntUndo> undo_ints_;
+  std::vector<UseUndo> undo_uses_;
   bool in_txn_ = false;
   CostBreakdown cost_before_;  ///< breakdown at propose() entry
   MoveKind pending_kind_{};

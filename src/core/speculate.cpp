@@ -192,7 +192,10 @@ ProposalPipeline::Worker ProposalPipeline::acquire_worker() {
     }
   }
   Worker w;
-  w.eng = std::make_unique<SearchEngine>(eng_.binding());
+  // Workers share the main engine's immutable static tables (per-op
+  // generator lists, candidate caches) instead of re-deriving them from the
+  // problem — stamping out a worker is O(binding), not O(design analysis).
+  w.eng = std::make_unique<SearchEngine>(eng_.binding(), eng_);
   w.applied = commit_log_.size();
   w.generation = generation_;
   return w;
@@ -225,7 +228,11 @@ void ProposalPipeline::catch_up(Worker& w) {
 void ProposalPipeline::fill_batch() {
   ++stats_.batches;
   stats_.speculated += k_;
-  batch_.assign(static_cast<size_t>(k_), Entry{});
+  // Entries (and their footprint buffers) are reused across batches: every
+  // field is rewritten below, and propose() clears the footprint before
+  // capturing into it.
+  if (batch_.size() != static_cast<size_t>(k_))
+    batch_.resize(static_cast<size_t>(k_));
   const long base = step_;
   parallel_for(cfg_.parallelism, k_, [&](int i) {
     Worker w = acquire_worker();
@@ -237,9 +244,11 @@ void ProposalPipeline::fill_batch() {
     const auto d = w.eng->propose(e.kind, r, &e.fp);
     e.feasible = d.has_value();
     e.valid = true;
+    // Written unconditionally: entries are reused, and the sequential path
+    // also reports the post-proposal RNG state for infeasible candidates.
+    e.rng_after = r;
     if (d) {
       e.delta = *d;
-      e.rng_after = r;
       if (SearchObserver* obs = eng_.observer()) {
         // Serialized: observers (the invariant auditor) are not
         // thread-safe. The worker's transaction is still open so the

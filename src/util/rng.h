@@ -12,6 +12,16 @@
 
 namespace salsa {
 
+namespace rng_detail {
+constexpr uint64_t kGolden = 0x9E3779B97f4A7C15u;
+
+inline uint64_t splitmix64_mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9u;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBu;
+  return z ^ (z >> 31);
+}
+}  // namespace rng_detail
+
 /// Derives an independent seed for stream `stream` of a seed family rooted
 /// at `base` (SplitMix64: golden-gamma increment + finalizer). Used wherever
 /// one user-facing seed fans out into per-restart / per-variant / per-probe
@@ -20,33 +30,86 @@ namespace salsa {
 /// only if the bases differ by an exact multiple of the 64-bit golden ratio
 /// constant — and the finalizer decorrelates consecutive stream indices.
 /// Stream 0 is already mixed: derive_seed(s, 0) != s in general.
-uint64_t derive_seed(uint64_t base, uint64_t stream);
+/// Inline (with reseed below): the sequential proposal loop derives and
+/// reseeds a fresh stream per move.
+inline uint64_t derive_seed(uint64_t base, uint64_t stream) {
+  return rng_detail::splitmix64_mix(base + (stream + 1) * rng_detail::kGolden);
+}
 
 /// Deterministic 64-bit PRNG (xoshiro256**), seeded via SplitMix64.
 class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5A15A0CAFEu) { reseed(seed); }
 
-  void reseed(uint64_t seed);
+  void reseed(uint64_t seed) {
+    for (auto& s : s_) {
+      seed += rng_detail::kGolden;
+      s = rng_detail::splitmix64_mix(seed);
+    }
+    // Avoid the (astronomically unlikely) all-zero state.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
+
+  // next()/uniform()/uniform01() are defined here so the move hot path
+  // (every proposal draws several times) inlines them; the generator
+  // algorithm is part of the reproducibility contract and must not change.
 
   /// Uniform 64-bit value.
-  uint64_t next();
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform integer in [0, n). Requires n > 0.
-  int uniform(int n);
+  int uniform(int n) {
+    SALSA_DCHECK(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t bound = static_cast<uint64_t>(n);
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+    uint64_t r;
+    do {
+      r = next();
+    } while (r >= limit);
+    return static_cast<int>(r % bound);
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
-  int range(int lo, int hi);
+  int range(int lo, int hi) {
+    SALSA_DCHECK(lo <= hi);
+    return lo + uniform(hi - lo + 1);
+  }
 
   /// Uniform double in [0, 1).
-  double uniform01();
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
 
   /// Bernoulli with probability p of true.
   bool chance(double p) { return uniform01() < p; }
 
   /// Picks an index in [0, weights.size()) with probability proportional to
-  /// weights[i]. Requires at least one strictly positive weight.
-  int weighted(std::span<const double> weights);
+  /// weights[i]. Requires at least one strictly positive weight. The
+  /// left-to-right total and subtraction scan are part of the
+  /// reproducibility contract (floating-point order decides ties).
+  int weighted(std::span<const double> weights) {
+    double total = 0;
+    for (double w : weights) {
+      SALSA_DCHECK(w >= 0);
+      total += w;
+    }
+    SALSA_CHECK_MSG(total > 0, "weighted() needs a positive total weight");
+    double r = uniform01() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0) return static_cast<int>(i);
+    }
+    return static_cast<int>(weights.size()) - 1;
+  }
 
   /// Fisher-Yates shuffle.
   template <typename T>
@@ -57,6 +120,8 @@ class Rng {
   }
 
  private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
   uint64_t s_[4];
 };
 

@@ -188,6 +188,49 @@ TEST(ParallelAllocate, SingleRestartMatchesRestartZeroOfMany) {
   EXPECT_LE(c6, c1);
 }
 
+TEST(ParallelAllocate, RestartPatienceOffByDefault) {
+  // No SALSA_RESTART_PATIENCE in the test environment → early stopping is
+  // disabled unless opted into per call.
+  EXPECT_EQ(default_restart_patience(), 0);
+}
+
+TEST(ParallelAllocate, RestartPatienceMatchesTruncatedRun) {
+  // With patience p the run must behave exactly like a patience-off run
+  // over the retained restart prefix: same winner, same digests, same
+  // stats. restart_digests doubles as the observable stop index.
+  Ctx ctx(make_ewf(), 17, 1);
+  AllocatorOptions early = restart_opts(1);
+  early.restarts = 8;
+  early.restart_patience = 1;
+  std::vector<uint64_t> digests;
+  early.restart_digests = &digests;
+  const AllocationResult res = allocate(*ctx.prob, early);
+  ASSERT_GE(digests.size(), 2u);  // at least patience + 1 restarts run
+  ASSERT_LE(digests.size(), 8u);
+
+  AllocatorOptions exact = early;
+  exact.restart_patience = -1;  // force off, even if the env sets a default
+  exact.restarts = static_cast<int>(digests.size());
+  std::vector<uint64_t> exact_digests;
+  exact.restart_digests = &exact_digests;
+  expect_identical(allocate(*ctx.prob, exact), res);
+  EXPECT_EQ(exact_digests, digests);
+}
+
+TEST(ParallelAllocate, RestartPatienceByteIdenticalAcrossThreadCounts) {
+  // The wave width varies with the thread count; the retained prefix (and
+  // so the result) must not.
+  Ctx ctx(make_ewf(), 17, 1);
+  auto run = [&](int threads) {
+    AllocatorOptions o = restart_opts(threads);
+    o.restarts = 8;
+    o.restart_patience = 2;
+    return allocate(*ctx.prob, o);
+  };
+  const AllocationResult ref = run(1);
+  for (int threads : {2, 8}) expect_identical(ref, run(threads));
+}
+
 // ---------------------------------------------------- explore_schedules ----
 
 ScheduleExploreParams explore_opts(int threads) {

@@ -26,6 +26,16 @@
 //   --spec-steps   candidates served per speculation fuzz run (default: 4000)
 //   --spec-skip N  mutation test: let the Nth footprint-conflict hit slip
 //                  through uninvalidated (expected output: a VIOLATION)
+//   --index        also audit the flat connection index: drive a weighted
+//                  random search and cross-check the incrementally
+//                  maintained index against a from-scratch rebuild
+//                  (SearchEngine::index_matches_rebuild) after every commit
+//   --index-commits N  commits per index audit run (default: 2000)
+//   --break-flat-erase N  mutation test: the Nth FlatMap erase of the index
+//                  audit skips its backward-shift compaction
+//                  (flat_map_hooks), orphaning displaced keys — the rebuild
+//                  cross-check or FlatMap's own missing-key CHECK must
+//                  report a VIOLATION
 //   --dump         print each target's start binding JSON and exit
 #include <cstdio>
 #include <cstdlib>
@@ -37,6 +47,9 @@
 #include "analysis/digest.h"
 #include "analysis/fuzz.h"
 #include "core/initial.h"
+#include "core/moves.h"
+#include "core/search_engine.h"
+#include "util/flat_map.h"
 #include "util/rng.h"
 
 using namespace salsa;
@@ -58,6 +71,54 @@ std::vector<int> parse_thread_list(const std::string& arg) {
   return out;
 }
 
+// --index: a weighted random search (commit-biased, so the connection index
+// churns through creation, refcount bumps and backward-shift erases) with
+// the incrementally maintained flat index cross-checked against a
+// from-scratch rebuild after every commit. An Error out of the engine (for
+// example FlatMap's missing-key CHECK on a corrupted table) counts as a
+// caught violation, same as a rebuild mismatch — that is the point of the
+// --break-flat-erase mutation.
+struct IndexAuditResult {
+  long commits = 0;
+  long proposals = 0;
+  bool ok = true;
+  std::string failure;
+};
+
+IndexAuditResult run_index_audit(const AllocProblem& prob, uint64_t seed,
+                                 long commits_target) {
+  IndexAuditResult res;
+  try {
+    Binding start = initial_allocation(
+        prob, InitialOptions{.seed = derive_seed(seed, 0)});
+    SearchEngine eng(start);
+    Rng rng(derive_seed(seed, 1));
+    const MoveConfig moves = MoveConfig::salsa_default();
+    const long cap = commits_target * 50;
+    while (res.commits < commits_target && res.proposals < cap) {
+      ++res.proposals;
+      if (!eng.propose(moves.pick(rng), rng)) continue;
+      if (rng.chance(0.3)) {
+        eng.rollback();
+        continue;
+      }
+      eng.commit();
+      ++res.commits;
+      std::string why;
+      if (!eng.index_matches_rebuild(&why)) {
+        res.ok = false;
+        res.failure = "index diverged from rebuild after commit " +
+                      std::to_string(res.commits) + ": " + why;
+        break;
+      }
+    }
+  } catch (const Error& e) {
+    res.ok = false;
+    res.failure = std::string("engine check failed: ") + e.what();
+  }
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,6 +126,9 @@ int main(int argc, char** argv) {
   FuzzParams fuzz;
   SpecFuzzParams spec;
   bool determinism = false, speculation = false, dump = false;
+  bool index_audit = false;
+  long index_commits = 2000;
+  long break_flat_erase = 0;
   int restarts = 6;
   std::vector<int> threads{1, 2, 8};
 
@@ -108,6 +172,15 @@ int main(int argc, char** argv) {
       // Mutation testing: skip the Nth footprint invalidation and watch the
       // replay cross-check / trajectory diff catch it.
       spec.skip_footprint_check_at = std::atol(next().c_str());
+    } else if (arg == "--index") {
+      index_audit = true;
+    } else if (arg == "--index-commits") {
+      index_commits = std::atol(next().c_str());
+    } else if (arg == "--break-flat-erase") {
+      // Mutation testing: skip the Nth erase's backward-shift compaction
+      // and watch the rebuild cross-check catch the orphaned keys.
+      index_audit = true;
+      break_flat_erase = std::atol(next().c_str());
     } else if (arg == "--dump") {
       dump = true;
     } else {
@@ -168,6 +241,38 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "  %s\n", sres.failure.c_str());
         if (!sres.artifact_path.empty())
           std::fprintf(stderr, "  artifact: %s\n", sres.artifact_path.c_str());
+      }
+    }
+
+    if (index_audit) {
+      if (break_flat_erase > 0) {
+        // The hook counter is process-wide and cumulative: arm relative to
+        // its current value so earlier targets' erases don't consume it.
+        flat_map_hooks::break_backward_shift_after =
+            flat_map_hooks::erase_count + break_flat_erase;
+      }
+      const IndexAuditResult ir =
+          run_index_audit(t.prob(), fuzz.seed, index_commits);
+      std::printf(
+          "index %-6s seed %llu: %ld commits cross-checked in %ld proposals "
+          "— %s\n",
+          name.c_str(), static_cast<unsigned long long>(fuzz.seed),
+          ir.commits, ir.proposals, ir.ok ? "ok" : "VIOLATION");
+      if (!ir.ok) {
+        failed = true;
+        std::fprintf(stderr, "  %s\n", ir.failure.c_str());
+      }
+      if (break_flat_erase > 0 &&
+          flat_map_hooks::break_backward_shift_after != 0) {
+        // The armed mutation never fired (fewer compacting erases than N):
+        // the run proved nothing, which a CI step expecting a VIOLATION
+        // must not mistake for the wall standing.
+        failed = true;
+        flat_map_hooks::break_backward_shift_after = 0;
+        std::fprintf(stderr,
+                     "  --break-flat-erase %ld never fired (only %ld "
+                     "compacting erases)\n",
+                     break_flat_erase, flat_map_hooks::erase_count);
       }
     }
 
