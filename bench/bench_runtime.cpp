@@ -17,6 +17,7 @@
 #include "core/search_engine.h"
 #include "datapath/simulator.h"
 #include "sched/force_directed.h"
+#include "util/bitplane.h"
 #include "util/flat_map.h"
 
 using namespace salsa;
@@ -132,6 +133,53 @@ void BM_IndexOps(benchmark::State& state) {
       static_cast<double>(ops), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_IndexOps)->Arg(1 << 10)->Arg(1 << 14);
+
+// Raw packed-bitplane kernel throughput at move-hot-path shapes: the arg is
+// the bit width of a row (a schedule length — EWF-sized 17 up to a stride-3
+// 130), and each iteration runs one claim/probe/mask cycle: a cyclic
+// set_range_wrap, a windowed any_in_range legality probe, a row-vs-mask
+// and_any overlap test and the three-operand words_and_andnot_any the
+// register proposers use, then the clear_range release. ops_per_sec counts
+// individual kernel calls; compare against the SALSA_BITPLANE_SCALAR build
+// to see the word-parallel speedup in isolation.
+void BM_BitplaneOps(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const int rows = 64;
+  Rng rng(13);
+  BitPlane occ, live, own;
+  occ.resize(rows, bits);
+  live.resize(rows, bits);
+  own.resize(rows, bits);
+  for (int r = 0; r < rows; ++r) {
+    live.set_range_wrap(r, rng.uniform(bits), 1 + rng.uniform(bits));
+    own.set_range_wrap(r, rng.uniform(bits), 1 + rng.uniform(bits / 2 + 1));
+  }
+  long ops = 0;
+  bool sink = false;
+  for (auto _ : state) {
+    const int r = rng.uniform(rows);
+    const int start = rng.uniform(bits);
+    const int len = 1 + rng.uniform(bits);
+    occ.set_range_wrap(r, start, len);
+    const int wstart = rng.uniform(bits);
+    const int wlen = 1 + rng.uniform(bits - wstart);
+    sink ^= occ.any_in_range(r, wstart, wlen);
+    sink ^= occ.and_any(r, live.row(r));
+    sink ^= words_and_andnot_any(occ.row(r), live.row(r), own.row(r),
+                                 occ.stride());
+    if (start + len <= bits) {
+      occ.clear_range(r, start, len);
+    } else {
+      occ.clear_range(r, start, bits - start);
+      occ.clear_range(r, 0, start + len - bits);
+    }
+    ops += 5;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.counters["ops_per_sec"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BitplaneOps)->Arg(17)->Arg(64)->Arg(130);
 
 void BM_InitialAllocation(benchmark::State& state) {
   uint64_t seed = 0;

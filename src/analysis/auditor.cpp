@@ -33,6 +33,14 @@ void InvariantAuditor::on_txn_abort(const SearchEngine& eng) {
 
 void InvariantAuditor::on_commit(const SearchEngine& eng, double delta) {
   ++stats_.commits;
+  if (opts_.check_bitplanes) {
+    // Cheap enough to run on every commit, not just audited ones: a busy
+    // plane that drifts from the grids between audited transactions would
+    // otherwise be re-synchronized by the next rebuild-based check.
+    std::string why;
+    if (!eng.occupancy_planes_match(&why))
+      violation("occupancy bitplanes diverged from the scalar grids: " + why);
+  }
   if (!auditing_) return;
   if (opts_.verify_binding) {
     const auto bad = verify(eng.binding());

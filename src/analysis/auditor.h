@@ -15,7 +15,10 @@
 //   (d) an FNV-1a digest of the canonical binding serialization taken
 //       before the move equals the digest after its undo (rollback) or
 //       after an infeasible proposal (abort), proving byte-identical
-//       restoration.
+//       restoration;
+//   (e) the packed occupancy bitplanes (util/bitplane.h) agree bit-for-bit
+//       with the scalar identity grids after every commit — the
+//       packed-vs-scalar differential check of the word-masked kernels.
 //
 // A violation throws salsa::Error with the failing check and transaction
 // number. Checked mode is enabled through AllocatorOptions::checked (or
@@ -40,6 +43,12 @@ struct AuditorOptions {
   bool check_index = true;     ///< check (b)
   bool check_cost = true;      ///< check (c)
   bool check_digest = true;    ///< check (d)
+  /// Check (e): after every commit (not throttled by `every` — it is a few
+  /// word compares, far cheaper than the O(design) checks), the packed busy
+  /// bitplanes must agree bit-for-bit with the scalar identity grids
+  /// (Occupancy::planes_match_grids) — the packed-vs-scalar differential
+  /// that pins the word-masked kernels to the reference representation.
+  bool check_bitplanes = true;
 };
 
 struct AuditorStats {

@@ -21,17 +21,13 @@ Occupancy Binding::occupancy() const {
   const Lifetimes& lt = prob_->lifetimes();
   const int L = sched.length();
   Occupancy occ;
-  occ.fu_user.assign(static_cast<size_t>(prob_->fus().size()),
-                     std::vector<int>(static_cast<size_t>(L), Occupancy::kFree));
-  occ.reg_sto.assign(static_cast<size_t>(prob_->num_regs()),
-                     std::vector<int>(static_cast<size_t>(L), -1));
+  occ.init(prob_->fus().size(), prob_->num_regs(), L);
 
   auto claim_fu = [&](FuId f, int step, int user) {
     SALSA_CHECK(f >= 0 && f < prob_->fus().size());
-    int& slot = occ.fu_user[static_cast<size_t>(f)][static_cast<size_t>(step)];
-    SALSA_CHECK_MSG(slot == Occupancy::kFree,
+    SALSA_CHECK_MSG(occ.fu_slot(f, step) == Occupancy::kFree,
                     "FU double-booked at step " + std::to_string(step));
-    slot = user;
+    occ.claim_fu(f, step, user);
   };
 
   for (NodeId n : g.operations()) {
@@ -54,11 +50,10 @@ Occupancy Binding::occupancy() const {
       for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
         SALSA_CHECK_MSG(c.reg >= 0 && c.reg < prob_->num_regs(),
                         "cell register out of range");
-        int& slot = occ.reg_sto[static_cast<size_t>(c.reg)]
-                               [static_cast<size_t>(step)];
-        SALSA_CHECK_MSG(slot == -1, "register holds two values at step " +
-                                        std::to_string(step));
-        slot = sid;
+        SALSA_CHECK_MSG(occ.reg_slot(c.reg, step) == -1,
+                        "register holds two values at step " +
+                            std::to_string(step));
+        occ.claim_reg(c.reg, step, sid);
         if (seg > 0 && c.via != kInvalidId) {
           // Pass-through occupies the FU during the transfer step (the step
           // of the parent segment).
@@ -69,6 +64,33 @@ Occupancy Binding::occupancy() const {
     }
   }
   return occ;
+}
+
+bool Occupancy::planes_match_grids(std::string* why) const {
+  auto mismatch = [&](const char* plane, int row, int step, bool bit,
+                      int slot) {
+    if (why) {
+      *why = std::string(plane) + " plane bit (" + std::to_string(row) + ", " +
+             std::to_string(step) + ") is " + (bit ? "set" : "clear") +
+             " but the grid slot holds " + std::to_string(slot);
+    }
+    return false;
+  };
+  for (size_t f = 0; f < fu_user.size(); ++f)
+    for (size_t t = 0; t < fu_user[f].size(); ++t) {
+      const bool bit = fu_busy.test(static_cast<int>(f), static_cast<int>(t));
+      if (bit != (fu_user[f][t] != kFree))
+        return mismatch("fu_busy", static_cast<int>(f), static_cast<int>(t),
+                        bit, fu_user[f][t]);
+    }
+  for (size_t r = 0; r < reg_sto.size(); ++r)
+    for (size_t t = 0; t < reg_sto[r].size(); ++t) {
+      const bool bit = reg_busy.test(static_cast<int>(r), static_cast<int>(t));
+      if (bit != (reg_sto[r][t] != -1))
+        return mismatch("reg_busy", static_cast<int>(r), static_cast<int>(t),
+                        bit, reg_sto[r][t]);
+    }
+  return true;
 }
 
 RegId Binding::read_reg(int sid, int read_idx) const {

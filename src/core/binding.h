@@ -20,8 +20,11 @@
 // form using this same representation.
 #pragma once
 
+#include <string>
+
 #include "core/lifetime.h"
 #include "core/resources.h"
+#include "util/bitplane.h"
 
 namespace salsa {
 
@@ -63,6 +66,20 @@ struct StorageBinding {
 
 /// What occupies each FU and register at each control step. Derived from a
 /// Binding on demand; moves use it for feasibility checks.
+///
+/// Two representations, maintained in lockstep by the claim/release methods
+/// below (the single source of truth for occupancy bookkeeping — both the
+/// Binding::occupancy() builder and the SearchEngine's incremental claim
+/// paths go through them):
+///   * the scalar identity grids fu_user/reg_sto, which answer *who* holds
+///     a slot (the reference representation — verify.cpp and the reports
+///     read these);
+///   * the packed busy bitplanes fu_busy/reg_busy (util/bitplane.h), one
+///     bit per (resource, step), which answer *whether* a slot is held in
+///     word-parallel form — the representation the move proposers' legality
+///     masks run on.
+/// planes_match_grids() is the packed-vs-scalar differential check the
+/// invariant auditor and salsa_audit --bitplane run per commit.
 struct Occupancy {
   /// fu_user[fu][step]: node id of the executing op, kPassThrough for a
   /// transfer routed through the unit, or kFree.
@@ -71,13 +88,64 @@ struct Occupancy {
   std::vector<std::vector<int>> fu_user;
   /// reg_sto[reg][step]: storage id held, or -1.
   std::vector<std::vector<int>> reg_sto;
+  /// Busy bitplanes: fu_busy.test(f, t) iff fu_user[f][t] != kFree, and
+  /// reg_busy.test(r, t) iff reg_sto[r][t] != -1.
+  BitPlane fu_busy;
+  BitPlane reg_busy;
 
-  bool fu_free(FuId f, int step) const {
-    return fu_user[static_cast<size_t>(f)][static_cast<size_t>(step)] == kFree;
+  /// Shapes both representations to all-free.
+  void init(int num_fus, int num_regs, int steps) {
+    fu_user.assign(static_cast<size_t>(num_fus),
+                   std::vector<int>(static_cast<size_t>(steps), kFree));
+    reg_sto.assign(static_cast<size_t>(num_regs),
+                   std::vector<int>(static_cast<size_t>(steps), -1));
+    fu_busy.resize(num_fus, steps);
+    reg_busy.resize(num_regs, steps);
   }
-  bool reg_free(RegId r, int step) const {
-    return reg_sto[static_cast<size_t>(r)][static_cast<size_t>(step)] == -1;
+
+  bool fu_free(FuId f, int step) const { return !fu_busy.test(f, step); }
+  bool reg_free(RegId r, int step) const { return !reg_busy.test(r, step); }
+
+  /// Raw slot references — the SearchEngine's undo journal records the old
+  /// scalar before a claim/release overwrites it.
+  int& fu_slot(FuId f, int step) {
+    return fu_user[static_cast<size_t>(f)][static_cast<size_t>(step)];
   }
+  int& reg_slot(RegId r, int step) {
+    return reg_sto[static_cast<size_t>(r)][static_cast<size_t>(step)];
+  }
+
+  // Claim/release keep grid and plane in lockstep. Single-step forms flip
+  // one bit; the ranged FU forms (operation occupancy windows — never
+  // wrapping) update the plane with one word-masked range op.
+  void claim_fu(FuId f, int step, int user) {
+    fu_slot(f, step) = user;
+    fu_busy.set(f, step);
+  }
+  void release_fu(FuId f, int step) {
+    fu_slot(f, step) = kFree;
+    fu_busy.clear(f, step);
+  }
+  void claim_fu_range(FuId f, int start, int len, int user) {
+    for (int t = start; t < start + len; ++t) fu_slot(f, t) = user;
+    fu_busy.set_range(f, start, len);
+  }
+  void release_fu_range(FuId f, int start, int len) {
+    for (int t = start; t < start + len; ++t) fu_slot(f, t) = kFree;
+    fu_busy.clear_range(f, start, len);
+  }
+  void claim_reg(RegId r, int step, int sid) {
+    reg_slot(r, step) = sid;
+    reg_busy.set(r, step);
+  }
+  void release_reg(RegId r, int step) {
+    reg_slot(r, step) = -1;
+    reg_busy.clear(r, step);
+  }
+
+  /// True iff the packed busy planes agree bit-for-bit with the scalar
+  /// grids. On mismatch appends the first divergence to `why` if non-null.
+  bool planes_match_grids(std::string* why = nullptr) const;
 };
 
 /// A complete allocation in the extended binding model. Value-semantic and

@@ -1,55 +1,42 @@
 #include "core/footprint.h"
 
-#include <algorithm>
-
-#include "util/flat_map.h"
-
 namespace salsa {
 
 void MoveFootprint::clear() {
   read_mask = 0;
   write_mask = 0;
-  sinks.clear();
-  fu_rows.clear();
-  reg_rows.clear();
+  sinks.clear_all();
+  fu_rows.clear_all();
+  reg_rows.clear_all();
   fu_events.clear();
   reg_events.clear();
 }
 
 namespace {
 
-void net_events(std::vector<std::pair<int, int>>& events,
-                std::vector<int>& rows) {
+void net_events(std::vector<std::pair<int, int>>& events, BitWords& rows) {
   if (events.empty()) return;
-  // Net the +-1 events through a FlatMap refcount accumulator — O(events)
-  // instead of sort-and-scan — keeping only rows with a nonzero net. The
-  // table is thread_local (batch-scoring workers finalize concurrently) and
-  // keeps its capacity, so finalize() is allocation-free after warm-up.
-  // Drain order is slot order, not id order; finalize() sorts rows after.
-  thread_local FlatMap<uint32_t> net;
-  for (const auto& [id, delta] : events) net.add(static_cast<uint32_t>(id), delta);
-  net.drain([&rows](uint32_t id, int) { rows.push_back(static_cast<int>(id)); });
-  events.clear();
-}
-
-template <typename T>
-void sort_unique(std::vector<T>& v) {
-  std::sort(v.begin(), v.end());
-  v.erase(std::unique(v.begin(), v.end()), v.end());
-}
-
-template <typename T>
-bool sorted_intersect(const std::vector<T>& a, const std::vector<T>& b) {
-  size_t i = 0, j = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] < b[j])
-      ++i;
-    else if (b[j] < a[i])
-      ++j;
-    else
-      return true;
+  // Net the +-1 events through a dense counter array — O(events) with no
+  // hashing. Both scratch buffers are thread_local (batch-scoring workers
+  // finalize concurrently) and keep their capacity, so finalize() is
+  // allocation-free after warm-up; the drain loop zeroes every counter it
+  // touched, leaving the array all-zero for the next call. An id may enter
+  // `touched` twice (count returning through zero) — the drain handles
+  // duplicates because only the first visit sees a nonzero count.
+  thread_local std::vector<int> counts;
+  thread_local std::vector<int> touched;
+  for (const auto& [id, delta] : events) {
+    if (static_cast<size_t>(id) >= counts.size())
+      counts.resize(static_cast<size_t>(id) + 1, 0);
+    if (counts[static_cast<size_t>(id)] == 0) touched.push_back(id);
+    counts[static_cast<size_t>(id)] += delta;
   }
-  return false;
+  for (const int id : touched) {
+    if (counts[static_cast<size_t>(id)] != 0) rows.set(id);
+    counts[static_cast<size_t>(id)] = 0;
+  }
+  touched.clear();
+  events.clear();
 }
 
 }  // namespace
@@ -57,9 +44,6 @@ bool sorted_intersect(const std::vector<T>& a, const std::vector<T>& b) {
 void MoveFootprint::finalize() {
   net_events(fu_events, fu_rows);
   net_events(reg_events, reg_rows);
-  sort_unique(sinks);
-  sort_unique(fu_rows);
-  sort_unique(reg_rows);
 }
 
 uint32_t MoveFootprint::read_mask_of(MoveKind kind) {
@@ -102,9 +86,9 @@ uint32_t MoveFootprint::read_mask_of(MoveKind kind) {
 bool footprints_conflict(const MoveFootprint& spec,
                          const MoveFootprint& committed) {
   if ((spec.read_mask & committed.write_mask) != 0) return true;
-  if (sorted_intersect(spec.sinks, committed.sinks)) return true;
-  if (sorted_intersect(spec.fu_rows, committed.fu_rows)) return true;
-  if (sorted_intersect(spec.reg_rows, committed.reg_rows)) return true;
+  if (bitwords_intersect(spec.sinks, committed.sinks)) return true;
+  if (bitwords_intersect(spec.fu_rows, committed.fu_rows)) return true;
+  if (bitwords_intersect(spec.reg_rows, committed.reg_rows)) return true;
   return false;
 }
 

@@ -22,6 +22,11 @@
 //     touched set: which categories of mutable state the committed move
 //     actually changed.
 //
+// The dynamic sets are packed bitsets (util/bitplane.h BitWords) rather
+// than sorted id vectors: a sink pin or resource row becomes one bit, so
+// finalize() needs no sorting and footprints_conflict() is a handful of
+// word-wise AND-any sweeps instead of merge-walks.
+//
 // A speculation S scored against snapshot state is still exact after move C
 // committed iff !footprints_conflict(S, C): C wrote no category S's
 // proposer reads, and the two transactions share no sink key and no
@@ -35,6 +40,7 @@
 #include <vector>
 
 #include "core/moves.h"
+#include "util/bitplane.h"
 
 namespace salsa {
 
@@ -52,24 +58,31 @@ struct MoveFootprint {
   uint32_t read_mask = 0;   ///< categories the proposer may have read
   uint32_t write_mask = 0;  ///< categories the transaction changed
 
-  /// Packed connection-index sink keys (SearchEngine's Pin packing) the
-  /// transaction retired or charged pairs at. Sorted and deduplicated by
-  /// finalize().
-  std::vector<uint32_t> sinks;
+  /// Sink pins the transaction retired or charged connection pairs at, one
+  /// bit per pin: bit (pin_id << 2) | pin_kind — Pin::Kind has four values,
+  /// so the engine's (kind << 28) | id packing folds into a dense index.
+  BitWords sinks;
 
   /// FUs / registers whose use refcount changed net over the transaction
   /// (the 0/1 crossings of these rows are the fus_used/regs_used terms of
-  /// the delta). Sorted and deduplicated by finalize().
-  std::vector<int> fu_rows;
-  std::vector<int> reg_rows;
+  /// the delta), one bit per resource id.
+  BitWords fu_rows;
+  BitWords reg_rows;
 
   /// Raw refcount events ((id, +1/-1)) recorded during the transaction;
-  /// finalize() nets them into fu_rows/reg_rows and clears them.
+  /// finalize() nets them into the row bitsets and clears them.
   std::vector<std::pair<int, int>> fu_events;
   std::vector<std::pair<int, int>> reg_events;
 
+  /// Records one sink pin in the engine's (kind << 28) | id packing.
+  void add_sink(uint32_t packed_pin) {
+    sinks.set(static_cast<int>(((packed_pin & 0x0FFFFFFFu) << 2) |
+                               (packed_pin >> 28)));
+  }
+
   void clear();
-  /// Nets the refcount events into rows and sorts/dedups every list.
+  /// Nets the refcount events into the row bitsets; duplicate sink bits
+  /// need no deduplication.
   void finalize();
 
   /// The static read mask of one move kind (see file header).

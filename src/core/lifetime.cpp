@@ -169,6 +169,20 @@ Lifetimes::Lifetimes(const Schedule& sched) : sched_(&sched) {
     for (int i = 0; i < s.len; ++i)
       ++demand_[static_cast<size_t>(s.step_at(i, L))];
   }
+
+  // Packed live masks and per-segment step tables (see lifetime.h). Both
+  // are schedule-static, so the move hot path reads them without ever
+  // recomputing a cyclic step.
+  live_.resize(num_storages(), L);
+  steps_.resize(static_cast<size_t>(num_storages()));
+  for (int sid = 0; sid < num_storages(); ++sid) {
+    const Storage& s = storage(sid);
+    live_.set_range_wrap(sid, s.birth, s.len);
+    std::vector<int>& steps = steps_[static_cast<size_t>(sid)];
+    steps.resize(static_cast<size_t>(s.len));
+    for (int i = 0; i < s.len; ++i)
+      steps[static_cast<size_t>(i)] = s.step_at(i, L);
+  }
 }
 
 int Lifetimes::seg_at_step(int sid, int step) const {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sched/schedule.h"
+#include "util/bitplane.h"
 
 namespace salsa {
 
@@ -76,11 +77,34 @@ class Lifetimes {
   /// Minimum register count: the peak of demand().
   int min_registers() const;
 
+  /// Packed live masks (util/bitplane.h): row `sid` has bit `t` set iff the
+  /// storage is live at control step t. Built once per schedule via the
+  /// cyclic two-span wrap decomposition of [birth, birth + len) mod L, so a
+  /// wrapping arc contributes its tail span [birth, L) and head span
+  /// [0, birth + len - L) — split/merge feasibility and overlap questions
+  /// become word AND-any against these rows.
+  const BitPlane& live_masks() const { return live_; }
+  const uint64_t* live_row(int sid) const { return live_.row(sid); }
+
+  /// Control step of every segment of `sid`: steps_of(sid)[seg] ==
+  /// step_at(seg, L), precomputed so per-segment claim and scan loops skip
+  /// the modulo.
+  const std::vector<int>& steps_of(int sid) const {
+    return steps_[static_cast<size_t>(sid)];
+  }
+
+  /// True iff the two storages' live arcs share a control step.
+  bool overlaps(int a, int b) const {
+    return words_and_any(live_.row(a), live_.row(b), live_.stride());
+  }
+
  private:
   const Schedule* sched_;
   std::vector<Storage> storages_;
   std::vector<int> sto_of_;
   std::vector<int> demand_;
+  BitPlane live_;                        ///< rows = storages, bits = steps
+  std::vector<std::vector<int>> steps_;  ///< per-storage segment steps
 };
 
 }  // namespace salsa

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/search_engine.h"
+#include "util/bitplane.h"
 
 namespace salsa {
 
@@ -69,7 +70,12 @@ MoveConfig MoveConfig::no_split() {
 }
 
 MoveKind MoveConfig::pick(Rng& rng) const {
-  return static_cast<MoveKind>(rng.weighted(weight));
+  if (total_weight_ < 0) {
+    double t = 0;
+    for (const double w : weight) t += w;
+    total_weight_ = t;
+  }
+  return static_cast<MoveKind>(rng.weighted(weight, total_weight_));
 }
 
 namespace {
@@ -132,7 +138,11 @@ bool move_fu_exchange(SearchEngine& eng, Rng& rng) {
   const FuId fa = b.op(a).fu, fc = b.op(c).fu;
   auto window_ok = [&](NodeId n, FuId target, NodeId other) {
     const int oc = eng.op_occupancy(n);
-    for (int t = sched.start(n); t < sched.start(n) + oc; ++t) {
+    const int start = sched.start(n);
+    // Word fast path: an all-free window needs no per-slot identity check;
+    // the scalar loop only runs to see whether the busy slots are `other`'s.
+    if (!occ.fu_busy.any_in_range(target, start, oc)) return true;
+    for (int t = start; t < start + oc; ++t) {
       const int user =
           occ.fu_user[static_cast<size_t>(target)][static_cast<size_t>(t)];
       if (user != Occupancy::kFree && user != other) return false;
@@ -157,15 +167,10 @@ bool move_fu_move(SearchEngine& eng, Rng& rng) {
   const int oc = eng.op_occupancy(a);
   static thread_local std::vector<FuId> cands;
   cands.clear();
+  // Whole-window feasibility is one masked word test per candidate FU.
   for (FuId f : eng.fus_of_class(eng.op_class(a))) {
     if (f == cur) continue;
-    bool free = true;
-    for (int t = start; t < start + oc; ++t)
-      if (!occ.fu_free(f, t)) {
-        free = false;
-        break;
-      }
-    if (free) cands.push_back(f);
+    if (!occ.fu_busy.any_in_range(f, start, oc)) cands.push_back(f);
   }
   if (cands.empty()) return false;
   eng.touch_op(a).fu =
@@ -188,7 +193,6 @@ bool move_operand_reverse(SearchEngine& eng, Rng& rng) {
 bool move_bind_pass(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
-  const int L = b.prob().sched().length();
   // Bindable candidates are the direct inter-register transfers; the
   // engine's per-storage transfer counts let the scan skip the (typical)
   // storages that have none, leaving the candidate order unchanged.
@@ -211,7 +215,7 @@ bool move_bind_pass(SearchEngine& eng, Rng& rng) {
   if (cands.empty()) return false;
   const CellRef cr =
       cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
-  const int tstep = (lt.storage(cr.sid).birth + cr.seg - 1) % L;
+  const int tstep = lt.steps_of(cr.sid)[static_cast<size_t>(cr.seg - 1)];
   const Occupancy& occ = eng.occupancy();
   // An FU whose output carries a landing result at tstep cannot pass
   // (relevant for pipelined units whose occupancy ends before their delay).
@@ -296,7 +300,6 @@ bool move_seg_exchange(SearchEngine& eng, Rng& rng) {
 bool move_seg_move(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
-  const int L = b.prob().sched().length();
   // Every cell is a candidate, so map a uniform draw through the engine's
   // per-storage cell counts to the cell at that index of the
   // (sid, seg, pos)-lexicographic enumeration — the same pick a
@@ -311,7 +314,7 @@ bool move_seg_move(SearchEngine& eng, Rng& rng) {
   while (idx >= static_cast<int>(sbr.cells[static_cast<size_t>(seg)].size()))
     idx -= static_cast<int>(sbr.cells[static_cast<size_t>(seg++)].size());
   const CellRef cr{sid, seg, idx};
-  const int step = (lt.storage(cr.sid).birth + cr.seg) % L;
+  const int step = lt.steps_of(cr.sid)[static_cast<size_t>(cr.seg)];
   const Occupancy& occ = eng.occupancy();
   static thread_local std::vector<RegId> regs;
   regs.clear();
@@ -326,7 +329,6 @@ bool move_seg_move(SearchEngine& eng, Rng& rng) {
 bool move_val_exchange(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
-  const int L = b.prob().sched().length();
   const int n = lt.num_storages();
   if (n < 2) return false;
   const int s1 = rng.uniform(n);
@@ -336,14 +338,14 @@ bool move_val_exchange(SearchEngine& eng, Rng& rng) {
   const RegId r2 = single_reg_of(b.sto(s2));
   if (r1 == kInvalidId || r2 == kInvalidId || r1 == r2) return false;
   const Occupancy& occ = eng.occupancy();
+  const int stride = lt.live_masks().stride();
+  // Both storages are in contiguous single-register form, so the target
+  // register's slots over `sid`'s live arc are held by `other` exactly on
+  // `other`'s live mask: "free or held by the other" collapses to one
+  // three-way word test — busy(target) ∧ live(sid) ∧ ¬live(other) empty.
   auto fits = [&](int sid, RegId target, int other) {
-    const Storage& s = lt.storage(sid);
-    for (int seg = 0; seg < s.len; ++seg) {
-      const int user = occ.reg_sto[static_cast<size_t>(target)]
-                                  [static_cast<size_t>(s.step_at(seg, L))];
-      if (user != -1 && user != other) return false;
-    }
-    return true;
+    return !words_and_andnot_any(occ.reg_busy.row(target), lt.live_row(sid),
+                                 lt.live_row(other), stride);
   };
   if (!fits(s1, r2, s2) || !fits(s2, r1, s1)) return false;
   for (auto& seg : eng.touch_sto(s1).cells) seg[0].reg = r2;
@@ -354,23 +356,35 @@ bool move_val_exchange(SearchEngine& eng, Rng& rng) {
 bool move_val_move(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
-  const int L = b.prob().sched().length();
   const int n = lt.num_storages();
   if (n == 0) return false;
   const int sid = rng.uniform(n);
-  const Storage& s = lt.storage(sid);
   const Occupancy& occ = eng.occupancy();
   const RegId cur = single_reg_of(b.sto(sid));
+  const uint64_t* live = lt.live_row(sid);
+  const int stride = lt.live_masks().stride();
   static thread_local std::vector<RegId> regs;
   regs.clear();
-  for (RegId r = 0; r < b.prob().num_regs(); ++r) {
-    bool ok = true;
-    for (int seg = 0; seg < s.len && ok; ++seg) {
-      const int user = occ.reg_sto[static_cast<size_t>(r)]
-                                  [static_cast<size_t>(s.step_at(seg, L))];
-      ok = user == -1 || user == sid;
-    }
-    if (ok && cur != r) regs.push_back(r);
+  if (cur != kInvalidId) {
+    // Contiguous single-register form: the storage claims only `cur`, so
+    // for every other register "free or held by sid" over the live arc is
+    // just "free" — one word AND-any per candidate.
+    for (RegId r = 0; r < b.prob().num_regs(); ++r)
+      if (cur != r && !words_and_any(occ.reg_busy.row(r), live, stride))
+        regs.push_back(r);
+  } else {
+    // General (split/multi-register) form: mask the storage's own claims
+    // out of each register row before the emptiness test —
+    // busy(r) ∧ live(sid) ∧ ¬own(r) must be empty.
+    static thread_local BitPlane own;
+    own.resize(b.prob().num_regs(), b.prob().sched().length());
+    const std::vector<int>& steps = lt.steps_of(sid);
+    const StorageBinding& sb = b.sto(sid);
+    for (size_t seg = 0; seg < sb.cells.size(); ++seg)
+      for (const Cell& c : sb.cells[seg]) own.set(c.reg, steps[seg]);
+    for (RegId r = 0; r < b.prob().num_regs(); ++r)
+      if (!words_and_andnot_any(occ.reg_busy.row(r), live, own.row(r), stride))
+        regs.push_back(r);
   }
   if (regs.empty()) return false;
   const RegId r =
@@ -386,13 +400,12 @@ bool move_val_move(SearchEngine& eng, Rng& rng) {
 bool move_val_split(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
-  const int L = b.prob().sched().length();
   const int n = lt.num_storages();
   if (n == 0) return false;
   const int sid = rng.uniform(n);
   const Storage& s = lt.storage(sid);
   const int seg = rng.uniform(s.len);
-  const int step = s.step_at(seg, L);
+  const int step = lt.steps_of(sid)[static_cast<size_t>(seg)];
   const Occupancy& occ = eng.occupancy();
   static thread_local std::vector<RegId> regs;
   regs.clear();

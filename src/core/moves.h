@@ -73,6 +73,12 @@ struct MoveConfig {
   bool enabled(MoveKind k) const {
     return weight[static_cast<size_t>(k)] > 0;
   }
+
+  /// Left-to-right weight total, cached by the first pick() (the identical
+  /// summation order keeps every draw bit-identical to the uncached scan).
+  /// Weights must not change once picking has started; configs are set up
+  /// front and copied into the search drivers, so nothing does.
+  mutable double total_weight_ = -1.0;
 };
 
 /// Per-move-kind search observability counters (accumulated by the

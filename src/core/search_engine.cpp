@@ -90,6 +90,10 @@ void SearchEngine::build_static() {
   }
   st.op_class.assign(static_cast<size_t>(g.num_nodes()), FuClass::kAlu);
   st.op_occ.assign(static_cast<size_t>(g.num_nodes()), 0);
+  st.node_is_output.assign(static_cast<size_t>(g.num_nodes()), 0);
+  for (NodeId n = 0; n < g.num_nodes(); ++n)
+    st.node_is_output[static_cast<size_t>(n)] =
+        g.node(n).kind == OpKind::kOutput ? 1 : 0;
   for (NodeId n : st.ops) {
     const OpKind kind = g.node(n).kind;
     const FuClass c = fu_class_of(kind);
@@ -131,10 +135,19 @@ void SearchEngine::init_from_statics() {
 void SearchEngine::rebuild() {
   const AllocProblem& prob = b_.prob();
   occ_ = b_.occupancy();  // also validates legality
+  // Re-arm the busy planes as mutation targets (bitplane_hooks): the
+  // assignment above copied from a temporary that was never marked.
+  occ_.fu_busy.mark_mutation_target();
+  occ_.reg_busy.mark_mutation_target();
   pair_refs_.clear();
   sink_sources_.clear();
   fu_refs_.assign(static_cast<size_t>(prob.fus().size()), 0);
   reg_refs_.assign(static_cast<size_t>(prob.num_regs()), 0);
+  fu_stage_.assign(fu_refs_.size(), 0);
+  reg_stage_.assign(reg_refs_.size(), 0);
+  fu_staged_.clear();
+  reg_staged_.clear();
+  claims_pending_ = false;
   cost_ = CostBreakdown{};
 
   const Cdfg& g = prob.cdfg();
@@ -217,8 +230,7 @@ void SearchEngine::enum_gen_uses(int gen, Fn&& fn) const {
           sb.cells[static_cast<size_t>(r.seg)]
                   [static_cast<size_t>(sb.read_cell[ri])].reg;
       const Endpoint src{Endpoint::Kind::kRegOut, rreg};
-      const Node& cn = g.node(r.consumer);
-      if (cn.kind == OpKind::kOutput) {
+      if (statics_->node_is_output[static_cast<size_t>(r.consumer)]) {
         fn(src, Pin{Pin::Kind::kOutPort, r.consumer});
       } else {
         const OpBind& ob = b_.op(r.consumer);
@@ -274,6 +286,24 @@ void SearchEngine::remove_key(uint64_t key) {
   }
 }
 
+void SearchEngine::apply_pending_uses() {
+  for (const PendingUse& u : pending_uses_) {
+    // One add() per key applies the whole net; the count crosses zero at
+    // most once, exactly when the pair goes live (created) or dead
+    // (erased), and only those transitions move the sink's source count.
+    // cost_ is NOT touched here — finish_mutation already advanced it
+    // from the same transitions, read-only.
+    const int after = pair_refs_.add(u.key, u.net);
+    SALSA_DCHECK(u.net > 0 || after != u.net);  // retired pairs existed
+    if (after == u.net) {
+      sink_sources_.increment(static_cast<uint32_t>(u.key >> 32));
+    } else if (after == 0) {
+      sink_sources_.decrement(static_cast<uint32_t>(u.key >> 32));
+    }
+  }
+  pending_uses_.clear();
+}
+
 void SearchEngine::add_gen(int gen) {
   // Enumerate from the binding and refresh the generator's key cache in
   // the same pass (see gen_keys_ in the header): the cache stays current
@@ -285,13 +315,17 @@ void SearchEngine::add_gen(int gen) {
     if (!statics_->charge_consts && src.kind == Endpoint::Kind::kConstPort)
       return;
     const uint32_t sk = pack(sink);
-    if (fp_) fp_->sinks.push_back(sk);
+    if (fp_) fp_->add_sink(sk);
     const uint64_t key = (static_cast<uint64_t>(sk) << 32) | pack(src);
     keys.push_back(key);
-    if (in_txn_)
-      txn_delta_.add(key, +1);
-    else
+    if (!in_txn_) {
       add_key(key);
+    } else if (fp_) {
+      // Footprint capture records every enumerated use; the sequential
+      // path instead nets old-vs-new key lists in finish_mutation, so
+      // unchanged uses never reach the scratch table at all.
+      txn_delta_.add(key, +1);
+    }
   });
 }
 
@@ -306,9 +340,14 @@ void SearchEngine::remove_gen_once(int gen) {
   // cache slot left behind is refilled by finish_mutation's add_gen.
   std::vector<uint64_t>& keys = gen_stash_[stash];
   keys.swap(gen_keys_[static_cast<size_t>(gen)]);
-  for (const uint64_t key : keys) {
-    if (fp_) fp_->sinks.push_back(static_cast<uint32_t>(key >> 32));
-    txn_delta_.add(key, -1);
+  // Footprint capture retires the cached keys into the scratch table here;
+  // the sequential path leaves them in the stash and lets finish_mutation
+  // diff them against the fresh enumeration (see add_gen).
+  if (fp_) {
+    for (const uint64_t key : keys) {
+      fp_->add_sink(static_cast<uint32_t>(key >> 32));
+      txn_delta_.add(key, -1);
+    }
   }
 }
 
@@ -321,12 +360,13 @@ void SearchEngine::add_op_claims(NodeId n) {
   const Schedule& sched = b_.prob().sched();
   const FuId f = b_.op(n).fu;
   const int oc = statics_->op_occ[static_cast<size_t>(n)];
-  for (int t = sched.start(n); t < sched.start(n) + oc; ++t) {
-    int& slot = occ_.fu_user[static_cast<size_t>(f)][static_cast<size_t>(t)];
-    SALSA_DCHECK(slot == Occupancy::kFree);
-    journal_int(slot);
-    slot = n;
+  const int start = sched.start(n);
+  for (int t = start; t < start + oc; ++t) {
+    SALSA_DCHECK(occ_.fu_slot(f, t) == Occupancy::kFree);
+    journal_int(occ_.fu_slot(f, t));
   }
+  journal_range_words(occ_.fu_busy, f, start, oc);
+  occ_.claim_fu_range(f, start, oc, n);
   if (fp_) fp_->fu_events.push_back({f, +1});
   int& refs = fu_refs_[static_cast<size_t>(f)];
   journal_int(refs);
@@ -337,42 +377,47 @@ void SearchEngine::remove_op_claims(NodeId n) {
   const Schedule& sched = b_.prob().sched();
   const FuId f = b_.op(n).fu;
   const int oc = statics_->op_occ[static_cast<size_t>(n)];
-  for (int t = sched.start(n); t < sched.start(n) + oc; ++t) {
-    int& slot = occ_.fu_user[static_cast<size_t>(f)][static_cast<size_t>(t)];
-    SALSA_DCHECK(slot == n);
-    journal_int(slot);
-    slot = Occupancy::kFree;
+  const int start = sched.start(n);
+#ifndef NDEBUG
+  for (int t = start; t < start + oc; ++t)
+    SALSA_DCHECK(occ_.fu_slot(f, t) == n);
+#endif
+  // The sequential (no-footprint) path skips the journal: rollback
+  // restores the saved units and re-claims from them (see rollback), so
+  // the removal writes need no per-entry record.
+  if (fp_) {
+    for (int t = start; t < start + oc; ++t) journal_int(occ_.fu_slot(f, t));
+    journal_range_words(occ_.fu_busy, f, start, oc);
+    fp_->fu_events.push_back({f, -1});
+    journal_int(fu_refs_[static_cast<size_t>(f)]);
   }
-  if (fp_) fp_->fu_events.push_back({f, -1});
-  int& refs = fu_refs_[static_cast<size_t>(f)];
-  journal_int(refs);
-  if (--refs == 0) --cost_.fus_used;
+  occ_.release_fu_range(f, start, oc);
+  if (--fu_refs_[static_cast<size_t>(f)] == 0) --cost_.fus_used;
 }
 
 void SearchEngine::add_sto_claims(int sid) {
   const Lifetimes& lt = b_.prob().lifetimes();
-  const int L = b_.prob().sched().length();
-  const Storage& s = lt.storage(sid);
+  const std::vector<int>& steps = lt.steps_of(sid);
   const StorageBinding& sb = b_.sto(sid);
-  for (int seg = 0; seg < s.len; ++seg) {
-    const int step = s.step_at(seg, L);
+  const int len = static_cast<int>(steps.size());
+  for (int seg = 0; seg < len; ++seg) {
+    const int step = steps[static_cast<size_t>(seg)];
     for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
-      int& slot =
-          occ_.reg_sto[static_cast<size_t>(c.reg)][static_cast<size_t>(step)];
-      SALSA_DCHECK(slot == -1 || slot == sid);
-      journal_int(slot);
-      slot = sid;
+      SALSA_DCHECK(occ_.reg_slot(c.reg, step) == -1 ||
+                   occ_.reg_slot(c.reg, step) == sid);
+      journal_int(occ_.reg_slot(c.reg, step));
+      journal_word(occ_.reg_busy.word(c.reg, step));
+      occ_.claim_reg(c.reg, step, sid);
       if (fp_) fp_->reg_events.push_back({c.reg, +1});
       int& rrefs = reg_refs_[static_cast<size_t>(c.reg)];
       journal_int(rrefs);
       if (++rrefs == 1) ++cost_.regs_used;
       if (seg > 0 && c.via != kInvalidId) {
-        const int tstep = s.step_at(seg - 1, L);
-        int& fslot = occ_.fu_user[static_cast<size_t>(c.via)]
-                                 [static_cast<size_t>(tstep)];
-        SALSA_DCHECK(fslot == Occupancy::kFree);
-        journal_int(fslot);
-        fslot = Occupancy::kPassThrough;
+        const int tstep = steps[static_cast<size_t>(seg - 1)];
+        SALSA_DCHECK(occ_.fu_slot(c.via, tstep) == Occupancy::kFree);
+        journal_int(occ_.fu_slot(c.via, tstep));
+        journal_word(occ_.fu_busy.word(c.via, tstep));
+        occ_.claim_fu(c.via, tstep, Occupancy::kPassThrough);
         if (fp_) fp_->fu_events.push_back({c.via, +1});
         int& frefs = fu_refs_[static_cast<size_t>(c.via)];
         journal_int(frefs);
@@ -384,37 +429,143 @@ void SearchEngine::add_sto_claims(int sid) {
 
 void SearchEngine::remove_sto_claims(int sid) {
   const Lifetimes& lt = b_.prob().lifetimes();
-  const int L = b_.prob().sched().length();
-  const Storage& s = lt.storage(sid);
+  const std::vector<int>& steps = lt.steps_of(sid);
   const StorageBinding& sb = b_.sto(sid);
-  for (int seg = 0; seg < s.len; ++seg) {
-    const int step = s.step_at(seg, L);
+  const int len = static_cast<int>(steps.size());
+  for (int seg = 0; seg < len; ++seg) {
+    const int step = steps[static_cast<size_t>(seg)];
     // Several cells of one segment may share the step slot only across
     // distinct registers (legality), so each clears its own slot.
     for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
-      int& slot =
-          occ_.reg_sto[static_cast<size_t>(c.reg)][static_cast<size_t>(step)];
-      SALSA_DCHECK(slot == sid);
-      journal_int(slot);
-      slot = -1;
-      if (fp_) fp_->reg_events.push_back({c.reg, -1});
-      int& rrefs = reg_refs_[static_cast<size_t>(c.reg)];
-      journal_int(rrefs);
-      if (--rrefs == 0) --cost_.regs_used;
+      SALSA_DCHECK(occ_.reg_slot(c.reg, step) == sid);
+      if (fp_) {
+        // Sequential removals go unjournaled — rollback re-claims from
+        // the restored units instead (see remove_op_claims).
+        journal_int(occ_.reg_slot(c.reg, step));
+        journal_word(occ_.reg_busy.word(c.reg, step));
+        fp_->reg_events.push_back({c.reg, -1});
+        journal_int(reg_refs_[static_cast<size_t>(c.reg)]);
+      }
+      occ_.release_reg(c.reg, step);
+      if (--reg_refs_[static_cast<size_t>(c.reg)] == 0) --cost_.regs_used;
       if (seg > 0 && c.via != kInvalidId) {
-        const int tstep = s.step_at(seg - 1, L);
-        int& fslot = occ_.fu_user[static_cast<size_t>(c.via)]
-                                 [static_cast<size_t>(tstep)];
-        SALSA_DCHECK(fslot == Occupancy::kPassThrough);
-        journal_int(fslot);
-        fslot = Occupancy::kFree;
-        if (fp_) fp_->fu_events.push_back({c.via, -1});
-        int& frefs = fu_refs_[static_cast<size_t>(c.via)];
-        journal_int(frefs);
-        if (--frefs == 0) --cost_.fus_used;
+        const int tstep = steps[static_cast<size_t>(seg - 1)];
+        SALSA_DCHECK(occ_.fu_slot(c.via, tstep) == Occupancy::kPassThrough);
+        if (fp_) {
+          journal_int(occ_.fu_slot(c.via, tstep));
+          journal_word(occ_.fu_busy.word(c.via, tstep));
+          fp_->fu_events.push_back({c.via, -1});
+          journal_int(fu_refs_[static_cast<size_t>(c.via)]);
+        }
+        occ_.release_fu(c.via, tstep);
+        if (--fu_refs_[static_cast<size_t>(c.via)] == 0) --cost_.fus_used;
       }
     }
   }
+}
+
+void SearchEngine::stage_op_claims(NodeId n) {
+  const FuId f = b_.op(n).fu;
+#ifndef NDEBUG
+  const Schedule& sched = b_.prob().sched();
+  const int oc = statics_->op_occ[static_cast<size_t>(n)];
+  const int start = sched.start(n);
+  for (int t = start; t < start + oc; ++t)
+    SALSA_DCHECK(occ_.fu_slot(f, t) == Occupancy::kFree);
+#endif
+  if (fu_stage_[static_cast<size_t>(f)]++ == 0)
+    fu_staged_.push_back(static_cast<int>(f));
+}
+
+void SearchEngine::normalize_and_stage_sto(int sid) {
+  // One fused walk per touched storage: Binding::normalize_storage's
+  // hold-via clearing and the claim staging visit exactly the same cells,
+  // and fusing them halves the pointer-chasing over the per-segment cell
+  // vectors. Per cell, normalisation runs first (staging must see the
+  // final via), and it only reads the parent's reg — a field staging
+  // never writes — so the fusion is order-equivalent to the two passes.
+  const Lifetimes& lt = b_.prob().lifetimes();
+  const std::vector<int>& steps = lt.steps_of(sid);
+  StorageBinding& sb = b_.sto(sid);
+  const int len = static_cast<int>(steps.size());
+  for (int seg = 0; seg < len; ++seg) {
+    for (Cell& c : sb.cells[static_cast<size_t>(seg)]) {
+      if (seg > 0 && c.parent >= 0 &&
+          sb.cells[static_cast<size_t>(seg - 1)][static_cast<size_t>(c.parent)]
+                  .reg == c.reg)
+        c.via = kInvalidId;
+      SALSA_DCHECK(occ_.reg_slot(c.reg, steps[static_cast<size_t>(seg)]) ==
+                       -1 ||
+                   occ_.reg_slot(c.reg, steps[static_cast<size_t>(seg)]) ==
+                       sid);
+      if (reg_stage_[static_cast<size_t>(c.reg)]++ == 0)
+        reg_staged_.push_back(c.reg);
+      if (seg > 0 && c.via != kInvalidId) {
+        SALSA_DCHECK(occ_.fu_slot(c.via,
+                                  steps[static_cast<size_t>(seg - 1)]) ==
+                     Occupancy::kFree);
+        if (fu_stage_[static_cast<size_t>(c.via)]++ == 0)
+          fu_staged_.push_back(static_cast<int>(c.via));
+      }
+    }
+  }
+}
+
+void SearchEngine::settle_staged_claims() {
+  // The refcount rows still sit at their post-removal values, so a row is
+  // newly used exactly when it is at zero with staged adds pending. This
+  // reproduces the eager path's ++refs == 1 accounting: however many adds
+  // a row collects, only the zero -> positive transition charges.
+  for (const int f : fu_staged_) {
+    if (fu_refs_[static_cast<size_t>(f)] == 0) ++cost_.fus_used;
+    fu_stage_[static_cast<size_t>(f)] = 0;
+  }
+  for (const int r : reg_staged_) {
+    if (reg_refs_[static_cast<size_t>(r)] == 0) ++cost_.regs_used;
+    reg_stage_[static_cast<size_t>(r)] = 0;
+  }
+  fu_staged_.clear();
+  reg_staged_.clear();
+}
+
+void SearchEngine::apply_claims_walk() {
+  const Schedule& sched = b_.prob().sched();
+  const Lifetimes& lt = b_.prob().lifetimes();
+  for (const TouchedOp& t : touched_ops_) {
+    const FuId f = b_.op(t.n).fu;
+    const int oc = statics_->op_occ[static_cast<size_t>(t.n)];
+    const int start = sched.start(t.n);
+#ifndef NDEBUG
+    for (int s = start; s < start + oc; ++s)
+      SALSA_DCHECK(occ_.fu_slot(f, s) == Occupancy::kFree);
+#endif
+    occ_.claim_fu_range(f, start, oc, t.n);
+    ++fu_refs_[static_cast<size_t>(f)];
+  }
+  for (const int sid : touched_sids_) {
+    const std::vector<int>& steps = lt.steps_of(sid);
+    const StorageBinding& sb = b_.sto(sid);
+    const int len = static_cast<int>(steps.size());
+    for (int seg = 0; seg < len; ++seg) {
+      const int step = steps[static_cast<size_t>(seg)];
+      for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
+        occ_.claim_reg(c.reg, step, sid);
+        ++reg_refs_[static_cast<size_t>(c.reg)];
+        if (seg > 0 && c.via != kInvalidId) {
+          const int tstep = steps[static_cast<size_t>(seg - 1)];
+          occ_.claim_fu(c.via, tstep, Occupancy::kPassThrough);
+          ++fu_refs_[static_cast<size_t>(c.via)];
+        }
+      }
+    }
+  }
+}
+
+void SearchEngine::apply_pending_claims() {
+  if (!claims_pending_) return;
+  claims_pending_ = false;
+  apply_claims_walk();
+  for (const int sid : touched_sids_) refresh_sto_stats(sid);
 }
 
 void SearchEngine::refresh_sto_stats(int sid) {
@@ -477,30 +628,84 @@ StorageBinding& SearchEngine::touch_sto(int sid) {
 }
 
 void SearchEngine::finish_mutation() {
-  // Normalisation may clear `via` fields, so it must precede the re-adds.
-  for (int sid : touched_sids_) b_.normalize_storage(sid);
-  for (const TouchedOp& t : touched_ops_) add_op_claims(t.n);
-  for (int sid : touched_sids_) {
-    add_sto_claims(sid);
-    refresh_sto_stats(sid);
+  if (fp_) {
+    // Normalisation may clear `via` fields, so it must precede the re-adds.
+    // Footprint capture needs the fu/reg occupancy events pushed as the
+    // claims land, so the speculative path re-adds eagerly as before.
+    for (int sid : touched_sids_) b_.normalize_storage(sid);
+    for (const TouchedOp& t : touched_ops_) add_op_claims(t.n);
+    for (int sid : touched_sids_) {
+      add_sto_claims(sid);
+      refresh_sto_stats(sid);
+    }
+  } else {
+    // Sequential path: evaluate the re-adds read-only and defer the table
+    // writes to commit — a rejected move never touches the occupancy
+    // grids, planes or refcount rows on the add side.
+    // The per-storage stats (sto_cells_/sto_vias_/sto_xfers_/total_cells_)
+    // only feed candidate enumeration in *later* proposals, never the
+    // pending delta, so their recount rides along to commit too.
+    claims_pending_ = true;
+    for (const TouchedOp& t : touched_ops_) stage_op_claims(t.n);
+    for (int sid : touched_sids_) normalize_and_stage_sto(sid);
+    settle_staged_claims();
   }
-  for (int gen : removed_gens_) add_gen(gen);
-  // Flush the netted use deltas to the shared index: most retire/re-charge
-  // pairs cancelled inside txn_delta_; only the moves' real changes reach
-  // pair_refs_/sink_sources_ (and the undo journal). Per-key refcount
-  // arithmetic commutes, so the scratch table's layout-dependent apply
+  for (size_t i = 0; i < removed_gens_.size(); ++i) {
+    const int gen = removed_gens_[i];
+    add_gen(gen);
+    if (fp_) continue;  // footprint capture already pushed both sides
+    // Net the retired (stashed) key list against the fresh one. A touched
+    // generator usually re-enumerates almost the same uses in the same
+    // deterministic order, so skipping the common prefix and suffix keeps
+    // the unchanged bulk out of the scratch table; whatever the middle
+    // still shares nets to zero inside it. Per-key refcount arithmetic
+    // commutes, so the final nets are what full push-both-sides would give.
+    const std::vector<uint64_t>& olds = gen_stash_[i];
+    const std::vector<uint64_t>& news = gen_keys_[static_cast<size_t>(gen)];
+    size_t lo = 0, oe = olds.size(), ne = news.size();
+    const size_t common = oe < ne ? oe : ne;
+    while (lo < common && olds[lo] == news[lo]) ++lo;
+    while (oe > lo && ne > lo && olds[oe - 1] == news[ne - 1]) {
+      --oe;
+      --ne;
+    }
+    for (size_t k = lo; k < oe; ++k) txn_delta_.add(olds[k], -1);
+    for (size_t k = lo; k < ne; ++k) txn_delta_.add(news[k], +1);
+  }
+  // Evaluate the netted use deltas against the shared index READ-ONLY:
+  // most retire/re-charge pairs cancelled inside txn_delta_, and the
+  // survivors are probed (never written) to advance cost_.connections and
+  // accumulate per-sink source-count deltas. The shared tables stay at
+  // their pre-transaction contents until commit applies the stashed nets
+  // (apply_pending_uses) — so a rejected move costs two table probes per
+  // changed pair instead of an apply-then-undo write pair, and rollback
+  // has nothing to replay against the index at all. Per-key refcount
+  // arithmetic commutes, so the scratch tables' layout-dependent drain
   // order yields the exact counts sequential application would.
   txn_delta_.drain([this](uint64_t key, int net) {
-    for (; net > 0; --net) {
-      undo_uses_.push_back({key, true});
-      add_key(key);
-    }
-    for (; net < 0; ++net) {
-      undo_uses_.push_back({key, false});
-      remove_key(key);
+    pending_uses_.push_back({key, net});
+    const int* p = pair_refs_.find(key);
+    const int before = p ? *p : 0;
+    const int after = before + net;
+    if (before == 0) {
+      ++cost_.connections;
+      sink_delta_.add(static_cast<uint32_t>(key >> 32), +1);
+    } else if (after == 0) {
+      --cost_.connections;
+      sink_delta_.add(static_cast<uint32_t>(key >> 32), -1);
     }
   });
-  recompute_total();
+  sink_delta_.drain([this](uint32_t sink, int d) {
+    const int* p = sink_sources_.find(sink);
+    const int before = p ? *p : 0;
+    const int after = before + d;
+    // muxes = sum over sinks of max(0, sources - 1).
+    cost_.muxes += (after > 1 ? after - 1 : 0) - (before > 1 ? before - 1 : 0);
+  });
+  // cost_.total is deliberately left stale here: the decision reads only
+  // the component-diff delta computed in propose(), rollback restores the
+  // whole struct, and commit recomputes the total once the move is kept —
+  // so rejected proposals never pay for the weighted sum.
 }
 
 std::optional<double> SearchEngine::propose(MoveKind kind, Rng& rng,
@@ -575,6 +780,13 @@ void SearchEngine::commit() {
   ks.accepted_delta_sum += pending_delta_;
   trace_decision(true);
   const double delta = pending_delta_;
+  // The transaction is over either way from here; dropping the flag early
+  // keeps the commit-time stats refresh from pushing journal entries that
+  // end_txn would only discard.
+  in_txn_ = false;
+  recompute_total();  // finish_mutation leaves the weighted total stale
+  apply_pending_claims();
+  apply_pending_uses();
   end_txn();
 #ifndef NDEBUG
   SALSA_CHECK(matches_full_eval());
@@ -587,10 +799,14 @@ void SearchEngine::rollback() {
   trace_decision(false);
   if (break_next_undo_) {
     // Test-only fault injection (inject_broken_undo_for_test): keep the
-    // mutated binding instead of restoring the saved units. Every derived
-    // structure stays self-consistent with the (wrong) binding, so only
-    // the auditor's digest comparison can tell that the undo lied.
+    // mutated binding instead of restoring the saved units. The pending
+    // index deltas are applied so every derived structure stays
+    // self-consistent with the (wrong) binding — only the auditor's digest
+    // comparison can tell that the undo lied.
     break_next_undo_ = false;
+    recompute_total();
+    apply_pending_claims();
+    apply_pending_uses();
     end_txn();
     if (observer_) observer_->on_rollback(*this);
     return;
@@ -606,18 +822,26 @@ void SearchEngine::rollback() {
   for (size_t i = removed_gens_.size(); i-- > 0;)
     gen_keys_[static_cast<size_t>(removed_gens_[i])].swap(gen_stash_[i]);
   for (int sid : touched_sids_) {
-    // Copy (not move): the per-sid save buffer keeps its shape for reuse,
-    // and the binding's own cell vectors are refilled in place.
-    b_.sto(sid) = sto_save_[static_cast<size_t>(sid)];
+    // Swap, not copy: the saved pre-move cells move back wholesale, the
+    // save buffer inherits the discarded post-move vectors, and the next
+    // touch's copy-assign reuses their (same-shaped) capacity.
+    std::swap(b_.sto(sid), sto_save_[static_cast<size_t>(sid)]);
   }
-  for (size_t i = undo_uses_.size(); i-- > 0;) {
-    const UseUndo& u = undo_uses_[i];
-    if (u.add)
-      remove_key(u.key);
-    else
-      add_key(u.key);
-  }
+  // The shared index was never written (the netted deltas are still
+  // pending); dropping them in end_txn is the whole index rollback.
   for (size_t i = undo_ints_.size(); i-- > 0;) *undo_ints_[i].p = undo_ints_[i].old;
+  // Busy-plane words, same reverse discipline (journaled per word, possibly
+  // more than once; the first-journaled pre-transaction value lands last).
+  for (size_t i = undo_words_.size(); i-- > 0;)
+    *undo_words_[i].p = undo_words_[i].old;
+  // Sequential transactions journal nothing (the loops above are empty):
+  // the touch-time removals are undone by re-claiming straight from the
+  // units just restored — identical writes to what the removals released,
+  // and the per-claim ++ brings every refcount row back exactly.
+  if (claims_pending_) {
+    claims_pending_ = false;
+    apply_claims_walk();
+  }
   cost_ = cost_before_;
   end_txn();
   if (observer_) observer_->on_rollback(*this);
@@ -628,7 +852,9 @@ void SearchEngine::end_txn() {
   touched_sids_.clear();
   removed_gens_.clear();
   undo_ints_.clear();
-  undo_uses_.clear();
+  undo_words_.clear();
+  pending_uses_.clear();
+  claims_pending_ = false;
   in_txn_ = false;
 }
 
@@ -643,10 +869,14 @@ void SearchEngine::trace_decision(bool accepted) {
 
 bool SearchEngine::matches_full_eval() const {
   const CostBreakdown full = evaluate_cost(b_);
+  // Mid-transaction the weighted total is deliberately stale (finish_mutation
+  // skips it; commit/rollback restore it), so only the integer components are
+  // comparable there. Outside a transaction the total check also covers the
+  // commit-time recompute.
   return full.fus_used == cost_.fus_used &&
          full.regs_used == cost_.regs_used &&
          full.connections == cost_.connections && full.muxes == cost_.muxes &&
-         full.total == cost_.total;
+         (in_txn_ || full.total == cost_.total);
 }
 
 bool SearchEngine::index_matches_rebuild(std::string* why) const {
@@ -670,6 +900,13 @@ bool SearchEngine::index_matches_rebuild(std::string* why) const {
     ok = diverged("register use refcounts differ from a rebuild");
   if (occ_.fu_user != fresh.occ_.fu_user || occ_.reg_sto != fresh.occ_.reg_sto)
     ok = diverged("occupancy grid differs from a rebuild");
+  if (!(occ_.fu_busy == fresh.occ_.fu_busy) ||
+      !(occ_.reg_busy == fresh.occ_.reg_busy))
+    ok = diverged("occupancy bitplanes differ from a rebuild");
+  std::string plane_why;
+  if (!occ_.planes_match_grids(&plane_why))
+    ok = diverged("occupancy bitplanes diverged from the scalar grids: " +
+                  plane_why);
   if (cost_.fus_used != fresh.cost_.fus_used ||
       cost_.regs_used != fresh.cost_.regs_used ||
       cost_.connections != fresh.cost_.connections ||

@@ -227,11 +227,20 @@ class SearchEngine {
 
   /// True iff every derived structure — the refcounted connection index
   /// (pair refcounts and per-sink distinct-source counts), the FU/register
-  /// use refcounts, the occupancy grid and the cost breakdown — equals that
-  /// of an engine rebuilt from scratch off the current binding. O(design);
-  /// the checked mode's per-transaction cross-check. On mismatch, appends a
-  /// description of the first divergence to `why` when non-null.
+  /// use refcounts, the occupancy grid and busy bitplanes, and the cost
+  /// breakdown — equals that of an engine rebuilt from scratch off the
+  /// current binding. O(design); the checked mode's per-transaction
+  /// cross-check. On mismatch, appends a description of the first
+  /// divergence to `why` when non-null.
   bool index_matches_rebuild(std::string* why = nullptr) const;
+
+  /// Packed-vs-scalar occupancy differential: true iff the incrementally
+  /// maintained busy bitplanes agree bit-for-bit with the identity grids
+  /// (Occupancy::planes_match_grids). Much cheaper than a full rebuild —
+  /// the per-commit check of salsa_audit --bitplane.
+  bool occupancy_planes_match(std::string* why = nullptr) const {
+    return occ_.planes_match_grids(why);
+  }
 
   /// Installs (or clears, with nullptr) the transaction observer. The
   /// engine does not own it; it must outlive the engine or be cleared.
@@ -289,6 +298,10 @@ class SearchEngine {
     // sets (hence RNG draws and trajectories) are unchanged.
     std::vector<FuClass> op_class;
     std::vector<int> op_occ;
+    // Whether each node is an output port — the one static fact the read
+    // generator's use enumeration needs per read, pre-resolved so the hot
+    // loop never dereferences the CDFG node table.
+    std::vector<uint8_t> node_is_output;
     std::array<std::vector<NodeId>, 2> ops_by_class;  // indexed by FuClass
     std::vector<NodeId> commutative_ops;
     std::vector<FuId> pass_fus_1cyc;
@@ -302,11 +315,23 @@ class SearchEngine {
     int* p;
     int old;
   };
-  /// One reversed connection-index mutation: the packed (sink, source)
-  /// pair key that was charged (`add` true) or retired (`add` false).
-  struct UseUndo {
+  /// One reversed bitplane word write: the occupancy busy-plane word at *p
+  /// held `old` before the transaction's claims touched it. Replayed in
+  /// reverse like IntUndo, so the first-journaled (pre-transaction) value
+  /// is restored last.
+  struct WordUndo {
+    uint64_t* p;
+    uint64_t old;
+  };
+  /// One netted connection-index delta awaiting commit: the packed
+  /// (sink, source) pair key and its net use-count change this transaction.
+  /// finish_mutation computes the cost delta from these read-only (probing
+  /// the shared tables without mutating them); commit applies them for
+  /// real, and rollback simply discards them — a rejected move never
+  /// touches pair_refs_/sink_sources_ at all.
+  struct PendingUse {
     uint64_t key;
-    bool add;
+    int net;
   };
 
   void build_static();
@@ -324,18 +349,63 @@ class SearchEngine {
   void remove_gen_once(int gen);
   /// The packed-key halves of a use charge/retire: maintain the two index
   /// tables and the connections/muxes counts for one charged pair key.
-  /// Shared by the forward path and the journal replay (rollback).
+  /// Non-transactional path only (rebuild); transactions go through the
+  /// pending-use netting instead.
   void add_key(uint64_t key);
   void remove_key(uint64_t key);
+  /// Applies the transaction's netted use deltas to the shared index
+  /// tables (cost_ was already advanced read-only by finish_mutation).
+  void apply_pending_uses();
   /// Records a scalar about to be overwritten into the undo journal.
   void journal_int(int& slot) {
     if (in_txn_) undo_ints_.push_back({&slot, slot});
+  }
+  /// Records a busy-plane word about to be overwritten. Journaled per word
+  /// (not per bit): a claim window or scattered cell steps may touch the
+  /// same word repeatedly, but reverse replay restores the first-journaled
+  /// pre-transaction value last, so duplicates are harmless.
+  void journal_word(uint64_t& w) {
+    if (in_txn_) undo_words_.push_back({&w, w});
+  }
+  /// Journals every word of plane row `r` covered by the linear bit range
+  /// [start, start + len) — the companion of a ranged claim/release.
+  void journal_range_words(BitPlane& plane, int r, int start, int len) {
+    uint64_t* row = plane.row(r);
+    for (int i = start >> 6; i <= (start + len - 1) >> 6; ++i)
+      journal_word(row[i]);
   }
 
   void add_op_claims(NodeId n);
   void remove_op_claims(NodeId n);
   void add_sto_claims(int sid);
   void remove_sto_claims(int sid);
+  /// Read-only twins of add_op_claims/add_sto_claims for the sequential
+  /// (no-footprint) path: they only accumulate which fu/reg refcount rows
+  /// are about to gain claims (fu_stage_/reg_stage_ scratch), writing
+  /// nothing — no occupancy slots, no plane words, no journal entries.
+  /// settle_staged_claims then advances cost_.fus_used/regs_used from the
+  /// scratch against the still-at-removal refcounts, and the actual table
+  /// writes wait until commit (apply_pending_claims). A rejected move
+  /// never re-adds its claims at all, and rollback's journal replay only
+  /// carries the touch-time removals.
+  void stage_op_claims(NodeId n);
+  /// Fuses Binding::normalize_storage with the storage claim staging into
+  /// a single walk over the storage's cells (sequential path only; the
+  /// footprint path normalises and re-adds separately).
+  void normalize_and_stage_sto(int sid);
+  void settle_staged_claims();
+  /// Claims every touched unit's occupancy from its *current* binding
+  /// state, without journaling or cost accounting. Serves two symmetric
+  /// callers: commit (binding holds the accepted mutation) and sequential
+  /// rollback (binding just restored to the saved units — re-claiming
+  /// them is the exact inverse of the unjournaled touch-time removals).
+  void apply_claims_walk();
+  /// Commit-side apply of the staged claims: replays the touched sets
+  /// through the real claim writes (occupancy + refcounts), skipping the
+  /// journal (the transaction is ending) and the cost accounting
+  /// (settle_staged_claims already charged it). No-op unless
+  /// finish_mutation ran in staged mode (claims_pending_).
+  void apply_pending_claims();
   /// Recounts sto_cells_/sto_vias_/sto_xfers_ (and total_cells_) for one
   /// storage from its current binding, journaling the overwritten values.
   void refresh_sto_stats(int sid);
@@ -357,13 +427,31 @@ class SearchEngine {
   // Net per-pair index delta accumulated over the open transaction.
   // Touching a unit retires *all* its uses and finish_mutation re-charges
   // the mostly-unchanged set, so use mutations are first netted here (a
-  // small, cache-hot scratch table) and only nonzero nets reach the shared
-  // tables above — the final counts, and hence the delta, are identical
-  // because per-key refcount arithmetic commutes. Cleared on apply.
+  // small, cache-hot scratch table) and only nonzero nets survive the
+  // drain — the final counts, and hence the delta, are identical because
+  // per-key refcount arithmetic commutes. Cleared on drain.
   FlatMap<uint64_t> txn_delta_;
+  // Per-sink source-count delta scratch for the read-only cost evaluation:
+  // the drain above accumulates, per sink, how many of its distinct pairs
+  // go live or dead this transaction, and the mux delta falls out of
+  // max(0, sources - 1) before/after. Cleared on drain.
+  FlatMap<uint32_t> sink_delta_;
 
   std::vector<int> fu_refs_;
   std::vector<int> reg_refs_;
+
+  // Staged-claims scratch (sequential path only): per-fu/per-reg pending
+  // add-claim counts plus the dedup lists of rows touched this
+  // transaction. Nonzero only between stage_*_claims and
+  // settle_staged_claims inside one finish_mutation call.
+  std::vector<int> fu_stage_;
+  std::vector<int> reg_stage_;
+  std::vector<int> fu_staged_;
+  std::vector<int> reg_staged_;
+  // True while a finished transaction's claim re-adds are staged but not
+  // yet written: commit (or the broken-undo test path) must call
+  // apply_pending_claims before end_txn; rollback just drops the flag.
+  bool claims_pending_ = false;
 
   // Per-storage candidate statistics (see the accessors above).
   std::vector<int> sto_cells_;
@@ -405,7 +493,10 @@ class SearchEngine {
   std::vector<int> removed_gens_;
   // Undo journal (see the class comment): replayed in reverse by rollback.
   std::vector<IntUndo> undo_ints_;
-  std::vector<UseUndo> undo_uses_;
+  std::vector<WordUndo> undo_words_;
+  // Netted index deltas awaiting commit (see PendingUse): applied by
+  // commit, discarded by rollback.
+  std::vector<PendingUse> pending_uses_;
   bool in_txn_ = false;
   CostBreakdown cost_before_;  ///< breakdown at propose() entry
   MoveKind pending_kind_{};

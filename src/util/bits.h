@@ -1,0 +1,67 @@
+// Word-level bit primitives behind the packed bitplane kernels
+// (util/bitplane.h): population count and count-trailing-zeros over
+// uint64_t words, routed through one header so every caller picks up the
+// same portability story.
+//
+// Three implementations, chosen at compile time:
+//   * GCC/Clang: __builtin_popcountll / __builtin_ctzll (lower to POPCNT /
+//     TZCNT where the target has them, and to good library sequences where
+//     it does not — no -march flags required for correctness);
+//   * MSVC: the <intrin.h> equivalents;
+//   * portable: branch-free software fallbacks, also selected by
+//     SALSA_BITPLANE_SCALAR so the scalar-reference CI build exercises the
+//     fallback path end to end (see the scalar-fallback job in ci.yml).
+#pragma once
+
+#include <cstdint>
+
+#if !defined(SALSA_BITPLANE_SCALAR) && defined(_MSC_VER)
+#include <intrin.h>
+#endif
+
+namespace salsa {
+
+#if defined(SALSA_BITPLANE_SCALAR)
+
+/// Software popcount (Hamming weight by parallel summing). The reference
+/// path: exact, branch-free, no intrinsics.
+inline int popcount64(uint64_t w) {
+  w = w - ((w >> 1) & 0x5555555555555555ull);
+  w = (w & 0x3333333333333333ull) + ((w >> 2) & 0x3333333333333333ull);
+  w = (w + (w >> 4)) & 0x0f0f0f0f0f0f0f0full;
+  return static_cast<int>((w * 0x0101010101010101ull) >> 56);
+}
+
+/// Software count-trailing-zeros. Undefined for w == 0 (as the intrinsics
+/// are); callers guard on a nonzero word first.
+inline int ctz64(uint64_t w) {
+  int n = 0;
+  if ((w & 0xffffffffull) == 0) { n += 32; w >>= 32; }
+  if ((w & 0xffffull) == 0) { n += 16; w >>= 16; }
+  if ((w & 0xffull) == 0) { n += 8; w >>= 8; }
+  if ((w & 0xfull) == 0) { n += 4; w >>= 4; }
+  if ((w & 0x3ull) == 0) { n += 2; w >>= 2; }
+  return n + (static_cast<int>(w & 1ull) ^ 1);
+}
+
+#elif defined(_MSC_VER)
+
+inline int popcount64(uint64_t w) {
+  return static_cast<int>(__popcnt64(w));
+}
+
+inline int ctz64(uint64_t w) {
+  unsigned long idx;
+  _BitScanForward64(&idx, w);
+  return static_cast<int>(idx);
+}
+
+#else
+
+inline int popcount64(uint64_t w) { return __builtin_popcountll(w); }
+
+inline int ctz64(uint64_t w) { return __builtin_ctzll(w); }
+
+#endif
+
+}  // namespace salsa

@@ -174,10 +174,12 @@ class FlatMap {
   template <typename Fn>
   void drain(Fn&& fn) {
     if (size_ != 0) {
+      size_t remaining = size_;
       for (Slot& s : slots_) {
         if (s.count == 0) continue;
         fn(s.key, s.count);
         s.count = 0;
+        if (--remaining == 0) break;  // tail already empty, skip the scan
       }
       size_ = 0;
     }

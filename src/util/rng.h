@@ -102,6 +102,13 @@ class Rng {
       SALSA_DCHECK(w >= 0);
       total += w;
     }
+    return weighted(weights, total);
+  }
+
+  /// weighted() with the left-to-right total already in hand — for hot
+  /// callers drawing repeatedly from a fixed weight vector. Passing any
+  /// value other than that exact sum changes the draw distribution.
+  int weighted(std::span<const double> weights, double total) {
     SALSA_CHECK_MSG(total > 0, "weighted() needs a positive total weight");
     double r = uniform01() * total;
     for (size_t i = 0; i < weights.size(); ++i) {

@@ -36,6 +36,16 @@
 //                  (flat_map_hooks), orphaning displaced keys — the rebuild
 //                  cross-check or FlatMap's own missing-key CHECK must
 //                  report a VIOLATION
+//   --bitplane     also audit the packed occupancy bitplanes: drive a
+//                  weighted random search and run the packed-vs-scalar
+//                  differential (SearchEngine::occupancy_planes_match)
+//                  after every commit
+//   --bitplane-commits N  commits per bitplane audit run (default: 2000)
+//   --break-bitplane-word N  mutation test: the Nth ranged busy-plane word
+//                  update on the engine's occupancy planes degrades to a
+//                  per-bit loop that stops one bit short (bitplane_hooks) —
+//                  once the broken claim commits, the differential check
+//                  must report a VIOLATION
 //   --dump         print each target's start binding JSON and exit
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +59,7 @@
 #include "core/initial.h"
 #include "core/moves.h"
 #include "core/search_engine.h"
+#include "util/bitplane.h"
 #include "util/flat_map.h"
 #include "util/rng.h"
 
@@ -119,6 +130,49 @@ IndexAuditResult run_index_audit(const AllocProblem& prob, uint64_t seed,
   return res;
 }
 
+// --bitplane: same search shape as --index, but the per-commit cross-check
+// is the packed-vs-scalar occupancy differential
+// (SearchEngine::occupancy_planes_match) — O(resources x steps) word-and-bit
+// compares instead of a full O(design) rebuild. The --break-bitplane-word
+// mutation degrades one ranged busy-plane word update to a per-bit loop
+// that stops one bit short; a rolled-back victim transaction is restored by
+// the engine's word journal (so nothing is provable there), but once the
+// broken claim commits, the stale bit is a grid/plane divergence this check
+// must report.
+IndexAuditResult run_bitplane_audit(const AllocProblem& prob, uint64_t seed,
+                                    long commits_target) {
+  IndexAuditResult res;
+  try {
+    Binding start = initial_allocation(
+        prob, InitialOptions{.seed = derive_seed(seed, 0)});
+    SearchEngine eng(start);
+    Rng rng(derive_seed(seed, 1));
+    const MoveConfig moves = MoveConfig::salsa_default();
+    const long cap = commits_target * 50;
+    while (res.commits < commits_target && res.proposals < cap) {
+      ++res.proposals;
+      if (!eng.propose(moves.pick(rng), rng)) continue;
+      if (rng.chance(0.3)) {
+        eng.rollback();
+        continue;
+      }
+      eng.commit();
+      ++res.commits;
+      std::string why;
+      if (!eng.occupancy_planes_match(&why)) {
+        res.ok = false;
+        res.failure = "bitplanes diverged from the grids after commit " +
+                      std::to_string(res.commits) + ": " + why;
+        break;
+      }
+    }
+  } catch (const Error& e) {
+    res.ok = false;
+    res.failure = std::string("engine check failed: ") + e.what();
+  }
+  return res;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,6 +183,9 @@ int main(int argc, char** argv) {
   bool index_audit = false;
   long index_commits = 2000;
   long break_flat_erase = 0;
+  bool bitplane_audit = false;
+  long bitplane_commits = 2000;
+  long break_bitplane_word = 0;
   int restarts = 6;
   std::vector<int> threads{1, 2, 8};
 
@@ -181,6 +238,15 @@ int main(int argc, char** argv) {
       // and watch the rebuild cross-check catch the orphaned keys.
       index_audit = true;
       break_flat_erase = std::atol(next().c_str());
+    } else if (arg == "--bitplane") {
+      bitplane_audit = true;
+    } else if (arg == "--bitplane-commits") {
+      bitplane_commits = std::atol(next().c_str());
+    } else if (arg == "--break-bitplane-word") {
+      // Mutation testing: cripple the Nth ranged busy-plane word update and
+      // watch the packed-vs-scalar differential catch the stale bit.
+      bitplane_audit = true;
+      break_bitplane_word = std::atol(next().c_str());
     } else if (arg == "--dump") {
       dump = true;
     } else {
@@ -273,6 +339,39 @@ int main(int argc, char** argv) {
                      "  --break-flat-erase %ld never fired (only %ld "
                      "compacting erases)\n",
                      break_flat_erase, flat_map_hooks::erase_count);
+      }
+    }
+
+    if (bitplane_audit) {
+      if (break_bitplane_word > 0) {
+        // Like --break-flat-erase: the word-update counter is process-wide
+        // (and advances only while armed), so arm relative to its current
+        // value in case an earlier target already consumed the mutation.
+        bitplane_hooks::break_word_update_after =
+            bitplane_hooks::word_update_count + break_bitplane_word;
+      }
+      const IndexAuditResult br =
+          run_bitplane_audit(t.prob(), fuzz.seed, bitplane_commits);
+      std::printf(
+          "plane %-6s seed %llu: %ld commits differentially checked in %ld "
+          "proposals — %s\n",
+          name.c_str(), static_cast<unsigned long long>(fuzz.seed),
+          br.commits, br.proposals, br.ok ? "ok" : "VIOLATION");
+      if (!br.ok) {
+        failed = true;
+        std::fprintf(stderr, "  %s\n", br.failure.c_str());
+      }
+      if (break_bitplane_word > 0 &&
+          bitplane_hooks::break_word_update_after != 0) {
+        // The armed mutation never fired (fewer ranged word updates than
+        // N): the run proved nothing, which a CI step expecting a VIOLATION
+        // must not mistake for the wall standing.
+        failed = true;
+        bitplane_hooks::break_word_update_after = 0;
+        std::fprintf(stderr,
+                     "  --break-bitplane-word %ld never fired (only %ld "
+                     "ranged word updates)\n",
+                     break_bitplane_word, bitplane_hooks::word_update_count);
       }
     }
 
