@@ -6,7 +6,10 @@
 // and a datapath simulation step.
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -16,6 +19,7 @@
 #include "core/initial.h"
 #include "core/search_engine.h"
 #include "datapath/simulator.h"
+#include "frontend/generate.h"
 #include "sched/force_directed.h"
 #include "util/bitplane.h"
 #include "util/flat_map.h"
@@ -322,6 +326,101 @@ BENCHMARK(BM_SpeculativeMovesDct)
     ->UseRealTime()
     ->Iterations(1);
 
+// ---- large-design scaling sweep -------------------------------------------
+// Sequential engine-move throughput vs design size, the wall behind
+// BENCH_scaling.json. Arg 0 selects the design source (0 = the EWF
+// reference point every ratio is normalized against, 1 = generated filter
+// cascade, 2 = generated layered DAG), arg 1 the target operator count.
+// Fixed iteration count so every run decides the same number of proposals;
+// sizes are registered in ascending order so the process-wide peak-RSS
+// counter bounds the memory of each size's run.
+
+const char* scaling_family_name(int fam) {
+  switch (fam) {
+    case 0:
+      return "ewf";
+    case 1:
+      return "cascade";
+    case 2:
+      return "dag";
+    default:
+      return "?";
+  }
+}
+
+const GeneratedDesign& scaling_design(int fam, int target) {
+  static std::map<std::pair<int, int>, std::unique_ptr<GeneratedDesign>> cache;
+  std::unique_ptr<GeneratedDesign>& slot = cache[{fam, target}];
+  if (!slot) {
+    GenParams p;
+    p.family = fam == 1 ? GenFamily::kFilterCascade : GenFamily::kLayeredDag;
+    p.target_ops = target;
+    p.seed = 1;
+    slot = std::make_unique<GeneratedDesign>(generate_design(p));
+  }
+  return *slot;
+}
+
+double peak_rss_mb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;  // Linux: KB
+}
+
+void BM_ScalingMoves(benchmark::State& state) {
+  const int fam = static_cast<int>(state.range(0));
+  const int target = static_cast<int>(state.range(1));
+  const AllocProblem* prob;
+  int ops, length, regs;
+  if (fam == 0) {
+    ProblemBundle& bundle = ewf17();
+    prob = bundle.problem.get();
+    ops = static_cast<int>(bundle.graph->operations().size());
+    length = bundle.schedule->length();
+    regs = prob->num_regs();
+  } else {
+    const GeneratedDesign& d = scaling_design(fam, target);
+    prob = d.problem.get();
+    ops = d.num_ops;
+    length = d.schedule->length();
+    regs = prob->num_regs();
+  }
+  Binding b = initial_allocation(*prob, InitialOptions{.seed = 5});
+  SearchEngine eng(b);
+  Rng rng(1);
+  const MoveConfig moves = MoveConfig::salsa_default();
+  long proposed = 0;
+  bool keep = false;
+  for (auto _ : state) {
+    if (eng.propose(moves.pick(rng), rng)) {
+      if (keep)
+        eng.commit();
+      else
+        eng.rollback();
+      keep = !keep;
+      benchmark::DoNotOptimize(eng.total());
+    }
+    ++proposed;
+  }
+  state.counters["moves_per_sec"] = benchmark::Counter(
+      static_cast<double>(proposed), benchmark::Counter::kIsRate);
+  state.counters["design_ops"] = ops;
+  state.counters["sched_len"] = length;
+  state.counters["regs"] = regs;
+  state.counters["family"] = fam;
+  state.counters["peak_rss_mb"] = peak_rss_mb();
+}
+BENCHMARK(BM_ScalingMoves)
+    ->Args({0, 0})  // EWF: the per-move reference point
+    ->Args({1, 1000})
+    ->Args({2, 1000})
+    ->Args({1, 5000})
+    ->Args({1, 10000})
+    ->Args({2, 10000})
+    ->Args({1, 50000})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(50000);
+
 void BM_ForceDirectedSchedule(benchmark::State& state) {
   Cdfg g = make_ewf();
   HwSpec hw;
@@ -341,19 +440,45 @@ void BM_SimulateIteration(benchmark::State& state) {
 BENCHMARK(BM_SimulateIteration);
 
 // Display reporter that additionally captures every run carrying a
-// moves_per_sec counter into throughput rows for the machine-readable
-// record written by main(). Counters reach the reporter already finalized
-// (rates divided by elapsed time). Because an explicit display reporter is
-// installed, --benchmark_format is ignored — use --benchmark_out=<file>
-// for a full google-benchmark JSON record.
+// moves_per_sec counter into throughput rows — or, for runs that also carry
+// a design_ops counter, into scaling rows — for the machine-readable
+// records written by main(). Counters reach the reporter already finalized
+// (rates divided by elapsed time). Aggregate rows (mean/median/stddev/cv of
+// repeated runs) are skipped: their counters are statistics of statistics
+// (a stddev row reports the stddev of the threads counter as "threads: 0"),
+// which polluted the committed baseline until PR 8. Because an explicit
+// display reporter is installed, --benchmark_format is ignored — use
+// --benchmark_out=<file> for a full google-benchmark JSON record.
 class ThroughputCapture : public benchmark::ConsoleReporter {
  public:
   std::vector<benchharness::ThroughputRow> rows;
+  std::vector<benchharness::ScalingRow> scaling_rows;
 
   void ReportRuns(const std::vector<Run>& reports) override {
     for (const Run& run : reports) {
+      if (run.run_type == Run::RT_Aggregate) continue;
       const auto it = run.counters.find("moves_per_sec");
       if (it == run.counters.end()) continue;
+      const auto ops = run.counters.find("design_ops");
+      if (ops != run.counters.end()) {
+        benchharness::ScalingRow row;
+        row.benchmark = run.benchmark_name();
+        row.ops = static_cast<int>(ops->second.value);
+        row.moves_per_sec = it->second.value;
+        if (const auto f = run.counters.find("family");
+            f != run.counters.end())
+          row.family = scaling_family_name(static_cast<int>(f->second.value));
+        if (const auto l = run.counters.find("sched_len");
+            l != run.counters.end())
+          row.length = static_cast<int>(l->second.value);
+        if (const auto r = run.counters.find("regs"); r != run.counters.end())
+          row.regs = static_cast<int>(r->second.value);
+        if (const auto m = run.counters.find("peak_rss_mb");
+            m != run.counters.end())
+          row.peak_rss_mb = m->second.value;
+        scaling_rows.push_back(std::move(row));
+        continue;
+      }
       benchharness::ThroughputRow row;
       row.benchmark = run.benchmark_name();
       row.moves_per_sec = it->second.value;
@@ -369,18 +494,28 @@ class ThroughputCapture : public benchmark::ConsoleReporter {
 
 }  // namespace
 
-// BENCHMARK_MAIN plus the throughput record: every run with a
+// BENCHMARK_MAIN plus the machine-readable records: every run with a
 // moves_per_sec counter lands in BENCH_throughput.json (override the path
-// with SALSA_BENCH_JSON), stamped with the tree's `git describe`.
+// with SALSA_BENCH_JSON), and every BM_ScalingMoves run in
+// BENCH_scaling.json (SALSA_SCALING_JSON), both stamped with the tree's
+// `git describe`. The scaling record is written only when the filter
+// actually ran scaling benchmarks, so a throughput-only run cannot clobber
+// the committed wall with an empty array.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ThroughputCapture reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  const std::string git = benchharness::git_describe();
   const char* path = std::getenv("SALSA_BENCH_JSON");
   benchharness::write_throughput_json(
-      path != nullptr ? path : "BENCH_throughput.json", reporter.rows,
-      benchharness::git_describe());
+      path != nullptr ? path : "BENCH_throughput.json", reporter.rows, git);
+  if (!reporter.scaling_rows.empty()) {
+    const char* spath = std::getenv("SALSA_SCALING_JSON");
+    benchharness::write_scaling_json(
+        spath != nullptr ? spath : "BENCH_scaling.json",
+        reporter.scaling_rows, git);
+  }
   return 0;
 }

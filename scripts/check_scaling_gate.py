@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scaling-regression gate for CI (stdlib only, no third-party deps).
+
+Compares a fresh BM_ScalingMoves run against the committed scaling wall
+(BENCH_scaling.json) and fails on a super-linear move-loop regression.
+
+Shared CI runners make *absolute* timings meaningless (the release-bench
+job says as much), so the gate judges a hardware-independent shape instead:
+the ratio of per-move cost on a mid-size generated design to per-move cost
+on the EWF-scale design, measured within the same run on the same machine.
+A flat move loop keeps that ratio constant as code evolves; an O(n) scan
+creeping back into a proposer blows it up by orders of magnitude (the bug
+this PR removed was 25-50x). The gate fails when the fresh ratio exceeds
+2x the committed wall's ratio for the same pair of rows.
+
+Usage: check_scaling_gate.py <fresh.json> <committed BENCH_scaling.json>
+Both files are the JSON array bench_runtime emits via SALSA_SCALING_JSON
+(rows of {benchmark, family, ops, ns_per_move, ...}).
+"""
+
+import json
+import sys
+
+
+def per_move(rows, family, min_ops):
+    """ns/move of the first row matching family with ops >= min_ops."""
+    for r in rows:
+        if r["family"] == family and r["ops"] >= min_ops:
+            return float(r["ns_per_move"]), r["ops"]
+    raise SystemExit(
+        f"no '{family}' row with >= {min_ops} ops in the scaling record"
+    )
+
+
+def ratio(rows):
+    small, small_ops = per_move(rows, "ewf", 0)
+    big, big_ops = per_move(rows, "cascade", 5000)
+    return big / small, small, small_ops, big, big_ops
+
+
+def main():
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        wall = json.load(f)
+
+    fresh_ratio, fs, fso, fb, fbo = ratio(fresh)
+    wall_ratio, ws, wso, wb, wbo = ratio(wall)
+
+    print(
+        f"fresh: ewf({fso} ops) {fs:.0f} ns/move, "
+        f"cascade({fbo} ops) {fb:.0f} ns/move -> ratio {fresh_ratio:.2f}"
+    )
+    print(
+        f"wall:  ewf({wso} ops) {ws:.0f} ns/move, "
+        f"cascade({wbo} ops) {wb:.0f} ns/move -> ratio {wall_ratio:.2f}"
+    )
+
+    limit = 2.0 * wall_ratio
+    if fresh_ratio > limit:
+        print(
+            f"FAIL: per-move scaling ratio {fresh_ratio:.2f} exceeds 2x the "
+            f"committed wall ({wall_ratio:.2f}); a super-linear cost crept "
+            "back into the move loop"
+        )
+        raise SystemExit(1)
+    print(f"ok: ratio {fresh_ratio:.2f} within 2x of the wall ({limit:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,9 +13,26 @@ void InvariantAuditor::violation(const std::string& what) const {
   fail(os.str());
 }
 
+void InvariantAuditor::resolve_every(const SearchEngine& eng) {
+  if (effective_every_ != 0) return;
+  effective_every_ = opts_.every < 1 ? 1 : opts_.every;
+  const long ops =
+      static_cast<long>(eng.prob().cdfg().operations().size());
+  if (effective_every_ == 1 && opts_.sample_threshold_ops > 0 &&
+      ops > opts_.sample_threshold_ops) {
+    // ops/64: each audited transaction's O(design) battery is spread over
+    // the ~ops/64 transactions between audits, so the amortized audit cost
+    // per transaction stays a constant multiple of the move itself no
+    // matter how large the design grows.
+    effective_every_ = ops / 64;
+    sampling_ = true;
+  }
+}
+
 void InvariantAuditor::on_txn_begin(const SearchEngine& eng) {
+  resolve_every(eng);
   ++stats_.txns;
-  auditing_ = opts_.every <= 1 || stats_.txns % opts_.every == 1;
+  auditing_ = effective_every_ <= 1 || stats_.txns % effective_every_ == 1;
   if (!auditing_) return;
   ++stats_.audited;
   if (opts_.check_digest) digest_before_ = digest_binding(eng.binding());
@@ -33,10 +50,15 @@ void InvariantAuditor::on_txn_abort(const SearchEngine& eng) {
 
 void InvariantAuditor::on_commit(const SearchEngine& eng, double delta) {
   ++stats_.commits;
-  if (opts_.check_bitplanes) {
-    // Cheap enough to run on every commit, not just audited ones: a busy
-    // plane that drifts from the grids between audited transactions would
-    // otherwise be re-synchronized by the next rebuild-based check.
+  if (opts_.check_bitplanes && (!sampling_ || auditing_)) {
+    // Below the sampling threshold this runs on every commit, not just
+    // audited ones: it is far cheaper than the O(design) battery and a
+    // plane that drifted from the grids between audited transactions would
+    // otherwise be re-synchronized by the next rebuild-based check. On
+    // sampled large designs even these O(resources x steps) word compares
+    // would dominate the move loop, so they ride the audit sample — plane
+    // drift is persistent state and still caught at the next audited
+    // commit.
     std::string why;
     if (!eng.occupancy_planes_match(&why))
       violation("occupancy bitplanes diverged from the scalar grids: " + why);
@@ -98,9 +120,10 @@ void InvariantAuditor::on_rollback(const SearchEngine& eng) {
 }
 
 void InvariantAuditor::on_speculate(const SearchEngine& worker, double delta) {
+  resolve_every(worker);
   ++stats_.speculations;
   const bool audit =
-      opts_.every <= 1 || stats_.speculations % opts_.every == 1;
+      effective_every_ <= 1 || stats_.speculations % effective_every_ == 1;
   if (!audit || !opts_.check_cost) return;
   // The worker's transaction is still open: its incrementally maintained
   // breakdown must equal a from-scratch evaluation of the speculatively

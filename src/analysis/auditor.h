@@ -39,15 +39,32 @@ struct AuditorOptions {
   /// every transaction turns an O(move footprint) search step into an
   /// O(design) one; raise this to spot-check long searches.
   long every = 1;
+  /// Large-design auto-sampling: when `every` is 1 (audit everything) and
+  /// the design has more than this many operations, the auditor instead
+  /// audits every ops/64-th transaction — the O(design) battery amortizes
+  /// to O(64) per transaction, keeping audited searches usable on the
+  /// generated 10k+-op scaling corpus. An explicit `every` > 1 wins over
+  /// the auto rate; 0 disables sampling entirely (exact mode — what
+  /// SALSA_CHECK=full / CheckMode::kAuditFull selects). Sampling is by
+  /// deterministic transaction index, never by RNG, so an audited run's
+  /// trajectory is byte-identical to an unaudited one. Corruption landing
+  /// between audited transactions is still caught: drift in the persistent
+  /// structures (index refcounts, occupancy, cost counters) survives until
+  /// the next audited commit's rebuild cross-check fires on it (the
+  /// mutation test in tests/test_audit_scaling.cpp proves this).
+  long sample_threshold_ops = 2048;
   bool verify_binding = true;  ///< check (a)
   bool check_index = true;     ///< check (b)
   bool check_cost = true;      ///< check (c)
   bool check_digest = true;    ///< check (d)
-  /// Check (e): after every commit (not throttled by `every` — it is a few
-  /// word compares, far cheaper than the O(design) checks), the packed busy
-  /// bitplanes must agree bit-for-bit with the scalar identity grids
+  /// Check (e): after a commit, the packed busy bitplanes must agree
+  /// bit-for-bit with the scalar identity grids
   /// (Occupancy::planes_match_grids) — the packed-vs-scalar differential
   /// that pins the word-masked kernels to the reference representation.
+  /// Cheaper than the O(design) battery (word compares, no rebuild) but
+  /// still O(resources x steps), so it follows the same sampling: every
+  /// commit below the size threshold, audited commits only once
+  /// large-design sampling engages.
   bool check_bitplanes = true;
 };
 
@@ -67,6 +84,15 @@ class InvariantAuditor final : public SearchObserver {
 
   const AuditorStats& stats() const { return stats_; }
 
+  /// Effective audit period after the first transaction resolved the
+  /// large-design sampling rate (0 until then); > 1 means sampling or an
+  /// explicit `every` throttle is active.
+  long effective_every() const { return effective_every_; }
+
+  /// True once large-design auto-sampling engaged (never for an explicit
+  /// `every` throttle or a design at/below the threshold).
+  bool sampling() const { return sampling_; }
+
   // SearchObserver:
   void on_txn_begin(const SearchEngine& eng) override;
   void on_txn_abort(const SearchEngine& eng) override;
@@ -84,8 +110,16 @@ class InvariantAuditor final : public SearchObserver {
  private:
   [[noreturn]] void violation(const std::string& what) const;
 
+  /// Resolves `effective_every_` on first contact with an engine: an
+  /// explicit opts_.every > 1 wins; otherwise designs above
+  /// sample_threshold_ops audit every ops/64-th transaction (see
+  /// AuditorOptions). Idempotent after the first call.
+  void resolve_every(const SearchEngine& eng);
+
   AuditorOptions opts_;
   AuditorStats stats_;
+  long effective_every_ = 0;     ///< resolved audit period; 0 = not yet
+  bool sampling_ = false;        ///< large-design auto-sampling engaged
   bool auditing_ = false;        ///< current transaction is audited
   uint64_t digest_before_ = 0;   ///< binding digest at txn begin
   CostBreakdown cost_before_{};  ///< incremental breakdown at txn begin

@@ -180,4 +180,29 @@ void write_throughput_json(const std::string& path,
   SALSA_CHECK_MSG(os.good(), "failed writing throughput record " + path);
 }
 
+void write_scaling_json(const std::string& path,
+                        const std::vector<ScalingRow>& rows,
+                        const std::string& git_version) {
+  std::ofstream os(path);
+  SALSA_CHECK_MSG(os.good(), "cannot open scaling record " + path);
+  os << "[\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ScalingRow& r = rows[i];
+    char rate[32], ns[32], rss[32];
+    std::snprintf(rate, sizeof rate, "%.10g", r.moves_per_sec);
+    std::snprintf(ns, sizeof ns, "%.10g",
+                  r.moves_per_sec > 0 ? 1e9 / r.moves_per_sec : 0.0);
+    std::snprintf(rss, sizeof rss, "%.10g", r.peak_rss_mb);
+    os << "  {\"benchmark\": \"" << r.benchmark << "\", \"family\": \""
+       << r.family << "\", \"ops\": " << r.ops << ", \"length\": " << r.length
+       << ", \"regs\": " << r.regs << ", \"moves_per_sec\": " << rate
+       << ", \"ns_per_move\": " << ns << ", \"peak_rss_mb\": " << rss
+       << ", \"git\": \"" << git_version << "\"}"
+       << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  os.close();
+  SALSA_CHECK_MSG(os.good(), "failed writing scaling record " + path);
+}
+
 }  // namespace salsa::benchharness

@@ -94,6 +94,22 @@ struct ThroughputRow {
   int k = 1;
 };
 
+/// One row of the large-design scaling record bench_runtime emits
+/// (BENCH_scaling.json): sequential engine-move throughput and memory
+/// high-water mark at one design size. `peak_rss_mb` is the process-wide
+/// resident high-water (getrusage ru_maxrss) sampled after the run — the
+/// sweep executes sizes in ascending order, so each row's value bounds the
+/// memory needed up to and including its design.
+struct ScalingRow {
+  std::string benchmark;
+  std::string family;  ///< generator family ("cascade", "dag", ...) or "ewf"
+  int ops = 0;         ///< operator count of the measured design
+  int length = 0;      ///< schedule length in control steps
+  int regs = 0;        ///< register budget
+  double moves_per_sec = 0;
+  double peak_rss_mb = 0;
+};
+
 /// `git describe --always --dirty --tags` of the tree the benchmark runs
 /// in, or `fallback` when git (or a repository) is unavailable — bench
 /// binaries run from arbitrary build directories.
@@ -105,5 +121,13 @@ std::string git_describe(std::string fallback = "unknown");
 void write_throughput_json(const std::string& path,
                            const std::vector<ThroughputRow>& rows,
                            const std::string& git_version);
+
+/// Writes the scaling rows to `path` as a JSON array of {benchmark, family,
+/// ops, length, regs, moves_per_sec, ns_per_move, peak_rss_mb, git}
+/// objects (ns_per_move is derived from moves_per_sec at write time).
+/// Overwrites; fails hard on I/O errors like write_throughput_json.
+void write_scaling_json(const std::string& path,
+                        const std::vector<ScalingRow>& rows,
+                        const std::string& git_version);
 
 }  // namespace salsa::benchharness

@@ -21,8 +21,8 @@ CheckMode default_check_mode() {
     const std::string v(env);
     if (v == "0" || v == "off") return CheckMode::kOff;
     if (v == "final") return CheckMode::kFinal;
-    if (v == "1" || v == "on" || v == "audit" || v == "full")
-      return CheckMode::kAudit;
+    if (v == "1" || v == "on" || v == "audit") return CheckMode::kAudit;
+    if (v == "full") return CheckMode::kAuditFull;
     fail("SALSA_CHECK must be 0/off, final, or 1/on/audit/full; got '" + v +
          "'");
   }();
@@ -73,8 +73,13 @@ RestartOutcome run_restart(const AllocProblem& prob,
   // auditor (restarts may run on different threads; the auditor is
   // engine-local state, so each restart owns one).
   std::optional<InvariantAuditor> auditor;
-  if (opts.checked == CheckMode::kAudit) {
-    auditor.emplace(AuditorOptions{.every = opts.audit_every});
+  if (opts.checked == CheckMode::kAudit ||
+      opts.checked == CheckMode::kAuditFull) {
+    AuditorOptions aopts{.every = opts.audit_every};
+    // kAuditFull: exact mode — defeat the large-design sampling so every
+    // transaction pays the full battery regardless of size.
+    if (opts.checked == CheckMode::kAuditFull) aopts.sample_threshold_ops = 0;
+    auditor.emplace(aopts);
     params.observer = &*auditor;
   }
 

@@ -21,17 +21,28 @@ namespace salsa {
 ///            per call they never look at);
 ///   kFinal — check_legal() on the winning binding only. The default, and
 ///            exactly the unconditional check previous versions hardwired;
-///   kAudit — every move transaction of every restart runs under the full
-///            invariant auditor (binding verification, connection-index
-///            rebuild cross-check, from-scratch cost comparison, undo
-///            digests), plus the final check. Orders of magnitude slower;
-///            meant for tests, CI and bug hunts, not production runs.
-enum class CheckMode : uint8_t { kOff, kFinal, kAudit };
+///   kAudit — move transactions of every restart run under the invariant
+///            auditor (binding verification, connection-index rebuild
+///            cross-check, from-scratch cost comparison, undo digests),
+///            plus the final check. On designs above the auditor's size
+///            threshold (AuditorOptions::sample_threshold_ops) the
+///            O(design) battery is sampled — every ops/64-th transaction —
+///            so audited searches stay usable at 10k+ ops; small designs
+///            still audit every transaction. Orders of magnitude slower
+///            than unchecked either way; meant for tests, CI and bug
+///            hunts, not production runs;
+///   kAuditFull — kAudit with sampling disabled: every transaction of any
+///            design pays the full battery. O(design) per move — minutes
+///            per thousand moves at 10k ops — but exact, for pinning down
+///            which transaction first corrupts state.
+enum class CheckMode : uint8_t { kOff, kFinal, kAudit, kAuditFull };
 
 /// Default check mode: the SALSA_CHECK environment variable when set
-/// ("0"/"off" → kOff, "final" → kFinal, "1"/"on"/"audit"/"full" → kAudit),
-/// otherwise kFinal. `SALSA_CHECK=1 ctest` therefore replays every
-/// allocation in the test suite under the full auditor without a rebuild.
+/// ("0"/"off" → kOff, "final" → kFinal, "1"/"on"/"audit" → kAudit,
+/// "full" → kAuditFull), otherwise kFinal. `SALSA_CHECK=1 ctest` therefore
+/// replays every allocation in the test suite under the (size-sampled)
+/// auditor without a rebuild; SALSA_CHECK=full forces the exact
+/// every-transaction audit regardless of design size.
 CheckMode default_check_mode();
 
 /// Default restart patience: the SALSA_RESTART_PATIENCE environment

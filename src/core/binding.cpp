@@ -89,6 +89,11 @@ bool Occupancy::planes_match_grids(std::string* why) const {
       if (bit != (reg_sto[r][t] != -1))
         return mismatch("reg_busy", static_cast<int>(r), static_cast<int>(t),
                         bit, reg_sto[r][t]);
+      const bool tbit =
+          reg_busy_t.test(static_cast<int>(t), static_cast<int>(r));
+      if (tbit != (reg_sto[r][t] != -1))
+        return mismatch("reg_busy_t", static_cast<int>(r),
+                        static_cast<int>(t), tbit, reg_sto[r][t]);
     }
   return true;
 }

@@ -92,6 +92,14 @@ struct Occupancy {
   /// reg_busy.test(r, t) iff reg_sto[r][t] != -1.
   BitPlane fu_busy;
   BitPlane reg_busy;
+  /// Transpose of reg_busy: rows = control steps, bits = registers, so
+  /// "which registers are free at step t" is one popcount/select over
+  /// ceil(R/64) words instead of an O(R) per-register probe loop — the
+  /// register budget grows with design size (R is a few thousand at 10k+
+  /// ops), so the per-step orientation is what keeps the free-register
+  /// moves flat. Maintained in lockstep with reg_busy by claim_reg /
+  /// release_reg below.
+  BitPlane reg_busy_t;
 
   /// Shapes both representations to all-free.
   void init(int num_fus, int num_regs, int steps) {
@@ -101,6 +109,7 @@ struct Occupancy {
                    std::vector<int>(static_cast<size_t>(steps), -1));
     fu_busy.resize(num_fus, steps);
     reg_busy.resize(num_regs, steps);
+    reg_busy_t.resize(steps, num_regs);
   }
 
   bool fu_free(FuId f, int step) const { return !fu_busy.test(f, step); }
@@ -137,10 +146,12 @@ struct Occupancy {
   void claim_reg(RegId r, int step, int sid) {
     reg_slot(r, step) = sid;
     reg_busy.set(r, step);
+    reg_busy_t.set(step, r);
   }
   void release_reg(RegId r, int step) {
     reg_slot(r, step) = -1;
     reg_busy.clear(r, step);
+    reg_busy_t.clear(step, r);
   }
 
   /// True iff the packed busy planes agree bit-for-bit with the scalar

@@ -126,15 +126,16 @@ bool move_fu_exchange(SearchEngine& eng, Rng& rng) {
   const Occupancy& occ = eng.occupancy();
   const NodeId a = ops[static_cast<size_t>(rng.uniform(static_cast<int>(ops.size())))];
   const FuId fa0 = b.op(a).fu;
-  static thread_local std::vector<NodeId> cands;
-  cands.clear();
-  // Same-class ops in operations() order, pre-grouped by the engine — the
-  // candidate list (and hence the draw below) matches a full scan's.
-  for (NodeId o : eng.ops_of_class(eng.op_class(a)))
-    if (o != a && b.op(o).fu != fa0) cands.push_back(o);
-  if (cands.empty()) return false;
-  const NodeId c =
-      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  // Partners are the same-class ops on any other FU. Everything on fa0 —
+  // `a` included — is excluded, so the count falls out of the engine's
+  // per-FU op index, and the rank select returns the op a filtering scan
+  // of the class list would have listed at that index: same candidate
+  // set, same order, same single draw, no O(class) walk.
+  const FuClass cls = eng.op_class(a);
+  const int ncands =
+      static_cast<int>(eng.ops_of_class(cls).size()) - eng.ops_on_fu(fa0);
+  if (ncands == 0) return false;
+  const NodeId c = eng.class_op_excluding_fu(cls, fa0, rng.uniform(ncands));
   const FuId fa = b.op(a).fu, fc = b.op(c).fu;
   auto window_ok = [&](NodeId n, FuId target, NodeId other) {
     const int oc = eng.op_occupancy(n);
@@ -193,46 +194,54 @@ bool move_operand_reverse(SearchEngine& eng, Rng& rng) {
 bool move_bind_pass(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
-  // Bindable candidates are the direct inter-register transfers; the
-  // engine's per-storage transfer counts let the scan skip the (typical)
-  // storages that have none, leaving the candidate order unchanged.
-  static thread_local std::vector<CellRef> cands;
-  cands.clear();
-  for (int sid = 0; sid < lt.num_storages(); ++sid) {
-    if (eng.num_bare_transfers(sid) == 0) continue;
-    const StorageBinding& sb = b.sto(sid);
-    for (int seg = 1; seg < static_cast<int>(sb.cells.size()); ++seg) {
-      const auto& cells = sb.cells[static_cast<size_t>(seg)];
-      for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos) {
-        const Cell& c = cells[static_cast<size_t>(pos)];
-        if (c.via != kInvalidId) continue;
-        const Cell& parent = sb.cells[static_cast<size_t>(seg) - 1]
-                                     [static_cast<size_t>(c.parent)];
-        if (parent.reg != c.reg) cands.push_back({sid, seg, pos});
+  // Bindable candidates are the direct inter-register transfers. The
+  // engine's Fenwick over the per-storage transfer counts maps a uniform
+  // draw to the owning storage; only that storage is walked for the
+  // rank-within, in the same (seg, pos) order the global scan used — the
+  // candidate ranking (and the single draw) is unchanged.
+  const int total = eng.total_bare_transfers();
+  if (total == 0) return false;
+  int rem = 0;
+  const int sid = eng.xfer_storage_at(rng.uniform(total), &rem);
+  const StorageBinding& sb = b.sto(sid);
+  CellRef cr{sid, -1, -1};
+  for (int seg = 1; cr.seg < 0 && seg < static_cast<int>(sb.cells.size());
+       ++seg) {
+    const auto& cells = sb.cells[static_cast<size_t>(seg)];
+    for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos) {
+      const Cell& c = cells[static_cast<size_t>(pos)];
+      if (c.via != kInvalidId) continue;
+      const Cell& parent = sb.cells[static_cast<size_t>(seg) - 1]
+                                   [static_cast<size_t>(c.parent)];
+      if (parent.reg == c.reg) continue;
+      if (rem-- == 0) {
+        cr.seg = seg;
+        cr.pos = pos;
+        break;
       }
     }
   }
-  if (cands.empty()) return false;
-  const CellRef cr =
-      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  SALSA_DCHECK(cr.seg > 0);
   const int tstep = lt.steps_of(cr.sid)[static_cast<size_t>(cr.seg - 1)];
   const Occupancy& occ = eng.occupancy();
   // An FU whose output carries a landing result at tstep cannot pass
   // (relevant for pipelined units whose occupancy ends before their delay).
-  // Landing steps are schedule-static, so only the few ops the engine lists
-  // for tstep need their (dynamic) FU binding checked.
+  // Landing steps are schedule-static; mark the landing ops' (dynamic) FU
+  // bindings once, then the filter below is one flag probe per candidate
+  // instead of a landing-list scan per candidate.
   const std::vector<NodeId>& landing = eng.ops_finishing_at(tstep);
-  auto out_busy = [&](FuId f) {
-    for (NodeId n : landing)
-      if (b.op(n).fu == f) return true;
-    return false;
-  };
+  static thread_local std::vector<uint64_t> out_mark;
+  static thread_local uint64_t out_tag = 0;
+  out_mark.resize(static_cast<size_t>(b.prob().fus().size()), 0);
+  const uint64_t tag = ++out_tag;
+  for (NodeId n : landing) out_mark[static_cast<size_t>(b.op(n).fu)] = tag;
   static thread_local std::vector<FuId> fus;
   fus.clear();
   // Pre-filtered to single-cycle classes (only those forward
   // combinationally) — same scan order as filtering pass_capable_fus().
   for (FuId f : eng.single_cycle_pass_fus())
-    if (occ.fu_free(f, tstep) && !out_busy(f)) fus.push_back(f);
+    if (occ.fu_free(f, tstep) && out_mark[static_cast<size_t>(f)] != tag)
+      fus.push_back(f);
   if (fus.empty()) return false;
   mut_cell(eng.touch_sto(cr.sid), cr).via =
       fus[static_cast<size_t>(rng.uniform(static_cast<int>(fus.size())))];
@@ -241,45 +250,46 @@ bool move_bind_pass(SearchEngine& eng, Rng& rng) {
 
 bool move_unbind_pass(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
-  const Lifetimes& lt = b.prob().lifetimes();
-  static thread_local std::vector<CellRef> cands;
-  cands.clear();
-  for (int sid = 0; sid < lt.num_storages(); ++sid) {
-    if (eng.num_vias(sid) == 0) continue;  // typical: skip the whole storage
-    const StorageBinding& sb = b.sto(sid);
-    for (int seg = 0; seg < static_cast<int>(sb.cells.size()); ++seg) {
-      const auto& cells = sb.cells[static_cast<size_t>(seg)];
-      for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos)
-        if (cells[static_cast<size_t>(pos)].via != kInvalidId)
-          cands.push_back({sid, seg, pos});
-    }
+  // Candidates are the via-routed cells; the via-count Fenwick selects the
+  // owning storage and only it is walked, in the global scan's (seg, pos)
+  // order.
+  const int total = eng.total_vias();
+  if (total == 0) return false;
+  int rem = 0;
+  const int sid = eng.via_storage_at(rng.uniform(total), &rem);
+  const StorageBinding& sb = b.sto(sid);
+  for (int seg = 0; seg < static_cast<int>(sb.cells.size()); ++seg) {
+    const auto& cells = sb.cells[static_cast<size_t>(seg)];
+    for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos)
+      if (cells[static_cast<size_t>(pos)].via != kInvalidId && rem-- == 0) {
+        mut_cell(eng.touch_sto(sid), {sid, seg, pos}).via = kInvalidId;
+        return true;
+      }
   }
-  if (cands.empty()) return false;
-  const CellRef cr =
-      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
-  mut_cell(eng.touch_sto(cr.sid), cr).via = kInvalidId;
-  return true;
+  SALSA_DCHECK(false);  // the count said the rank exists
+  return false;
 }
 
 bool move_seg_exchange(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const int L = b.prob().sched().length();
   const int step = rng.uniform(L);
-  static thread_local std::vector<CellRef> here;
-  here.clear();
-  // Liveness is schedule-static: the engine's per-step (sid, seg) list is
-  // the non-negative seg_at_step results of a sid-ascending scan.
-  for (const auto& [sid, seg] : eng.live_at_step(step)) {
-    const auto& cells = b.sto(sid).cells[static_cast<size_t>(seg)];
-    for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos)
-      here.push_back({sid, seg, pos});
-  }
-  if (here.size() < 2) return false;
-  const int i = rng.uniform(static_cast<int>(here.size()));
-  int j = rng.uniform(static_cast<int>(here.size()) - 1);
+  // The step's cell count (and the rank select below) comes from the
+  // engine's per-step Fenwick over the schedule-static live list — the
+  // same enumeration (live_at_step order, then position in the segment)
+  // the materialized list gave, without building it.
+  const int total = eng.live_cells_at(step);
+  if (total < 2) return false;
+  const int i = rng.uniform(total);
+  int j = rng.uniform(total - 1);
   if (j >= i) ++j;
-  const CellRef& ri = here[static_cast<size_t>(i)];
-  const CellRef& rj = here[static_cast<size_t>(j)];
+  auto cr_of = [&](int idx) {
+    const auto [p, pos] = eng.live_cell_at(step, idx);
+    const auto& [sid, seg] = eng.live_at_step(step)[static_cast<size_t>(p)];
+    return CellRef{sid, seg, pos};
+  };
+  const CellRef ri = cr_of(i);
+  const CellRef rj = cr_of(j);
   const RegId r1 = cell_at(b, ri).reg;
   const RegId r2 = cell_at(b, rj).reg;
   if (r1 == r2) return false;
@@ -306,9 +316,8 @@ bool move_seg_move(SearchEngine& eng, Rng& rng) {
   // materialized list would give, without walking every storage.
   const int total = eng.total_cells();
   if (total == 0) return false;
-  int idx = rng.uniform(total);
-  int sid = 0;
-  while (idx >= eng.num_cells(sid)) idx -= eng.num_cells(sid++);
+  int idx = 0;
+  const int sid = eng.cell_storage_at(rng.uniform(total), &idx);
   const StorageBinding& sbr = b.sto(sid);
   int seg = 0;
   while (idx >= static_cast<int>(sbr.cells[static_cast<size_t>(seg)].size()))
@@ -316,13 +325,15 @@ bool move_seg_move(SearchEngine& eng, Rng& rng) {
   const CellRef cr{sid, seg, idx};
   const int step = lt.steps_of(cr.sid)[static_cast<size_t>(cr.seg)];
   const Occupancy& occ = eng.occupancy();
-  static thread_local std::vector<RegId> regs;
-  regs.clear();
-  for (RegId r = 0; r < b.prob().num_regs(); ++r)
-    if (occ.reg_free(r, step)) regs.push_back(r);
-  if (regs.empty()) return false;
+  // Free registers at the step, straight off the transposed busy plane:
+  // the count is one popcount over the step's row and the pick is the
+  // rank-th clear bit — ascending register order, exactly the list the
+  // per-register probe loop built.
+  const int nregs = b.prob().num_regs();
+  const int nfree = nregs - occ.reg_busy_t.popcount_row(step);
+  if (nfree == 0) return false;
   mut_cell(eng.touch_sto(cr.sid), cr).reg =
-      regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
+      nth_clear_bit(occ.reg_busy_t.row(step), nregs, rng.uniform(nfree));
   return true;
 }
 
@@ -363,15 +374,30 @@ bool move_val_move(SearchEngine& eng, Rng& rng) {
   const RegId cur = single_reg_of(b.sto(sid));
   const uint64_t* live = lt.live_row(sid);
   const int stride = lt.live_masks().stride();
-  static thread_local std::vector<RegId> regs;
-  regs.clear();
+  RegId r = kInvalidId;
   if (cur != kInvalidId) {
-    // Contiguous single-register form: the storage claims only `cur`, so
-    // for every other register "free or held by sid" over the live arc is
-    // just "free" — one word AND-any per candidate.
-    for (RegId r = 0; r < b.prob().num_regs(); ++r)
-      if (cur != r && !words_and_any(occ.reg_busy.row(r), live, stride))
-        regs.push_back(r);
+    // Contiguous single-register form: a candidate must be free at every
+    // live step, so OR the transposed busy rows of the storage's live
+    // steps into one register mask — O(len x R/64) words instead of an
+    // AND-any probe per register — and draw a clear bit. `cur` is busy on
+    // its own arc, so it falls out of the mask automatically: same
+    // candidate set, same ascending order as the per-register loop.
+    const std::vector<int>& steps = lt.steps_of(sid);
+    const BitPlane& bt = occ.reg_busy_t;
+    const int words = bt.stride();
+    static thread_local std::vector<uint64_t> busy_union;
+    busy_union.assign(static_cast<size_t>(words), 0);
+    for (const int t : steps) {
+      const uint64_t* row = bt.row(t);
+      for (int i = 0; i < words; ++i) busy_union[static_cast<size_t>(i)] |= row[i];
+    }
+    int busy = 0;
+    for (int i = 0; i < words; ++i)
+      busy += popcount64(busy_union[static_cast<size_t>(i)]);
+    const int nregs = b.prob().num_regs();
+    const int nfree = nregs - busy;
+    if (nfree == 0) return false;
+    r = nth_clear_bit(busy_union.data(), nregs, rng.uniform(nfree));
   } else {
     // General (split/multi-register) form: mask the storage's own claims
     // out of each register row before the emptiness test —
@@ -382,13 +408,15 @@ bool move_val_move(SearchEngine& eng, Rng& rng) {
     const StorageBinding& sb = b.sto(sid);
     for (size_t seg = 0; seg < sb.cells.size(); ++seg)
       for (const Cell& c : sb.cells[seg]) own.set(c.reg, steps[seg]);
-    for (RegId r = 0; r < b.prob().num_regs(); ++r)
-      if (!words_and_andnot_any(occ.reg_busy.row(r), live, own.row(r), stride))
-        regs.push_back(r);
+    static thread_local std::vector<RegId> regs;
+    regs.clear();
+    for (RegId cand = 0; cand < b.prob().num_regs(); ++cand)
+      if (!words_and_andnot_any(occ.reg_busy.row(cand), live, own.row(cand),
+                                stride))
+        regs.push_back(cand);
+    if (regs.empty()) return false;
+    r = regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
   }
-  if (regs.empty()) return false;
-  const RegId r =
-      regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
   StorageBinding& sb = eng.touch_sto(sid);
   for (size_t seg = 0; seg < sb.cells.size(); ++seg) {
     sb.cells[seg].assign(1, Cell{r, seg == 0 ? -1 : 0, kInvalidId});
@@ -407,13 +435,13 @@ bool move_val_split(SearchEngine& eng, Rng& rng) {
   const int seg = rng.uniform(s.len);
   const int step = lt.steps_of(sid)[static_cast<size_t>(seg)];
   const Occupancy& occ = eng.occupancy();
-  static thread_local std::vector<RegId> regs;
-  regs.clear();
-  for (RegId r = 0; r < b.prob().num_regs(); ++r)
-    if (occ.reg_free(r, step)) regs.push_back(r);
-  if (regs.empty()) return false;
+  // Free registers at the step off the transposed busy plane (see
+  // move_seg_move) — same count, same ascending order, one popcount.
+  const int nregs = b.prob().num_regs();
+  const int nfree = nregs - occ.reg_busy_t.popcount_row(step);
+  if (nfree == 0) return false;
   const RegId r =
-      regs[static_cast<size_t>(rng.uniform(static_cast<int>(regs.size())))];
+      nth_clear_bit(occ.reg_busy_t.row(step), nregs, rng.uniform(nfree));
   Cell c;
   c.reg = r;
   c.parent =
@@ -434,32 +462,37 @@ bool move_val_merge(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
   // Candidates are leaf cells of multi-cell segments (no child in the next
-  // segment). A storage with exactly len cells has only single-cell
-  // segments, so the engine's cell counts skip it outright.
-  static thread_local std::vector<CellRef> leaves;
-  leaves.clear();
-  for (int sid = 0; sid < lt.num_storages(); ++sid) {
-    if (eng.num_cells(sid) == lt.storage(sid).len) continue;
-    const StorageBinding& sb = b.sto(sid);
-    for (int seg = 0; seg < static_cast<int>(sb.cells.size()); ++seg) {
-      const auto& cells = sb.cells[static_cast<size_t>(seg)];
-      if (cells.size() < 2) continue;
-      for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos) {
-        bool leaf = true;
-        if (seg + 1 < static_cast<int>(sb.cells.size())) {
-          for (const Cell& child : sb.cells[static_cast<size_t>(seg) + 1])
-            if (child.parent == pos) {
-              leaf = false;
-              break;
-            }
-        }
-        if (leaf) leaves.push_back({sid, seg, pos});
+  // segment). The engine maintains the per-storage leaf counts with its
+  // other candidate statistics, so the Fenwick select lands on the owning
+  // storage and only it is walked — the same (seg, pos)-ordered predicate
+  // scan the global loop applied, at O(storage) instead of O(design).
+  const int total = eng.total_leaves();
+  if (total == 0) return false;
+  int rem = 0;
+  const int msid = eng.leaf_storage_at(rng.uniform(total), &rem);
+  const StorageBinding& msb = b.sto(msid);
+  CellRef cr{msid, -1, -1};
+  for (int seg = 0; cr.seg < 0 && seg < static_cast<int>(msb.cells.size());
+       ++seg) {
+    const auto& cells = msb.cells[static_cast<size_t>(seg)];
+    if (cells.size() < 2) continue;
+    for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos) {
+      bool leaf = true;
+      if (seg + 1 < static_cast<int>(msb.cells.size())) {
+        for (const Cell& child : msb.cells[static_cast<size_t>(seg) + 1])
+          if (child.parent == pos) {
+            leaf = false;
+            break;
+          }
+      }
+      if (leaf && rem-- == 0) {
+        cr.seg = seg;
+        cr.pos = pos;
+        break;
       }
     }
   }
-  if (leaves.empty()) return false;
-  const CellRef cr =
-      leaves[static_cast<size_t>(rng.uniform(static_cast<int>(leaves.size())))];
+  SALSA_DCHECK(cr.seg >= 0);
   StorageBinding& sb = eng.touch_sto(cr.sid);
   auto& cells = sb.cells[static_cast<size_t>(cr.seg)];
   cells.erase(cells.begin() + cr.pos);
@@ -467,7 +500,7 @@ bool move_val_merge(SearchEngine& eng, Rng& rng) {
   if (cr.seg + 1 < static_cast<int>(sb.cells.size()))
     for (Cell& child : sb.cells[static_cast<size_t>(cr.seg) + 1])
       if (child.parent > cr.pos) --child.parent;
-  const Storage& s = b.prob().lifetimes().storage(cr.sid);
+  const Storage& s = lt.storage(cr.sid);
   for (size_t ri = 0; ri < s.reads.size(); ++ri) {
     if (s.reads[ri].seg != cr.seg) continue;
     if (sb.read_cell[ri] == cr.pos)
@@ -481,20 +514,24 @@ bool move_val_merge(SearchEngine& eng, Rng& rng) {
 bool move_read_retarget(SearchEngine& eng, Rng& rng) {
   const Binding& b = eng.binding();
   const Lifetimes& lt = b.prob().lifetimes();
-  static thread_local std::vector<std::pair<int, int>> cands;  // (sid, read)
-  cands.clear();
-  for (int sid = 0; sid < lt.num_storages(); ++sid) {
-    const Storage& s = lt.storage(sid);
-    if (eng.num_cells(sid) == s.len) continue;  // no multi-cell segment
-    const StorageBinding& sb = b.sto(sid);
-    for (size_t ri = 0; ri < s.reads.size(); ++ri)
-      if (sb.cells[static_cast<size_t>(s.reads[ri].seg)].size() >= 2)
-        cands.emplace_back(sid, static_cast<int>(ri));
-  }
-  if (cands.empty()) return false;
-  const auto [sid, ri] =
-      cands[static_cast<size_t>(rng.uniform(static_cast<int>(cands.size())))];
+  // Candidates are the reads whose segment offers >= 2 cells ("fat"
+  // reads); the engine's per-storage fat-read counts select the owning
+  // storage and only its read list is scanned for the rank-within — the
+  // same (sid, read)-ordered enumeration as the global scan.
+  const int total = eng.total_fat_reads();
+  if (total == 0) return false;
+  int rem = 0;
+  const int sid = eng.fat_read_storage_at(rng.uniform(total), &rem);
   const Storage& s = lt.storage(sid);
+  const StorageBinding& sbr = b.sto(sid);
+  int ri = -1;
+  for (size_t k = 0; k < s.reads.size(); ++k)
+    if (sbr.cells[static_cast<size_t>(s.reads[k].seg)].size() >= 2 &&
+        rem-- == 0) {
+      ri = static_cast<int>(k);
+      break;
+    }
+  SALSA_DCHECK(ri >= 0);
   const int ncells = static_cast<int>(
       b.sto(sid).cells[static_cast<size_t>(s.reads[static_cast<size_t>(ri)].seg)]
           .size());

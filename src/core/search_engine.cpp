@@ -108,12 +108,37 @@ void SearchEngine::build_static() {
         prob.fus().fu(f).cls == FuClass::kAlu ? OpKind::kAdd : OpKind::kMul;
     if (sched.hw().delay(probe) == 1) st.pass_fus_1cyc.push_back(f);
   }
+  // Ranks within the class lists, for the per-FU op index.
+  st.pos_in_class.assign(static_cast<size_t>(g.num_nodes()), -1);
+  for (const auto& class_list : st.ops_by_class)
+    for (size_t p = 0; p < class_list.size(); ++p)
+      st.pos_in_class[static_cast<size_t>(class_list[p])] =
+          static_cast<int>(p);
+  // Per-step live lists, built by one pass over each storage's segment
+  // steps instead of an O(L x S) seg_at_step probe grid. A storage is live
+  // at a step in at most one segment and the outer loop ascends sid, so
+  // each step's list comes out in the same sid-ascending order the probe
+  // scan produced. The flat (sid, seg) -> position-in-step table is
+  // recorded as the lists grow; the per-step cell-count Fenwicks key on it.
+  st.sto_seg_off.assign(static_cast<size_t>(S) + 1, 0);
+  for (int sid = 0; sid < S; ++sid)
+    st.sto_seg_off[static_cast<size_t>(sid) + 1] =
+        st.sto_seg_off[static_cast<size_t>(sid)] + lt.storage(sid).len;
+  st.pos_in_step.assign(static_cast<size_t>(st.sto_seg_off[static_cast<size_t>(S)]),
+                        0);
   st.live_at.assign(static_cast<size_t>(sched.length()), {});
-  for (int t = 0; t < sched.length(); ++t)
-    for (int sid = 0; sid < S; ++sid) {
-      const int seg = lt.seg_at_step(sid, t);
-      if (seg >= 0) st.live_at[static_cast<size_t>(t)].push_back({sid, seg});
+  for (int sid = 0; sid < S; ++sid) {
+    const std::vector<int>& steps = lt.steps_of(sid);
+    const int off = st.sto_seg_off[static_cast<size_t>(sid)];
+    for (size_t seg = 0; seg < steps.size(); ++seg) {
+      auto& at = st.live_at[static_cast<size_t>(steps[seg])];
+      st.pos_in_step[static_cast<size_t>(off) + seg] =
+          static_cast<int>(at.size());
+      at.push_back({sid, static_cast<int>(seg)});
     }
+  }
+  for (int sid = 0; sid < S; ++sid)
+    st.total_reads += static_cast<long>(lt.storage(sid).reads.size());
   statics_ = std::make_shared<const EngineStatics>(std::move(st));
 }
 
@@ -130,6 +155,22 @@ void SearchEngine::init_from_statics() {
   // mutation hook (flat_map_hooks; no effect unless a test arms it).
   pair_refs_.mark_mutation_target();
   sink_sources_.mark_mutation_target();
+  // Transaction scratch. The journals and touch lists are pre-sized so the
+  // steady-state move loop never grows them mid-proposal; the netting
+  // tables (txn_delta_ / sink_delta_) are deliberately NOT pre-reserved —
+  // drain() walks the whole slot array, so their per-proposal cost is
+  // proportional to *capacity*, and a blanket reserve sized for the
+  // largest whole-storage touch would make every small transaction scan
+  // kilobytes of empty slots (measured ~300ns per proposal at EWF scale).
+  // Demand growth converges to the largest transaction footprint within
+  // the warmup moves and never rehashes again — the steady-state pin in
+  // tests/test_audit_scaling.cpp snapshots index_rehashes() after warmup.
+  undo_ints_.reserve(1024);
+  undo_words_.reserve(512);
+  pending_uses_.reserve(512);
+  touched_ops_.reserve(16);
+  touched_sids_.reserve(16);
+  removed_gens_.reserve(64);
 }
 
 void SearchEngine::rebuild() {
@@ -152,11 +193,42 @@ void SearchEngine::rebuild() {
 
   const Cdfg& g = prob.cdfg();
   const Lifetimes& lt = prob.lifetimes();
-  sto_cells_.assign(static_cast<size_t>(lt.num_storages()), 0);
-  sto_vias_.assign(static_cast<size_t>(lt.num_storages()), 0);
-  sto_xfers_.assign(static_cast<size_t>(lt.num_storages()), 0);
+  const int S = lt.num_storages();
+  sto_cells_.assign(static_cast<size_t>(S), 0);
+  sto_vias_.assign(static_cast<size_t>(S), 0);
+  sto_xfers_.assign(static_cast<size_t>(S), 0);
+  sto_leaves_.assign(static_cast<size_t>(S), 0);
+  sto_fat_reads_.assign(static_cast<size_t>(S), 0);
   total_cells_ = 0;
-  for (int sid = 0; sid < lt.num_storages(); ++sid) refresh_sto_stats(sid);
+  fw_cells_.reset(S);
+  fw_vias_.reset(S);
+  fw_xfers_.reset(S);
+  fw_leaves_.reset(S);
+  fw_fat_reads_.reset(S);
+  seg_size_.assign(
+      static_cast<size_t>(statics_->sto_seg_off[static_cast<size_t>(S)]), 0);
+  step_cells_.resize(statics_->live_at.size());
+  for (size_t t = 0; t < step_cells_.size(); ++t)
+    step_cells_[t].reset(static_cast<int>(statics_->live_at[t].size()));
+  for (int sid = 0; sid < S; ++sid) refresh_sto_stats(sid);
+  // Per-FU op lists: the class lists ascend pos_in_class rank, so each
+  // per-FU list comes out sorted without a post-pass.
+  fu_ops_.assign(static_cast<size_t>(prob.fus().size()), {});
+  for (const auto& class_list : statics_->ops_by_class)
+    for (NodeId n : class_list)
+      fu_ops_[static_cast<size_t>(b_.op(n).fu)].push_back(
+          statics_->pos_in_class[static_cast<size_t>(n)]);
+  // Size the connection index once from the design dimensions — at most
+  // one pair entry per routed use (a via cell charges two, a hold none, a
+  // read one) and one sink entry per pin — so the steady-state move loop
+  // never rehashes (index_rehashes() pins this). reserve() is a no-op when
+  // the tables already have the capacity (every rebuild after the first).
+  pair_refs_.reserve(static_cast<size_t>(
+      2 * static_cast<long>(total_cells_) + statics_->total_reads +
+      static_cast<long>(statics_->ops.size())));
+  sink_sources_.reserve(static_cast<size_t>(2 * prob.fus().size() +
+                                            prob.num_regs()) +
+                        statics_->ops.size());
   for (NodeId n : g.operations()) {
     const FuId f = b_.op(n).fu;
     if (++fu_refs_[static_cast<size_t>(f)] == 1) ++cost_.fus_used;
@@ -407,6 +479,7 @@ void SearchEngine::add_sto_claims(int sid) {
                    occ_.reg_slot(c.reg, step) == sid);
       journal_int(occ_.reg_slot(c.reg, step));
       journal_word(occ_.reg_busy.word(c.reg, step));
+      journal_word(occ_.reg_busy_t.word(step, c.reg));
       occ_.claim_reg(c.reg, step, sid);
       if (fp_) fp_->reg_events.push_back({c.reg, +1});
       int& rrefs = reg_refs_[static_cast<size_t>(c.reg)];
@@ -443,6 +516,7 @@ void SearchEngine::remove_sto_claims(int sid) {
         // the restored units instead (see remove_op_claims).
         journal_int(occ_.reg_slot(c.reg, step));
         journal_word(occ_.reg_busy.word(c.reg, step));
+        journal_word(occ_.reg_busy_t.word(step, c.reg));
         fp_->reg_events.push_back({c.reg, -1});
         journal_int(reg_refs_[static_cast<size_t>(c.reg)]);
       }
@@ -569,11 +643,16 @@ void SearchEngine::apply_pending_claims() {
 }
 
 void SearchEngine::refresh_sto_stats(int sid) {
+  const Lifetimes& lt = b_.prob().lifetimes();
   const StorageBinding& sb = b_.sto(sid);
-  int cells = 0, vias = 0, xfers = 0;
+  int cells = 0, vias = 0, xfers = 0, leaves = 0, fat = 0;
+  // Parent-occupancy scratch for the leaf count; sized to the widest
+  // segment touched, reused across calls.
+  static thread_local std::vector<char> mark;
   for (size_t seg = 0; seg < sb.cells.size(); ++seg) {
-    cells += static_cast<int>(sb.cells[seg].size());
-    for (const Cell& c : sb.cells[seg]) {
+    const auto& cs = sb.cells[seg];
+    cells += static_cast<int>(cs.size());
+    for (const Cell& c : cs) {
       if (c.via != kInvalidId) {
         ++vias;
       } else if (seg > 0 &&
@@ -582,18 +661,60 @@ void SearchEngine::refresh_sto_stats(int sid) {
         ++xfers;
       }
     }
+    // Merge candidates: leaf cells (no child in the next segment) of
+    // multi-cell segments — the same predicate, and per-segment order, the
+    // merge proposer's scan applies.
+    if (cs.size() >= 2) {
+      if (seg + 1 < sb.cells.size()) {
+        mark.assign(cs.size(), 0);
+        for (const Cell& child : sb.cells[seg + 1])
+          mark[static_cast<size_t>(child.parent)] = 1;
+        for (const char m : mark) leaves += !m;
+      } else {
+        leaves += static_cast<int>(cs.size());
+      }
+    }
   }
-  int& cc = sto_cells_[static_cast<size_t>(sid)];
-  int& vv = sto_vias_[static_cast<size_t>(sid)];
-  int& xx = sto_xfers_[static_cast<size_t>(sid)];
-  journal_int(cc);
-  journal_int(vv);
-  journal_int(xx);
-  journal_int(total_cells_);
-  total_cells_ += cells - cc;
-  cc = cells;
-  vv = vias;
-  xx = xfers;
+  // Retarget candidates: reads whose segment offers >= 2 cells.
+  const Storage& s = lt.storage(sid);
+  for (const StorageRead& r : s.reads)
+    fat += sb.cells[static_cast<size_t>(r.seg)].size() >= 2;
+  // Fold the recount into the selection Fenwicks as diffs, journaling every
+  // touched node (footprint-path transactions refresh mid-transaction and
+  // roll back by journal replay; the sequential path refreshes at commit
+  // with in_txn_ already false, where journaling is a no-op).
+  auto J = [this](int& slot) { journal_int(slot); };
+  auto upd = [&](std::vector<int>& row, Fenwick& fw, int now) {
+    int& slot = row[static_cast<size_t>(sid)];
+    if (slot == now) return;
+    journal_int(slot);
+    fw.add(sid, now - slot, J);
+    slot = now;
+  };
+  if (sto_cells_[static_cast<size_t>(sid)] != cells) {
+    journal_int(total_cells_);
+    total_cells_ += cells - sto_cells_[static_cast<size_t>(sid)];
+  }
+  upd(sto_cells_, fw_cells_, cells);
+  upd(sto_vias_, fw_vias_, vias);
+  upd(sto_xfers_, fw_xfers_, xfers);
+  upd(sto_leaves_, fw_leaves_, leaves);
+  upd(sto_fat_reads_, fw_fat_reads_, fat);
+  // Per-segment cell counts feed the per-step Fenwicks (segment-exchange
+  // selection). Most moves leave every segment's size unchanged, so the
+  // common case is a pure read pass.
+  const int off = statics_->sto_seg_off[static_cast<size_t>(sid)];
+  const std::vector<int>& steps = lt.steps_of(sid);
+  for (size_t seg = 0; seg < sb.cells.size(); ++seg) {
+    int& slot = seg_size_[static_cast<size_t>(off) + seg];
+    const int sz = static_cast<int>(sb.cells[seg].size());
+    if (slot != sz) {
+      journal_int(slot);
+      step_cells_[static_cast<size_t>(steps[seg])].add(
+          statics_->pos_in_step[static_cast<size_t>(off) + seg], sz - slot, J);
+      slot = sz;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -787,6 +908,12 @@ void SearchEngine::commit() {
   recompute_total();  // finish_mutation leaves the weighted total stale
   apply_pending_claims();
   apply_pending_uses();
+  // Re-file committed FU changes in the per-FU op index. Only commit (and
+  // the broken-undo test path below) mutate fu_ops_ — proposals read it,
+  // and a rolled-back move restores the saved FU, so the index stays
+  // consistent with the binding between transactions.
+  for (const TouchedOp& t : touched_ops_)
+    update_fu_ops(t.n, t.saved.fu, b_.op(t.n).fu);
   end_txn();
 #ifndef NDEBUG
   SALSA_CHECK(matches_full_eval());
@@ -807,6 +934,8 @@ void SearchEngine::rollback() {
     recompute_total();
     apply_pending_claims();
     apply_pending_uses();
+    for (const TouchedOp& t : touched_ops_)
+      update_fu_ops(t.n, t.saved.fu, b_.op(t.n).fu);
     end_txn();
     if (observer_) observer_->on_rollback(*this);
     return;
@@ -867,6 +996,37 @@ void SearchEngine::trace_decision(bool accepted) {
   *trace_ << "}\n";
 }
 
+void SearchEngine::update_fu_ops(NodeId n, FuId from, FuId to) {
+  if (from == to) return;
+  const int rank = statics_->pos_in_class[static_cast<size_t>(n)];
+  std::vector<int>& src = fu_ops_[static_cast<size_t>(from)];
+  src.erase(std::lower_bound(src.begin(), src.end(), rank));
+  std::vector<int>& dst = fu_ops_[static_cast<size_t>(to)];
+  dst.insert(std::upper_bound(dst.begin(), dst.end(), rank), rank);
+}
+
+NodeId SearchEngine::class_op_excluding_fu(FuClass c, FuId f, int idx) const {
+  const std::vector<NodeId>& list =
+      statics_->ops_by_class[static_cast<size_t>(c)];
+  const std::vector<int>& ex = fu_ops_[static_cast<size_t>(f)];
+  // Smallest class rank p with (p + 1) - |ex <= p| == idx + 1. The count
+  // of non-excluded ranks in [0, p] is monotone and steps by one exactly
+  // at non-excluded positions, so the binary-search answer is itself not
+  // excluded — it is the op a filtering scan would have listed at `idx`.
+  int lo = idx, hi = idx + static_cast<int>(ex.size());
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    const int excluded = static_cast<int>(
+        std::upper_bound(ex.begin(), ex.end(), mid) - ex.begin());
+    if (mid + 1 - excluded >= idx + 1) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return list[static_cast<size_t>(lo)];
+}
+
 bool SearchEngine::matches_full_eval() const {
   const CostBreakdown full = evaluate_cost(b_);
   // Mid-transaction the weighted total is deliberately stale (finish_mutation
@@ -901,8 +1061,22 @@ bool SearchEngine::index_matches_rebuild(std::string* why) const {
   if (occ_.fu_user != fresh.occ_.fu_user || occ_.reg_sto != fresh.occ_.reg_sto)
     ok = diverged("occupancy grid differs from a rebuild");
   if (!(occ_.fu_busy == fresh.occ_.fu_busy) ||
-      !(occ_.reg_busy == fresh.occ_.reg_busy))
+      !(occ_.reg_busy == fresh.occ_.reg_busy) ||
+      !(occ_.reg_busy_t == fresh.occ_.reg_busy_t))
     ok = diverged("occupancy bitplanes differ from a rebuild");
+  if (sto_cells_ != fresh.sto_cells_ || sto_vias_ != fresh.sto_vias_ ||
+      sto_xfers_ != fresh.sto_xfers_ || sto_leaves_ != fresh.sto_leaves_ ||
+      sto_fat_reads_ != fresh.sto_fat_reads_ ||
+      total_cells_ != fresh.total_cells_)
+    ok = diverged("per-storage candidate statistics differ from a rebuild");
+  if (!(fw_cells_ == fresh.fw_cells_) || !(fw_vias_ == fresh.fw_vias_) ||
+      !(fw_xfers_ == fresh.fw_xfers_) || !(fw_leaves_ == fresh.fw_leaves_) ||
+      !(fw_fat_reads_ == fresh.fw_fat_reads_))
+    ok = diverged("candidate selection Fenwicks differ from a rebuild");
+  if (seg_size_ != fresh.seg_size_ || step_cells_ != fresh.step_cells_)
+    ok = diverged("per-step cell-count index differs from a rebuild");
+  if (fu_ops_ != fresh.fu_ops_)
+    ok = diverged("per-FU op lists differ from a rebuild");
   std::string plane_why;
   if (!occ_.planes_match_grids(&plane_why))
     ok = diverged("occupancy bitplanes diverged from the scalar grids: " +

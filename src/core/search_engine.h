@@ -54,6 +54,7 @@
 
 #include "core/cost.h"
 #include "core/moves.h"
+#include "util/fenwick.h"
 #include "util/flat_map.h"
 
 namespace salsa {
@@ -202,6 +203,67 @@ class SearchEngine {
     return sto_xfers_[static_cast<size_t>(sid)];
   }
 
+  // --- O(log) candidate selection -------------------------------------
+  // Fenwick-backed totals and rank selects over the per-storage statistics
+  // above (plus leaf-cell and fat-read counts maintained the same way).
+  // Each *_storage_at(idx, rem) maps a uniform draw over the total to the
+  // storage owning rank `idx` of the (sid-ascending) candidate enumeration
+  // and the rank within that storage — the proposer then walks only the
+  // selected storage. Totals and per-storage counts equal what the old
+  // full scans would have counted, so candidate sets, RNG draw bounds and
+  // trajectories are unchanged; only the walk over non-owning storages is
+  // gone.
+  int total_vias() const { return fw_vias_.total(); }
+  int total_bare_transfers() const { return fw_xfers_.total(); }
+  /// Leaf cells of multi-cell segments — the value-merge candidates.
+  int total_leaves() const { return fw_leaves_.total(); }
+  /// Reads whose segment holds >= 2 cells — the read-retarget candidates.
+  int total_fat_reads() const { return fw_fat_reads_.total(); }
+  int cell_storage_at(int idx, int* rem) const {
+    return fw_cells_.select(idx, rem);
+  }
+  int via_storage_at(int idx, int* rem) const {
+    return fw_vias_.select(idx, rem);
+  }
+  int xfer_storage_at(int idx, int* rem) const {
+    return fw_xfers_.select(idx, rem);
+  }
+  int leaf_storage_at(int idx, int* rem) const {
+    return fw_leaves_.select(idx, rem);
+  }
+  int fat_read_storage_at(int idx, int* rem) const {
+    return fw_fat_reads_.select(idx, rem);
+  }
+  /// Cells bound across all storages live at `step` — the segment-exchange
+  /// candidate count at that step.
+  int live_cells_at(int step) const {
+    return step_cells_[static_cast<size_t>(step)].total();
+  }
+  /// Rank `idx` of the step's cell enumeration (live_at_step order, then
+  /// position within the segment): returns {position in live_at_step(step),
+  /// cell position within that segment}.
+  std::pair<int, int> live_cell_at(int step, int idx) const {
+    int pos = 0;
+    const int p = step_cells_[static_cast<size_t>(step)].select(idx, &pos);
+    return {p, pos};
+  }
+  /// Operations currently bound to FU `f` (all of f's class).
+  int ops_on_fu(FuId f) const {
+    return static_cast<int>(fu_ops_[static_cast<size_t>(f)].size());
+  }
+  /// The idx-th operation (0-based, ops_of_class order) of class `c` NOT
+  /// bound to `f` — the fu-exchange partner a full scan would have listed
+  /// at that index. O(log^2) binary search over f's sorted position list.
+  NodeId class_op_excluding_fu(FuClass c, FuId f, int idx) const;
+
+  /// Total slot-array reallocations across the engine's index tables and
+  /// transaction scratch maps — the no-rehash-in-steady-state pin (the
+  /// constructor pre-reserves from problem dimensions).
+  size_t index_rehashes() const {
+    return pair_refs_.rehashes() + sink_sources_.rehashes() +
+           txn_delta_.rehashes() + sink_delta_.rehashes();
+  }
+
   // --- observability ----------------------------------------------------
   /// Per-move-kind attempted/accepted/delta counters over the engine's
   /// lifetime (includes every proposal routed through it, e.g. ILS kicks).
@@ -306,6 +368,18 @@ class SearchEngine {
     std::vector<NodeId> commutative_ops;
     std::vector<FuId> pass_fus_1cyc;
     std::vector<std::vector<std::pair<int, int>>> live_at;  // [step]->(sid,seg)
+    // Index of each operation within its ops_by_class list — the rank the
+    // per-FU op lists (fu_ops_) store, so fu-exchange selection stays in
+    // scan order without holding node ids twice.
+    std::vector<int> pos_in_class;  // indexed by NodeId (-1 for non-ops)
+    // Flat (sid, seg) addressing: segment seg of storage sid lives at flat
+    // index sto_seg_off[sid] + seg. pos_in_step[flat] is that segment's
+    // position within live_at[its step] — where the per-step cell-count
+    // Fenwick keeps its count.
+    std::vector<int> sto_seg_off;  // size S + 1 (prefix offsets)
+    std::vector<int> pos_in_step;  // indexed by flat (sid, seg)
+    // Total reads across all storages — sizes the connection-index reserve.
+    long total_reads = 0;
   };
 
   /// One reversed scalar write: *p held `old` before the transaction's
@@ -413,6 +487,9 @@ class SearchEngine {
   void finish_mutation();
   void end_txn();
   void trace_decision(bool accepted);
+  /// Re-files a committed FU change in the fu_ops_ index (no-op when the
+  /// op's unit did not change).
+  void update_fu_ops(NodeId n, FuId from, FuId to);
 
   Binding b_;
   Occupancy occ_;
@@ -458,6 +535,31 @@ class SearchEngine {
   std::vector<int> sto_vias_;
   std::vector<int> sto_xfers_;
   int total_cells_ = 0;
+  // Leaf cells of multi-cell segments / reads with >= 2 cells to pick from
+  // — the merge and retarget candidate counts, refreshed with the stats
+  // above.
+  std::vector<int> sto_leaves_;
+  std::vector<int> sto_fat_reads_;
+  // Fenwick selection indexes over the five per-storage statistics (see
+  // the public accessors): refresh_sto_stats feeds them the per-storage
+  // deltas, journaling every touched node so footprint-path transactions
+  // roll them back like any other derived scalar.
+  Fenwick fw_cells_;
+  Fenwick fw_vias_;
+  Fenwick fw_xfers_;
+  Fenwick fw_leaves_;
+  Fenwick fw_fat_reads_;
+  // Per-control-step cell-count Fenwicks over live_at[step] positions
+  // (segment-exchange selection), plus the per-(sid, seg) cell-count
+  // mirror (flat sto_seg_off addressing) that turns a stats refresh into
+  // per-segment deltas.
+  std::vector<Fenwick> step_cells_;
+  std::vector<int> seg_size_;
+  // Sorted pos_in_class ranks of the operations bound to each FU — the
+  // fu-exchange order-statistics index. Updated at commit (and on the
+  // broken-undo test path) by diffing touched ops' saved vs current FU;
+  // proposals only read it, so rejected moves never touch it.
+  std::vector<std::vector<int>> fu_ops_;
 
   std::shared_ptr<const EngineStatics> statics_;
 

@@ -272,6 +272,34 @@ inline bool words_and_andnot_any(const uint64_t* a, const uint64_t* b,
 #endif
 }
 
+/// The k-th (0-based) CLEAR bit among the first `bits` bits of the word
+/// span `w` — the select half of the move proposers' free-register pick:
+/// count free via popcount of the complement, then descend to the k-th.
+/// Padding bits past `bits` may hold anything; they are masked out. The
+/// caller guarantees k < (number of clear bits), which the counting draw
+/// established.
+inline int nth_clear_bit(const uint64_t* w, int bits, int k) {
+  for (int i = 0; (i << 6) < bits; ++i) {
+    const int span = bits - (i << 6) >= 64 ? 64 : bits - (i << 6);
+    const uint64_t tail = span == 64 ? ~0ull : (1ull << span) - 1;
+    const uint64_t free_bits = ~w[i] & tail;
+    const int n = popcount64(free_bits);
+    if (k < n) {
+      uint64_t v = free_bits;
+      for (int b = 0;; ++b) {
+        if (v & 1ull) {
+          if (k == 0) return (i << 6) + b;
+          --k;
+        }
+        v >>= 1;
+      }
+    }
+    k -= n;
+  }
+  SALSA_DCHECK(false);  // k exceeded the clear-bit count
+  return -1;
+}
+
 /// BitWords: a growable flat bitset — the word-wise representation of a
 /// move footprint's sink-key and refcount-row sets (core/footprint.h).
 /// Unlike BitPlane it has no fixed shape: set() grows the word array to

@@ -85,6 +85,13 @@ class FlatMap {
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Number of slot-array reallocations this table has performed (including
+  /// the ones reserve() triggers up front). The engine pre-reserves its
+  /// tables from problem dimensions, and tests pin that this counter stays
+  /// put over a steady-state move loop — a growth here means a mis-sized
+  /// reserve silently reintroduced rehash stalls into the hot path.
+  size_t rehashes() const { return rehashes_; }
+
   /// Drops every entry but keeps the slot array (capacity) allocated.
   void clear() {
     for (Slot& s : slots_) s.count = 0;
@@ -244,6 +251,7 @@ class FlatMap {
   }
 
   void rehash(size_t cap) {
+    ++rehashes_;
     std::vector<Slot> old = std::move(slots_);
     slots_.assign(cap, Slot{Key{}, 0});
     const size_t mask = cap - 1;
@@ -294,6 +302,7 @@ class FlatMap {
 
   std::vector<Slot> slots_;
   size_t size_ = 0;
+  size_t rehashes_ = 0;           ///< slot-array reallocations (see rehashes())
   bool mutation_target_ = false;  ///< eligible for flat_map_hooks sabotage
 };
 

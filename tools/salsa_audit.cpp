@@ -46,6 +46,14 @@
 //                  per-bit loop that stops one bit short (bitplane_hooks) —
 //                  once the broken claim commits, the differential check
 //                  must report a VIOLATION
+//   --scaling      also fuzz a generated mid-size design (a filter cascade
+//                  from frontend/generate.h, ~5k ops by default) under the
+//                  size-sampled invariant auditor — the audit wall's leg on
+//                  the large-design corpus, where auditing every
+//                  transaction in full would take hours. The run fails if
+//                  the auditor did NOT sample (auditing a 5k-op design
+//                  per-transaction means the sampling threshold regressed)
+//   --scaling-ops N  target operation count for --scaling (default: 5000)
 //   --dump         print each target's start binding JSON and exit
 #include <cstdio>
 #include <cstdlib>
@@ -57,6 +65,7 @@
 #include "analysis/digest.h"
 #include "analysis/fuzz.h"
 #include "core/initial.h"
+#include "frontend/generate.h"
 #include "core/moves.h"
 #include "core/search_engine.h"
 #include "util/bitplane.h"
@@ -186,6 +195,8 @@ int main(int argc, char** argv) {
   bool bitplane_audit = false;
   long bitplane_commits = 2000;
   long break_bitplane_word = 0;
+  bool scaling = false;
+  int scaling_ops = 5000;
   int restarts = 6;
   std::vector<int> threads{1, 2, 8};
 
@@ -247,6 +258,11 @@ int main(int argc, char** argv) {
       // watch the packed-vs-scalar differential catch the stale bit.
       bitplane_audit = true;
       break_bitplane_word = std::atol(next().c_str());
+    } else if (arg == "--scaling") {
+      scaling = true;
+    } else if (arg == "--scaling-ops") {
+      scaling = true;
+      scaling_ops = std::atoi(next().c_str());
     } else if (arg == "--dump") {
       dump = true;
     } else {
@@ -372,6 +388,47 @@ int main(int argc, char** argv) {
                      "  --break-bitplane-word %ld never fired (only %ld "
                      "ranged word updates)\n",
                      break_bitplane_word, bitplane_hooks::word_update_count);
+      }
+    }
+
+    if (scaling && !dump && name == names.front()) {
+      // One generated mid-size design (independent of --target, run once):
+      // the move fuzzer under the size-sampled auditor. Every check of the
+      // battery still runs — just on every ops/64-th transaction — so this
+      // is the audit wall's presence on the scaling corpus, not a weaker
+      // wall. A run that did NOT sample is itself a failure: it means the
+      // threshold regressed and audited large-design searches are back to
+      // O(design) per move.
+      const GeneratedDesign d = generate_design(GenParams{
+          .family = GenFamily::kFilterCascade,
+          .target_ops = scaling_ops,
+          .seed = 1,
+      });
+      FuzzParams p = fuzz;
+      p.name = "scaling-cascade" + std::to_string(scaling_ops);
+      const FuzzResult res = run_move_fuzz(*d.problem, p);
+      const bool expect_sampled =
+          p.audit.every <= 1 && p.audit.sample_threshold_ops > 0 &&
+          d.num_ops > p.audit.sample_threshold_ops;
+      const bool sampled = res.audit.audited < res.audit.txns;
+      const bool ok = res.ok && (sampled || !expect_sampled);
+      std::printf(
+          "scale cascade/%d (%d ops) seed %llu: %ld txns, %ld of %ld "
+          "audited — %s\n",
+          scaling_ops, d.num_ops, static_cast<unsigned long long>(p.seed),
+          res.transactions, res.audit.audited, res.audit.txns,
+          ok ? (sampled ? "ok (sampled)" : "ok") : "VIOLATION");
+      if (!res.ok) {
+        failed = true;
+        std::fprintf(stderr, "  %s\n", res.failure.c_str());
+        if (!res.artifact_path.empty())
+          std::fprintf(stderr, "  artifact: %s\n", res.artifact_path.c_str());
+      } else if (!ok) {
+        failed = true;
+        std::fprintf(stderr,
+                     "  auditor audited every transaction of a %d-op design "
+                     "— large-design sampling did not engage\n",
+                     d.num_ops);
       }
     }
 
