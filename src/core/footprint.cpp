@@ -23,7 +23,9 @@ void net_events(std::vector<std::pair<int, int>>& events, BitWords& rows) {
   // touched, leaving the array all-zero for the next call. An id may enter
   // `touched` twice (count returning through zero) — the drain handles
   // duplicates because only the first visit sees a nonzero count.
+  // salsa-lint: allow(thread-local-scratch-discipline) drained-to-zero invariant: the loop below re-zeroes every counter it touched, so all-zero is the steady state between calls
   thread_local std::vector<int> counts;
+  // salsa-lint: allow(thread-local-scratch-discipline) emptied by the drain loop every call; push_back onto the empty vector is the intended first use
   thread_local std::vector<int> touched;
   for (const auto& [id, delta] : events) {
     if (static_cast<size_t>(id) >= counts.size())

@@ -230,6 +230,7 @@ bool move_bind_pass(SearchEngine& eng, Rng& rng) {
   // bindings once, then the filter below is one flag probe per candidate
   // instead of a landing-list scan per candidate.
   const std::vector<NodeId>& landing = eng.ops_finishing_at(tstep);
+  // salsa-lint: allow(thread-local-scratch-discipline) tag-guarded: the out_tag bump below invalidates every stale entry before any read compares against the fresh tag
   static thread_local std::vector<uint64_t> out_mark;
   static thread_local uint64_t out_tag = 0;
   out_mark.resize(static_cast<size_t>(b.prob().fus().size()), 0);

@@ -803,6 +803,7 @@ void SearchEngine::finish_mutation() {
   // has nothing to replay against the index at all. Per-key refcount
   // arithmetic commutes, so the scratch tables' layout-dependent drain
   // order yields the exact counts sequential application would.
+  // salsa-lint: allow(no-unordered-iteration) per-key refcount arithmetic commutes; any drain order yields the same counts
   txn_delta_.drain([this](uint64_t key, int net) {
     pending_uses_.push_back({key, net});
     const int* p = pair_refs_.find(key);
@@ -816,6 +817,7 @@ void SearchEngine::finish_mutation() {
       sink_delta_.add(static_cast<uint32_t>(key >> 32), -1);
     }
   });
+  // salsa-lint: allow(no-unordered-iteration) per-sink max(0, n-1) mux folds are independent across sinks; order cannot matter
   sink_delta_.drain([this](uint32_t sink, int d) {
     const int* p = sink_sources_.find(sink);
     const int before = p ? *p : 0;

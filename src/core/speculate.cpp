@@ -184,7 +184,7 @@ void ProposalPipeline::reset_to(const Binding& b) {
 
 ProposalPipeline::Worker ProposalPipeline::acquire_worker() {
   {
-    std::lock_guard<std::mutex> lk(workers_mu_);
+    MutexLock lk(workers_mu_);
     if (!free_workers_.empty()) {
       Worker w = std::move(free_workers_.back());
       free_workers_.pop_back();
@@ -202,7 +202,7 @@ ProposalPipeline::Worker ProposalPipeline::acquire_worker() {
 }
 
 void ProposalPipeline::release_worker(Worker w) {
-  std::lock_guard<std::mutex> lk(workers_mu_);
+  MutexLock lk(workers_mu_);
   free_workers_.push_back(std::move(w));
 }
 
@@ -253,7 +253,7 @@ void ProposalPipeline::fill_batch() {
         // Serialized: observers (the invariant auditor) are not
         // thread-safe. The worker's transaction is still open so the
         // observer can cross-check the speculative delta in place.
-        std::lock_guard<std::mutex> lk(observer_mu_);
+        MutexLock lk(observer_mu_);
         obs->on_speculate(*w.eng, *d);
       }
       w.eng->rollback();

@@ -36,12 +36,13 @@
 #include <array>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "core/footprint.h"
 #include "core/moves.h"
 #include "core/search_engine.h"
+#include "util/annotations.h"
+#include "util/mutex.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 
@@ -173,8 +174,8 @@ class ProposalPipeline {
 
   Candidate next_sequential();
   void fill_batch();
-  Worker acquire_worker();
-  void release_worker(Worker w);
+  Worker acquire_worker() SALSA_EXCLUDES(workers_mu_);
+  void release_worker(Worker w) SALSA_EXCLUDES(workers_mu_);
   void catch_up(Worker& w);
   void replay_commit(SearchEngine& e, long step);
   void on_committed(const MoveFootprint& fp, long step);
@@ -203,9 +204,13 @@ class ProposalPipeline {
   // main engine before scoring a batch.
   std::vector<long> commit_log_;
   uint64_t generation_ = 0;
-  std::vector<Worker> free_workers_;
-  std::mutex workers_mu_;
-  std::mutex observer_mu_;
+  // Worker-engine pool, shared by every parallel_for participant of a
+  // fill_batch. The observer mutex guards no member — it serializes
+  // on_speculate callbacks into the (single-threaded) auditor, so its
+  // contract is the MutexLock around the call, not a SALSA_GUARDED_BY.
+  Mutex workers_mu_;
+  std::vector<Worker> free_workers_ SALSA_GUARDED_BY(workers_mu_);
+  Mutex observer_mu_;
 
   std::array<MoveKindStats, kNumMoveKinds> kind_stats_{};
   SpecStats stats_;

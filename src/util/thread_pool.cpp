@@ -2,15 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "util/annotations.h"
 #include "util/diagnostics.h"
+#include "util/mutex.h"
 
 namespace salsa {
 
@@ -24,11 +24,16 @@ struct Batch {
   const std::function<void(int)>* fn = nullptr;
   std::atomic<int> next{0};
   std::atomic<int> done{0};
-  /// Worker slots still available (the caller is not counted here).
+  /// Worker slots still available (the caller is not counted here). Guarded
+  /// by the owning Pool's mutex_ — Batch is declared before Pool, so the
+  /// guard is stated here rather than via SALSA_GUARDED_BY; the only
+  /// touches are Pool::run and Pool::take_batch_locked, both under it.
   int worker_slots = 0;
   std::vector<std::exception_ptr> errors;  // one slot per index
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
+  // Wakeup plumbing for the batch owner; `done` itself is atomic, the
+  // mutex only orders the final notify against the owner's predicate check.
+  Mutex done_mutex;
+  CondVar done_cv;
 
   bool claimable() const { return next.load(std::memory_order_relaxed) < n; }
 };
@@ -47,7 +52,7 @@ void drain(Batch& b) {
     if (b.done.fetch_add(1, std::memory_order_acq_rel) + 1 == b.n) {
       // Last index: wake the batch owner. Taking the lock orders the notify
       // after the owner's predicate check, so the wakeup cannot be missed.
-      std::lock_guard<std::mutex> lock(b.done_mutex);
+      MutexLock lock(b.done_mutex);
       b.done_cv.notify_all();
     }
   }
@@ -64,12 +69,18 @@ class Pool {
   }
 
   ~Pool() {
+    // Swap the worker handles out under the lock, join them outside it —
+    // joining while holding mutex_ would deadlock against workers that
+    // need it to observe stop_ (and the annotated guard on workers_ would
+    // reject the unlocked join loop anyway).
+    std::vector<std::thread> to_join;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stop_ = true;
+      to_join.swap(workers_);
     }
     work_cv_.notify_all();
-    for (std::thread& w : workers_) w.join();
+    for (std::thread& w : to_join) w.join();
   }
 
   void run(int participants, int n, const std::function<void(int)>& fn) {
@@ -79,7 +90,7 @@ class Pool {
     batch->errors.resize(static_cast<size_t>(n));
     batch->worker_slots = participants - 1;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ensure_workers_locked(participants - 1);
       batches_.push_back(batch);
     }
@@ -87,13 +98,12 @@ class Pool {
 
     drain(*batch);
     {
-      std::unique_lock<std::mutex> lock(batch->done_mutex);
-      batch->done_cv.wait(lock, [&] {
-        return batch->done.load(std::memory_order_acquire) == batch->n;
-      });
+      MutexLock lock(batch->done_mutex);
+      while (batch->done.load(std::memory_order_acquire) != batch->n)
+        batch->done_cv.wait(batch->done_mutex);
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       std::erase(batches_, batch);
     }
     for (const std::exception_ptr& e : batch->errors)
@@ -103,14 +113,14 @@ class Pool {
  private:
   Pool() = default;
 
-  void ensure_workers_locked(int wanted) {
+  void ensure_workers_locked(int wanted) SALSA_REQUIRES(mutex_) {
     while (static_cast<int>(workers_.size()) < wanted)
       workers_.emplace_back([this] { worker_loop(); });
   }
 
   // Oldest batch with unclaimed indices and a free worker slot; takes the
-  // slot. Called under mutex_.
-  std::shared_ptr<Batch> take_batch_locked() {
+  // slot.
+  std::shared_ptr<Batch> take_batch_locked() SALSA_REQUIRES(mutex_) {
     for (const auto& b : batches_) {
       if (b->claimable() && b->worker_slots > 0) {
         --b->worker_slots;
@@ -120,28 +130,36 @@ class Pool {
     return nullptr;
   }
 
-  void worker_loop() {
+  // The explicit lock()/unlock() structure (instead of a cv.wait(lock,
+  // pred) lambda) keeps every guarded access lexically inside a held
+  // region, which is the shape the thread-safety analysis can prove.
+  void worker_loop() SALSA_EXCLUDES(mutex_) {
+    mutex_.lock();
     for (;;) {
-      std::shared_ptr<Batch> batch;
-      {
-        std::unique_lock<std::mutex> lock(mutex_);
-        work_cv_.wait(lock, [&] {
-          return stop_ || (batch = take_batch_locked()) != nullptr;
-        });
-        if (stop_) return;
+      if (stop_) {
+        mutex_.unlock();
+        return;
       }
-      drain(*batch);
-      // The slot is not returned: a drained participant leaving means the
-      // cursor is exhausted (or will be momentarily), so re-joining the
-      // same batch buys nothing.
+      std::shared_ptr<Batch> batch = take_batch_locked();
+      if (batch != nullptr) {
+        mutex_.unlock();
+        drain(*batch);
+        // The slot is not returned: a drained participant leaving means
+        // the cursor is exhausted (or will be momentarily), so re-joining
+        // the same batch buys nothing.
+        mutex_.lock();
+        continue;
+      }
+      work_cv_.wait(mutex_);
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  bool stop_ = false;
-  std::deque<std::shared_ptr<Batch>> batches_;
-  std::vector<std::thread> workers_;  // joined by ~Pool at process exit
+  Mutex mutex_;
+  CondVar work_cv_;
+  bool stop_ SALSA_GUARDED_BY(mutex_) = false;
+  std::deque<std::shared_ptr<Batch>> batches_ SALSA_GUARDED_BY(mutex_);
+  /// Joined by ~Pool at process exit.
+  std::vector<std::thread> workers_ SALSA_GUARDED_BY(mutex_);
 };
 
 }  // namespace

@@ -24,6 +24,12 @@
 // completes, the exception with the lowest index is rethrown on the calling
 // thread (again independent of thread count). Remaining indices still run —
 // an index is never skipped because a sibling failed.
+//
+// Locking discipline (SalsaLint): the pool's shared state lives behind a
+// capability-annotated salsa::Mutex (util/mutex.h) with every guarded
+// member SALSA_GUARDED_BY-declared in thread_pool.cpp, so the Clang
+// -Wthread-safety leg of CI proves lock/member discipline at compile time
+// rather than trusting TSan to hit the interleaving.
 #pragma once
 
 #include <functional>

@@ -1,0 +1,40 @@
+// Known-bad fixture: reading entropy, wall clocks and address-dependent
+// values in a deterministic module. CI asserts salsa_lint.py FIRES on
+// every pattern here. Never compiled — lint fodder only.
+//
+// salsa-lint: expect(no-nondeterministic-sources)
+#include <chrono>
+#include <cstdlib>
+#include <functional>
+#include <random>
+
+namespace salsa_fixture {
+
+// Wall-clock seed: the trajectory becomes a function of when the run
+// started instead of (seed, threads, k).
+inline unsigned long long clock_seed() {
+  return static_cast<unsigned long long>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+// libc rand(): hidden global stream, shared across threads, never a
+// function of the per-restart SplitMix64 streams.
+inline int libc_draw(int n) { return rand() % n; }
+
+// OS entropy: differs every run by design.
+inline unsigned os_entropy() {
+  std::random_device dev;
+  return dev();
+}
+
+// Hashing a pointer value bakes ASLR into whatever consumes the hash.
+inline size_t pointer_hash(const int* p) {
+  return std::hash<const int*>{}(p);
+}
+
+// Address-dependent integer: two runs of the same binary disagree.
+inline unsigned long long address_of(const int& x) {
+  return reinterpret_cast<uintptr_t>(&x);
+}
+
+}  // namespace salsa_fixture

@@ -1,0 +1,26 @@
+// Known-bad fixture: malformed suppressions. An allow() with no rationale
+// (or naming a check that does not exist) would silently punch a hole in
+// the clean-pass gate, so both are violations in their own right. CI
+// asserts salsa_lint.py FIRES on each.
+//
+// salsa-lint: expect(bad-suppression)
+#include <unordered_map>
+
+namespace salsa_fixture {
+
+// Reason-less allow: the suppression is rejected (bad-suppression)...
+// salsa-lint: allow(no-unordered-iteration)
+inline int sum_reasonless(const std::unordered_map<int, int>& m) {
+  int s = 0;
+  // ...and, being invalid, it does NOT silence the iteration finding
+  // either; this fixture therefore expects both checks to fire.
+  // salsa-lint: expect(no-unordered-iteration)
+  for (const auto& [k, v] : m) s += v;
+  return s;
+}
+
+// Unknown check name: typos must not create accidental blanket holes.
+// salsa-lint: allow(no-unordered-iteratoin) commutes
+inline int noop() { return 0; }
+
+}  // namespace salsa_fixture

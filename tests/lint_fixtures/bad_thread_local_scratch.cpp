@@ -1,0 +1,24 @@
+// Known-bad fixture: a static thread_local scratch buffer read before
+// being reset. CI asserts salsa_lint.py FIRES here. Never compiled — lint
+// fodder only.
+//
+// salsa-lint: expect(thread-local-scratch-discipline)
+#include <vector>
+
+namespace salsa_fixture {
+
+// The buffer keeps its contents across calls AND across whoever ran on
+// this pool thread last — the first use below appends without clearing,
+// so candidates from a previous proposal (possibly a different engine's)
+// leak into this one. The discipline: first use in scope must be
+// .clear()/.assign()/.clear_all()/.zero() (or BitPlane::resize, which
+// zeroes by contract), or the declaration documents its tag-guard /
+// drained-to-zero invariant in an allow() suppression.
+inline int collect_even(const std::vector<int>& xs) {
+  static thread_local std::vector<int> scratch;
+  for (int x : xs)
+    if (x % 2 == 0) scratch.push_back(x);  // stale entries still inside
+  return static_cast<int>(scratch.size());
+}
+
+}  // namespace salsa_fixture

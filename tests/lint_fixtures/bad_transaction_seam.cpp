@@ -1,0 +1,46 @@
+// Known-bad fixture: ad-hoc occupancy mutation outside the claim/release/
+// staged-apply entry points of core/binding.* / core/search_engine.*.
+// CI asserts salsa_lint.py FIRES on every pattern here. Never compiled —
+// lint fodder only (the structs below just mirror the real member names).
+//
+// salsa-lint: expect(transaction-seam-writes)
+#include <vector>
+
+namespace salsa_fixture {
+
+struct BitPlane {
+  void set(int, int) {}
+  void clear(int, int) {}
+  void set_range(int, int, int) {}
+};
+
+struct Occupancy {
+  std::vector<std::vector<int>> fu_user;
+  std::vector<std::vector<int>> reg_sto;
+  BitPlane fu_busy;
+  BitPlane reg_busy;
+  BitPlane reg_busy_t;
+  int& fu_slot(int f, int t) { return fu_user[f][t]; }
+  void claim_fu(int, int, int) {}
+  void release_reg(int, int) {}
+};
+
+// Poking a busy plane directly: the scalar identity grid no longer agrees
+// with the packed plane, and the engine's word undo journal never saw the
+// write — rollback cannot restore it.
+inline void poke_plane(Occupancy& occ) { occ.fu_busy.set(3, 7); }
+
+// Writing the identity grid directly: same skew, other representation.
+inline void poke_grid(Occupancy& occ, int node) {
+  occ.reg_sto[2][5] = node;
+}
+
+// Raw slot reference outside the engine's journaled claim paths.
+inline void poke_slot(Occupancy& occ) { occ.fu_slot(1, 4) = -1; }
+
+// Even the sanctioned entry points are seam violations when called ad hoc
+// from outside binding.*/search_engine.* — no transaction, no journal, no
+// auditor hook sees the mutation.
+inline void adhoc_claim(Occupancy& occ) { occ.claim_fu(0, 0, 42); }
+
+}  // namespace salsa_fixture

@@ -1,0 +1,28 @@
+// Known-good fixture: every would-be violation below carries a well-formed
+// allow() suppression with a rationale, so the lint must stay SILENT on
+// this file (no expect() directives). This pins the suppression machinery:
+// if allow() parsing breaks, this fixture starts firing and the fixture
+// gate turns red — the exact complement of the bad_* fixtures.
+#include <unordered_map>
+#include <vector>
+
+namespace salsa_fixture {
+
+inline int sum_sanctioned(const std::unordered_map<int, int>& m) {
+  int s = 0;
+  // salsa-lint: allow(no-unordered-iteration) integer addition commutes; any visit order yields the same sum
+  for (const auto& [k, v] : m) s += v;
+  return s;
+}
+
+inline int tagged_scratch(const std::vector<int>& xs) {
+  // salsa-lint: allow(thread-local-scratch-discipline) drained below: the function returns only entries appended this call and truncates before returning
+  static thread_local std::vector<int> scratch;
+  const size_t base = scratch.size();
+  for (int x : xs) scratch.push_back(x);
+  const int added = static_cast<int>(scratch.size() - base);
+  scratch.resize(base);
+  return added;
+}
+
+}  // namespace salsa_fixture

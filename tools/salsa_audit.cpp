@@ -1,60 +1,10 @@
-// salsa_audit — the SalsaCheck command line: drives the move fuzzer and the
-// determinism audit over the standard targets, printing one summary line
-// per audit and exiting non-zero on any violation.
-//
-//   salsa_audit [--target ewf|dct|random|all] [--transactions N] [--seed S]
-//               [--every N] [--commit-prob P] [--weighted]
-//               [--determinism] [--restarts R] [--threads a,b,c]
-//               [--artifacts DIR] [--dump]
-//
-//   --target       which standard target(s) to audit (default: all)
-//   --transactions feasible transactions per target (default: 10000)
-//   --seed         fuzz seed; a CI failure replays with the printed seed
-//   --every        audit every Nth transaction (default: 1 = all)
-//   --commit-prob  probability a feasible move is committed (default: 0.5)
-//   --weighted     draw moves by MoveConfig weight instead of uniformly
-//   --determinism  also replay allocate() per thread count and diff the
-//                  per-restart digest streams (default thread counts 1,2,8)
-//   --restarts     restarts for the determinism audit (default: 6)
-//   --threads      comma-separated thread counts for the determinism audit
-//   --artifacts    directory for failure artifacts (seed + binding JSON)
-//   --inject-broken-undo N  mutation test: break the Nth rollback's undo
-//                  (the digest check must report a VIOLATION)
-//   --speculation  also fuzz the speculative proposal pipeline: seeded
-//                  k-way batches diffed against a sequential reference run
-//   --spec-k       speculative batch width (default: 8)
-//   --spec-steps   candidates served per speculation fuzz run (default: 4000)
-//   --spec-skip N  mutation test: let the Nth footprint-conflict hit slip
-//                  through uninvalidated (expected output: a VIOLATION)
-//   --index        also audit the flat connection index: drive a weighted
-//                  random search and cross-check the incrementally
-//                  maintained index against a from-scratch rebuild
-//                  (SearchEngine::index_matches_rebuild) after every commit
-//   --index-commits N  commits per index audit run (default: 2000)
-//   --break-flat-erase N  mutation test: the Nth FlatMap erase of the index
-//                  audit skips its backward-shift compaction
-//                  (flat_map_hooks), orphaning displaced keys — the rebuild
-//                  cross-check or FlatMap's own missing-key CHECK must
-//                  report a VIOLATION
-//   --bitplane     also audit the packed occupancy bitplanes: drive a
-//                  weighted random search and run the packed-vs-scalar
-//                  differential (SearchEngine::occupancy_planes_match)
-//                  after every commit
-//   --bitplane-commits N  commits per bitplane audit run (default: 2000)
-//   --break-bitplane-word N  mutation test: the Nth ranged busy-plane word
-//                  update on the engine's occupancy planes degrades to a
-//                  per-bit loop that stops one bit short (bitplane_hooks) —
-//                  once the broken claim commits, the differential check
-//                  must report a VIOLATION
-//   --scaling      also fuzz a generated mid-size design (a filter cascade
-//                  from frontend/generate.h, ~5k ops by default) under the
-//                  size-sampled invariant auditor — the audit wall's leg on
-//                  the large-design corpus, where auditing every
-//                  transaction in full would take hours. The run fails if
-//                  the auditor did NOT sample (auditing a 5k-op design
-//                  per-transaction means the sampling threshold regressed)
-//   --scaling-ops N  target operation count for --scaling (default: 5000)
-//   --dump         print each target's start binding JSON and exit
+// salsa_audit — the SalsaCheck command line: drives the move fuzzer, the
+// determinism/speculation audits and the index/bitplane/scaling
+// cross-checks over the standard targets, printing one summary line per
+// audit and exiting non-zero on any violation. Run with --help for the
+// full flag catalogue (kUsage below is the single source of truth; an
+// unknown flag prints it and exits 2 so CI invocations cannot silently
+// mis-type a mode).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +25,52 @@
 using namespace salsa;
 
 namespace {
+
+// One source of truth for the flag listing: printed by --help (stdout,
+// exit 0) and after an unknown flag (stderr, exit 2). CI drives this tool
+// with long hand-written invocations, where a silently mis-typed flag used
+// to be easy to commit; now every flag either parses or stops the run with
+// the catalogue in view.
+constexpr const char* kUsage = R"(salsa_audit — the SalsaCheck command line
+
+usage: salsa_audit [options]
+
+general
+  --target ewf|dct|random|all   standard target(s) to audit (default: all)
+  --transactions N   feasible transactions per target (default: 10000)
+  --seed S           fuzz seed; a CI failure replays with the printed seed
+  --every N          audit every Nth transaction (default: 1 = all)
+  --commit-prob P    probability a feasible move is committed (default: 0.5)
+  --weighted         draw moves by MoveConfig weight instead of uniformly
+  --artifacts DIR    directory for failure artifacts (seed + binding JSON)
+  --dump             print each target's start binding JSON and exit
+  --help, -h         print this listing and exit
+
+audit modes
+  --determinism      replay allocate() per thread count and diff the
+                     per-restart digest streams (default threads 1,2,8)
+  --restarts R       restarts for the determinism audit (default: 6)
+  --threads a,b,c    comma-separated thread counts for the determinism audit
+  --speculation      fuzz the speculative proposal pipeline: seeded k-way
+                     batches diffed against a sequential reference run
+  --spec-k K         speculative batch width (default: 8)
+  --spec-steps N     candidates served per speculation fuzz run (default: 4000)
+  --index            cross-check the flat connection index against a
+                     from-scratch rebuild after every commit
+  --index-commits N  commits per index audit run (default: 2000)
+  --bitplane         run the packed-vs-scalar occupancy differential after
+                     every commit
+  --bitplane-commits N  commits per bitplane audit run (default: 2000)
+  --scaling          fuzz a generated mid-size cascade under the
+                     size-sampled auditor (fails if sampling never engages)
+  --scaling-ops N    target operation count for --scaling (default: 5000)
+
+mutation tests (expected output: a VIOLATION; CI asserts non-zero exit)
+  --inject-broken-undo N   break the Nth rollback's undo
+  --spec-skip N            let the Nth footprint-conflict hit slip through
+  --break-flat-erase N     Nth FlatMap erase skips backward-shift compaction
+  --break-bitplane-word N  Nth ranged busy-plane word update left broken
+)";
 
 std::vector<int> parse_thread_list(const std::string& arg) {
   std::vector<int> out;
@@ -265,8 +261,12 @@ int main(int argc, char** argv) {
       scaling_ops = std::atoi(next().c_str());
     } else if (arg == "--dump") {
       dump = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
     } else {
-      std::fprintf(stderr, "unknown flag '%s'\n", arg.c_str());
+      std::fprintf(stderr, "salsa_audit: unknown flag '%s'\n\n%s",
+                   arg.c_str(), kUsage);
       return 2;
     }
   }
