@@ -103,6 +103,8 @@ ControllerStats analyze_controller(const Netlist& nl) {
   const auto words = control_words(nl);
   std::set<Word> distinct(words.begin(), words.end());
   stats.distinct_words = static_cast<int>(distinct.size());
+  for (const Word& w : words)
+    if (w.fu_op.empty() && w.reg_loads.empty()) ++stats.idle_steps;
   return stats;
 }
 

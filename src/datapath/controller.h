@@ -22,6 +22,12 @@ struct ControllerStats {
   /// Distinct control words over the schedule (a measure of controller
   /// regularity; fewer distinct words mean a smaller decoder).
   int distinct_words = 0;
+  /// Steps whose control word is all-idle: no FU starts an operation and no
+  /// register loads. The datapath coasts (registers hold, pass-through
+  /// routing may still be configured) — the controller's stall states. The
+  /// event-driven simulator schedules nothing for these steps; the
+  /// simulator edge-case tests pin that both engines coast identically.
+  int idle_steps = 0;
 };
 
 /// Computes the control-word statistics of a netlist.

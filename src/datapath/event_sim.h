@@ -1,0 +1,73 @@
+// Event-driven simulation of an allocated datapath. Where the full-eval
+// engine (datapath/simulator.h) rescans every FU action, register load and
+// pass-through candidate on every global step — O(netlist) per step, with a
+// per-FU scan that makes large generated designs quadratic — this engine
+// compiles the netlist into per-slot components once and then processes a
+// time-ordered event queue: a component re-evaluates only when one of its
+// input endpoints changed (or another writer disturbed its output cell)
+// since it last fired. Idle steps cost nothing; stable subgraphs settle and
+// go silent. Semantics are pinned signal-for-signal and cycle-for-cycle to
+// the full-eval engine: the two must produce identical output streams AND
+// identical per-step register traces (hence identical VCD dumps) on every
+// netlist — diff_sim_engines() is that contract, and the differential
+// harness (tests/test_sim_differential.cpp, salsa_audit --sim) enforces it
+// the same way verify.cpp backs the bitplanes.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "datapath/simulator.h"
+
+namespace salsa {
+
+// Mutation hooks (salsa_audit --break-event-skip): when armed, the Nth
+// change-event wake-up is dropped AND its dedup key is recorded as if the
+// occurrence had been enqueued — a lost scheduled event. Redundant wakes
+// from a component's other operands cannot heal the hole, so the slot
+// computes on stale inputs: exactly the bug class the event model risks
+// over the always-reevaluate reference, and the differential harness must
+// report the resulting stale signal. wake_count advances only while armed,
+// so callers arm relative to its current value; a hook left nonzero after
+// a run means the mutation never fired and proved nothing.
+namespace event_sim_hooks {
+inline long drop_wake_after = 0;
+inline long wake_count = 0;
+}  // namespace event_sim_hooks
+
+/// Counters the event engine reports alongside its results; the wall-clock
+/// record (salsa_audit --sim-wall) and EXPERIMENTS.md quote them.
+struct EventSimStats {
+  long firings = 0;     ///< slot evaluations actually executed
+  long wakes = 0;       ///< change-event wake-ups delivered
+  long slots = 0;       ///< compiled static slots (netlist size proxy)
+  long heap_peak = 0;   ///< max simultaneous pending events
+};
+
+/// Drop-in equivalent of simulate() on the event engine: same inputs
+/// contract (inputs[i] feeds iteration i; the boundary load of the last
+/// simulated iteration needs inputs[iterations] when present), same
+/// SimResult/SimTrace shapes, identical values.
+SimResult simulate_events(const Netlist& nl,
+                          std::span<const std::vector<int64_t>> inputs,
+                          std::span<const int64_t> initial_states,
+                          int iterations, SimTrace* trace = nullptr,
+                          EventSimStats* stats = nullptr);
+
+/// The differential contract: runs both engines on the same stimuli and
+/// compares every output value and every per-step register snapshot.
+/// Returns "" when equivalent, else a description of the first divergence
+/// (engine, global step, register/output, both values).
+std::string diff_sim_engines(const Netlist& nl,
+                             std::span<const std::vector<int64_t>> inputs,
+                             std::span<const int64_t> initial_states,
+                             int iterations);
+
+/// Seeded random-stimulus differential (the shape of
+/// random_equivalence_check, but event-vs-full-eval instead of
+/// datapath-vs-evaluator).
+std::string random_engine_diff(const Netlist& nl, int iterations,
+                               uint64_t seed);
+
+}  // namespace salsa

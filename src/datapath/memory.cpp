@@ -1,0 +1,298 @@
+#include "datapath/memory.h"
+
+#include <map>
+#include <queue>
+#include <sstream>
+
+#include "datapath/ready_valid.h"
+
+namespace salsa {
+
+namespace {
+
+// Each cycle has three sub-phases, totally ordered like the netlist event
+// engine's: consumers pop (0), producers push (1), channels clock (2). The
+// consumer-before-producer order is what lets RvChannel::ready() reflect a
+// same-cycle pop, keeping full throughput without a skid buffer.
+enum MemPhase : int { kConsume = 0, kProduce = 1, kEdge = 2 };
+
+struct ReqPayload {
+  MemOp op;
+  int prog_index = 0;
+};
+
+struct MemEv {
+  int64_t key;  // cycle * 4 + phase
+  int comp;     // LSU index, kRamComp, or kEdgeComp
+};
+
+struct MemEvAfter {
+  bool operator()(const MemEv& x, const MemEv& y) const {
+    if (x.key != y.key) return x.key > y.key;
+    return x.comp > y.comp;
+  }
+};
+
+class MemorySim {
+ public:
+  MemorySim(std::span<const std::vector<MemOp>> programs, int ram_latency)
+      : programs_(programs), latency_(ram_latency) {
+    SALSA_CHECK_MSG(ram_latency >= 1, "RAM latency must be >= 1 cycle");
+    const size_t n = programs.size();
+    req_.resize(n);
+    resp_.resize(n);
+    next_op_.assign(n, 0);
+    outstanding_.assign(n, 0);
+    outstanding_load_.assign(n, 0);
+    sched_key_.assign((n + 1) * 2, -1);
+    result_.loads.resize(n);
+  }
+
+  MemSimResult run() {
+    const int num_lsus = static_cast<int>(programs_.size());
+    for (int u = 0; u < num_lsus; ++u) schedule(u, 0, kProduce);
+    schedule(kRam, 0, kConsume);
+
+    int64_t last_cycle = -1;
+    while (!heap_.empty()) {
+      const MemEv e = heap_.top();
+      heap_.pop();
+      const int64_t cycle = e.key / 4;
+      const int phase = static_cast<int>(e.key % 4);
+      last_cycle = cycle;
+      ++result_.stats.events;
+      if (e.comp == kEdgeComp) {
+        edge(cycle);
+      } else if (e.comp == kRam) {
+        phase == kConsume ? ram_consume(cycle) : ram_produce(cycle);
+      } else {
+        phase == kConsume ? lsu_consume(e.comp, cycle)
+                          : lsu_produce(e.comp, cycle);
+      }
+    }
+    for (int u = 0; u < num_lsus; ++u)
+      SALSA_CHECK_MSG(
+          !outstanding_[static_cast<size_t>(u)] &&
+              next_op_[static_cast<size_t>(u)] ==
+                  static_cast<int>(programs_[static_cast<size_t>(u)].size()),
+          "memory simulation deadlocked with transactions in flight");
+    result_.stats.cycles = last_cycle + 1;
+    return std::move(result_);
+  }
+
+ private:
+  static constexpr int kRam = -2;       // sentinel; real id derived below
+  static constexpr int kEdgeComp = -1;  // per-cycle channel clock event
+
+  size_t comp_slot(int comp, int phase) const {
+    const size_t base = comp == kRam ? programs_.size()
+                                     : static_cast<size_t>(comp);
+    return base * 2 + static_cast<size_t>(phase);
+  }
+
+  void schedule(int comp, int64_t cycle, int phase) {
+    const int64_t key = cycle * 4 + phase;
+    if (comp != kEdgeComp) {
+      const size_t s = comp_slot(comp, phase);
+      if (sched_key_[s] == key) return;
+      sched_key_[s] = key;
+    }
+    heap_.push(MemEv{key, comp});
+    if (static_cast<long>(heap_.size()) > result_.stats.heap_peak)
+      result_.stats.heap_peak = static_cast<long>(heap_.size());
+  }
+
+  void mark_edge(int64_t cycle) {
+    if (edge_cycle_ == cycle) return;
+    edge_cycle_ = cycle;
+    schedule(kEdgeComp, cycle, kEdge);
+  }
+
+  void lsu_consume(int u, int64_t cycle) {
+    auto& ch = resp_[static_cast<size_t>(u)];
+    if (!ch.valid()) return;
+    if (outstanding_load_[static_cast<size_t>(u)])
+      result_.loads[static_cast<size_t>(u)].push_back(ch.peek());
+    ch.pop();
+    outstanding_[static_cast<size_t>(u)] = 0;
+    mark_edge(cycle);
+    schedule(u, cycle, kProduce);  // the freed LSU may issue this cycle
+  }
+
+  void lsu_produce(int u, int64_t cycle) {
+    const auto& prog = programs_[static_cast<size_t>(u)];
+    const int next = next_op_[static_cast<size_t>(u)];
+    if (outstanding_[static_cast<size_t>(u)] ||
+        next >= static_cast<int>(prog.size()))
+      return;
+    auto& ch = req_[static_cast<size_t>(u)];
+    if (!ch.ready()) return;  // backpressured: a channel change re-wakes us
+    const MemOp& op = prog[static_cast<size_t>(next)];
+    ch.push(ReqPayload{op, next});
+    outstanding_[static_cast<size_t>(u)] = 1;
+    outstanding_load_[static_cast<size_t>(u)] = op.write ? 0 : 1;
+    next_op_[static_cast<size_t>(u)] = next + 1;
+    mark_edge(cycle);
+  }
+
+  void ram_consume(int64_t cycle) {
+    if (ram_busy_) return;  // serving: we self-wake when the port frees
+    for (size_t u = 0; u < req_.size(); ++u) {
+      if (!req_[u].valid()) continue;
+      serving_ = req_[u].peek();
+      serving_lsu_ = static_cast<int>(u);
+      req_[u].pop();
+      ram_busy_ = true;
+      // Response pushed at `finish` is valid to the LSU at finish + 1 ==
+      // accept cycle + latency.
+      ram_finish_ = cycle + latency_ - 1;
+      result_.port_order.emplace_back(serving_lsu_, serving_.prog_index);
+      mark_edge(cycle);
+      schedule(kRam, ram_finish_, kProduce);
+      return;  // single port: lowest-index request wins this cycle
+    }
+  }
+
+  void ram_produce(int64_t cycle) {
+    if (!ram_busy_ || cycle < ram_finish_) return;
+    auto& ch = resp_[static_cast<size_t>(serving_lsu_)];
+    if (!ch.ready()) return;  // backpressured by the LSU; its pop re-wakes us
+    int64_t value = serving_.op.data;
+    if (serving_.op.write) {
+      mem_[serving_.op.addr] = serving_.op.data;
+    } else {
+      const auto it = mem_.find(serving_.op.addr);
+      value = it == mem_.end() ? 0 : it->second;
+    }
+    ch.push(value);
+    ram_busy_ = false;
+    mark_edge(cycle);
+    schedule(kRam, cycle + 1, kConsume);  // port free: arbitrate next cycle
+  }
+
+  void edge(int64_t cycle) {
+    for (size_t u = 0; u < req_.size(); ++u) {
+      if (req_[u].clock()) {
+        schedule(kRam, cycle + 1, kConsume);
+        schedule(static_cast<int>(u), cycle + 1, kProduce);
+      }
+      if (resp_[u].clock()) {
+        schedule(static_cast<int>(u), cycle + 1, kConsume);
+        schedule(kRam, cycle + 1, kProduce);
+      }
+    }
+  }
+
+  std::span<const std::vector<MemOp>> programs_;
+  const int latency_;
+
+  std::vector<RvChannel<ReqPayload>> req_;
+  std::vector<RvChannel<int64_t>> resp_;
+  std::vector<int> next_op_;
+  std::vector<char> outstanding_, outstanding_load_;
+  std::vector<int64_t> sched_key_;
+
+  bool ram_busy_ = false;
+  ReqPayload serving_{};
+  int serving_lsu_ = 0;
+  int64_t ram_finish_ = 0;
+  std::map<int64_t, int64_t> mem_;
+
+  int64_t edge_cycle_ = -1;
+  std::priority_queue<MemEv, std::vector<MemEv>, MemEvAfter> heap_;
+  MemSimResult result_;
+};
+
+}  // namespace
+
+MemSimResult simulate_memory(std::span<const std::vector<MemOp>> programs,
+                             int ram_latency) {
+  MemorySim sim(programs, ram_latency);
+  return sim.run();
+}
+
+std::vector<int64_t> magic_memory_loads(std::span<const MemOp> ops) {
+  std::map<int64_t, int64_t> mem;
+  std::vector<int64_t> loads;
+  for (const MemOp& op : ops) {
+    if (op.write) {
+      mem[op.addr] = op.data;
+    } else {
+      const auto it = mem.find(op.addr);
+      loads.push_back(it == mem.end() ? 0 : it->second);
+    }
+  }
+  return loads;
+}
+
+std::string diff_memory_sim(std::span<const std::vector<MemOp>> programs,
+                            int ram_latency) {
+  const MemSimResult got = simulate_memory(programs, ram_latency);
+  std::ostringstream os;
+
+  // Transaction conservation + per-LSU program order at the port.
+  size_t total = 0;
+  for (const auto& p : programs) total += p.size();
+  if (got.port_order.size() != total) {
+    os << "port accepted " << got.port_order.size() << " of " << total
+       << " transactions";
+    return os.str();
+  }
+  std::vector<int> last_index(programs.size(), -1);
+  std::vector<MemOp> port_ops;
+  port_ops.reserve(total);
+  for (const auto& [u, ix] : got.port_order) {
+    if (ix != last_index[static_cast<size_t>(u)] + 1) {
+      os << "LSU " << u << " transactions reordered at the port: index " << ix
+         << " after " << last_index[static_cast<size_t>(u)];
+      return os.str();
+    }
+    last_index[static_cast<size_t>(u)] = ix;
+    port_ops.push_back(programs[static_cast<size_t>(u)][static_cast<size_t>(ix)]);
+  }
+
+  // Magic-memory replay of the accepted order must reproduce every load.
+  const std::vector<int64_t> want = magic_memory_loads(port_ops);
+  std::vector<std::vector<int64_t>> want_per_lsu(programs.size());
+  size_t w = 0;
+  for (const auto& [u, ix] : got.port_order)
+    if (!programs[static_cast<size_t>(u)][static_cast<size_t>(ix)].write)
+      want_per_lsu[static_cast<size_t>(u)].push_back(want[w++]);
+  for (size_t u = 0; u < programs.size(); ++u) {
+    if (got.loads[u].size() != want_per_lsu[u].size()) {
+      os << "LSU " << u << " returned " << got.loads[u].size() << " loads, "
+         << "magic memory expected " << want_per_lsu[u].size();
+      return os.str();
+    }
+    for (size_t i = 0; i < got.loads[u].size(); ++i)
+      if (got.loads[u][i] != want_per_lsu[u][i]) {
+        os << "LSU " << u << " load " << i << ": event=" << got.loads[u][i]
+           << " magic=" << want_per_lsu[u][i];
+        return os.str();
+      }
+  }
+  return {};
+}
+
+std::vector<std::vector<MemOp>> mem_ops_from_outputs(const SimResult& outputs,
+                                                     int64_t addr_space) {
+  SALSA_CHECK(addr_space >= 1);
+  SALSA_CHECK_MSG(!outputs.outputs.empty() &&
+                      outputs.outputs[0].size() >= 2 &&
+                      outputs.outputs[0].size() % 2 == 0,
+                  "memory traffic needs (addr, data) output pairs");
+  const size_t streams = outputs.outputs[0].size() / 2;
+  std::vector<std::vector<MemOp>> programs(streams);
+  for (size_t iter = 0; iter < outputs.outputs.size(); ++iter)
+    for (size_t j = 0; j < streams; ++j) {
+      const int64_t a = outputs.outputs[iter][2 * j];
+      MemOp op;
+      op.write = iter % 2 == 0;
+      op.addr = ((a % addr_space) + addr_space) % addr_space;
+      op.data = outputs.outputs[iter][2 * j + 1];
+      programs[j].push_back(op);
+    }
+  return programs;
+}
+
+}  // namespace salsa

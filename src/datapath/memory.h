@@ -1,0 +1,78 @@
+// Memory/LSU components on the event-driven simulation kernel: blocking
+// load/store units issue per-unit transaction programs to a single-port RAM
+// with configurable access latency over ready/valid channels
+// (datapath/ready_valid.h). Only components whose channels moved (or whose
+// access timer expires) re-evaluate; a RAM waiting out a long latency costs
+// one event, not latency-many cycles of rescanning.
+//
+// The transaction programs come from the datapath: a memory-traffic design
+// (frontend/generate.h, GenFamily::kMemoryTraffic) computes (addr, data)
+// output streams under the netlist controller, and mem_ops_from_outputs()
+// turns those sampled outputs into LSU programs — the controller drives the
+// memory subsystem through its output ports.
+//
+// The differential contract mirrors the engine pair: diff_memory_sim() runs
+// the cycle-accurate subsystem against magic_memory_loads(), a zero-latency
+// behavioural memory replaying the same transactions, and requires identical
+// load streams plus transaction conservation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "datapath/simulator.h"
+
+namespace salsa {
+
+/// One memory transaction: a store of `data` to `addr`, or a load from
+/// `addr` (data ignored).
+struct MemOp {
+  bool write = false;
+  int64_t addr = 0;
+  int64_t data = 0;
+};
+
+struct MemSimStats {
+  long cycles = 0;     ///< total cycles until every program drained
+  long events = 0;     ///< component evaluations executed
+  long heap_peak = 0;  ///< max simultaneous pending events
+};
+
+struct MemSimResult {
+  /// loads[u] — values returned to LSU u's loads, in program order.
+  std::vector<std::vector<int64_t>> loads;
+  /// accepted transaction order at the RAM port: (lsu, program index).
+  std::vector<std::pair<int, int>> port_order;
+  MemSimStats stats;
+};
+
+/// Runs one program per LSU against a shared single-port RAM.
+/// `ram_latency` >= 1 cycles from request accept to response; unwritten
+/// addresses read as 0. LSUs are blocking (one outstanding transaction);
+/// the RAM arbitrates lowest-index-first among pending requests and exerts
+/// backpressure when its response channel stalls.
+MemSimResult simulate_memory(std::span<const std::vector<MemOp>> programs,
+                             int ram_latency);
+
+/// Behavioural reference: applies `ops` to a flat map in the given order and
+/// returns each load's value (zero-latency "magic" memory).
+std::vector<int64_t> magic_memory_loads(std::span<const MemOp> ops);
+
+/// Differential check: simulates the subsystem, then replays the accepted
+/// port order through the magic memory and compares every load value, plus
+/// per-LSU program-order load streams for the single-LSU case (where the
+/// port order is the program order by construction). Returns "" when
+/// equivalent, else the first divergence.
+std::string diff_memory_sim(std::span<const std::vector<MemOp>> programs,
+                            int ram_latency);
+
+/// Adapts sampled datapath outputs (SimResult::outputs) into an LSU program:
+/// output k=2j is the address and k=2j+1 the data of stream j; even
+/// iterations store, odd iterations load (so every stream exercises both).
+/// Addresses are masked into [0, addr_space).
+std::vector<std::vector<MemOp>> mem_ops_from_outputs(
+    const SimResult& outputs, int64_t addr_space);
+
+}  // namespace salsa

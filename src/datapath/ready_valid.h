@@ -1,0 +1,65 @@
+// Ready/valid elastic connections for the event-driven memory components
+// (datapath/memory.h). A channel is one registered slot with the standard
+// handshake: the producer may push only while ready(), the consumer sees
+// valid()/peek() and pops, and both effects commit at the cycle edge
+// (clock()). Full throughput is preserved because ready() already accounts
+// for a pop staged this cycle — the evaluation order inside a cycle is
+// consumers first, then producers, then the edge, which is exactly the
+// sub-phase order the memory event kernel uses.
+//
+// Handshake safety is CHECKed, not assumed: pushing while !ready() or
+// popping while !valid() aborts. That turns protocol bugs in components
+// into hard failures the differential memory tests can pin.
+#pragma once
+
+#include <utility>
+
+#include "util/diagnostics.h"
+
+namespace salsa {
+
+template <class T>
+class RvChannel {
+ public:
+  /// Consumer side: a payload is visible the cycle after its push committed.
+  bool valid() const { return full_; }
+  const T& peek() const {
+    SALSA_CHECK_MSG(full_, "RvChannel::peek on empty channel");
+    return data_;
+  }
+  void pop() {
+    SALSA_CHECK_MSG(full_ && !pop_pending_, "RvChannel::pop handshake abuse");
+    pop_pending_ = true;
+  }
+
+  /// Producer side: ready when the slot is free after this cycle's pop.
+  bool ready() const { return (!full_ || pop_pending_) && !push_pending_; }
+  void push(T v) {
+    SALSA_CHECK_MSG(ready(), "RvChannel::push while not ready");
+    push_pending_ = true;
+    push_data_ = std::move(v);
+  }
+
+  /// Cycle edge: commits the staged pop/push. Returns whether the channel's
+  /// observable state changed — the event kernel wakes both endpoints then.
+  bool clock() {
+    const bool changed = pop_pending_ || push_pending_;
+    if (pop_pending_) full_ = false;
+    if (push_pending_) {
+      full_ = true;
+      data_ = std::move(push_data_);
+    }
+    pop_pending_ = false;
+    push_pending_ = false;
+    return changed;
+  }
+
+ private:
+  bool full_ = false;
+  bool pop_pending_ = false;
+  bool push_pending_ = false;
+  T data_{};
+  T push_data_{};
+};
+
+}  // namespace salsa

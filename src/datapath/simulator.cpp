@@ -18,22 +18,16 @@ struct Machine {
 
 }  // namespace
 
-SimResult simulate(const Netlist& nl,
-                   std::span<const std::vector<int64_t>> inputs,
-                   std::span<const int64_t> initial_states, int iterations,
-                   SimTrace* trace) {
+std::vector<int64_t> initial_register_image(
+    const Netlist& nl, std::span<const std::vector<int64_t>> inputs,
+    std::span<const int64_t> initial_states) {
   const Binding& b = nl.binding();
   const AllocProblem& prob = b.prob();
   const Cdfg& g = prob.cdfg();
-  const Schedule& sched = prob.sched();
   const Lifetimes& lt = prob.lifetimes();
-  const int L = sched.length();
 
-  SALSA_CHECK_MSG(static_cast<int>(inputs.size()) >= iterations,
-                  "simulate: not enough input vectors");
   const auto state_nodes = g.state_nodes();
   const auto input_nodes = g.input_nodes();
-  const auto output_nodes = g.output_nodes();
   std::vector<int64_t> states(state_nodes.size(), 0);
   if (!initial_states.empty()) {
     SALSA_CHECK(initial_states.size() == state_nodes.size());
@@ -54,10 +48,7 @@ SimResult simulate(const Netlist& nl,
     return -1;
   };
 
-  Machine m;
-  m.regs.assign(static_cast<size_t>(prob.num_regs()), 0);
-  m.fu_result.assign(static_cast<size_t>(prob.fus().size()), 0);
-  m.fu_has_result.assign(static_cast<size_t>(prob.fus().size()), false);
+  std::vector<int64_t> regs(static_cast<size_t>(prob.num_regs()), 0);
 
   // Preload: cells occupying step 0 were written "before time zero" — they
   // hold initial states, iteration-0 inputs, or junk (dead values).
@@ -70,6 +61,7 @@ SimResult simulate(const Netlist& nl,
     if (sx >= 0) {
       v = states[static_cast<size_t>(sx)];
     } else if (s.producer == kInvalidId) {
+      SALSA_CHECK(!inputs.empty());
       v = inputs[0][static_cast<size_t>(
           input_index(g.producer(s.members[0])))];
     } else if (!s.wraps && s.birth == 0) {
@@ -80,8 +72,35 @@ SimResult simulate(const Netlist& nl,
       continue;  // storage born later this iteration; no preload needed
     }
     for (const Cell& c : b.sto(sid).cells[static_cast<size_t>(seg)])
-      m.regs[static_cast<size_t>(c.reg)] = v;
+      regs[static_cast<size_t>(c.reg)] = v;
   }
+  return regs;
+}
+
+SimResult simulate(const Netlist& nl,
+                   std::span<const std::vector<int64_t>> inputs,
+                   std::span<const int64_t> initial_states, int iterations,
+                   SimTrace* trace) {
+  const Binding& b = nl.binding();
+  const AllocProblem& prob = b.prob();
+  const Cdfg& g = prob.cdfg();
+  const Schedule& sched = prob.sched();
+  const int L = sched.length();
+
+  SALSA_CHECK_MSG(static_cast<int>(inputs.size()) >= iterations,
+                  "simulate: not enough input vectors");
+  const auto input_nodes = g.input_nodes();
+  const auto output_nodes = g.output_nodes();
+  auto input_index = [&](NodeId n) {
+    for (size_t i = 0; i < input_nodes.size(); ++i)
+      if (input_nodes[i] == n) return static_cast<int>(i);
+    fail("unknown input node");
+  };
+
+  Machine m;
+  m.regs = initial_register_image(nl, inputs, initial_states);
+  m.fu_result.assign(static_cast<size_t>(prob.fus().size()), 0);
+  m.fu_has_result.assign(static_cast<size_t>(prob.fus().size()), false);
 
   // Multi-cycle operations in flight: (finish step global, fu, value).
   struct Pending {

@@ -26,6 +26,19 @@ struct SimTrace {
   std::vector<std::vector<int64_t>> regs;
 };
 
+/// Which simulation engine to run. kFullEval is the always-reevaluate
+/// reference (this file); kEventDriven is the event-queue engine
+/// (datapath/event_sim.h). Both produce identical results by contract.
+enum class SimEngine { kFullEval, kEventDriven };
+
+/// The register image "before time zero": cells occupying step 0 hold
+/// initial states, iteration-0 inputs, or zeros (boundary-born dead values).
+/// Shared input boundary of both simulation engines so the differential
+/// contract starts from one well-defined state.
+std::vector<int64_t> initial_register_image(
+    const Netlist& nl, std::span<const std::vector<int64_t>> inputs,
+    std::span<const int64_t> initial_states);
+
 /// Simulates `iterations` loop iterations. `inputs[i]` provides the input
 /// values of iteration i (order of cdfg.input_nodes()); `initial_states`
 /// seeds the state nodes (order of cdfg.state_nodes(); empty = zeros).

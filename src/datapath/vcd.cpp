@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "datapath/event_sim.h"
+
 namespace salsa {
 
 namespace {
@@ -32,13 +34,16 @@ std::string bits_of(int64_t v) {
 std::string dump_vcd(const Netlist& nl,
                      std::span<const std::vector<int64_t>> inputs,
                      std::span<const int64_t> initial_states, int iterations,
-                     const std::string& module_name) {
+                     const std::string& module_name, SimEngine engine) {
   const AllocProblem& prob = nl.binding().prob();
   const int nreg = prob.num_regs();
   const int L = prob.sched().length();
 
   SimTrace trace;
-  (void)simulate(nl, inputs, initial_states, iterations, &trace);
+  if (engine == SimEngine::kEventDriven)
+    (void)simulate_events(nl, inputs, initial_states, iterations, &trace);
+  else
+    (void)simulate(nl, inputs, initial_states, iterations, &trace);
 
   std::ostringstream os;
   os << "$date today $end\n$version salsa datapath simulator $end\n"

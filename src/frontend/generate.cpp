@@ -19,6 +19,8 @@ const char* gen_family_name(GenFamily f) {
       return "gemm";
     case GenFamily::kLayeredDag:
       return "dag";
+    case GenFamily::kMemoryTraffic:
+      return "mem";
   }
   return "?";
 }
@@ -208,6 +210,55 @@ Cdfg make_layered_dag(const GenParams& p, Rng& rng) {
   return g;
 }
 
+// Parallel (address, data) stream pairs for the memory subsystem. Per
+// stream: an affine address walker addr = a*stride + base with a' = a + step
+// (3 ops), and a MAC chain of `mem_chain` stages folding the stream input
+// into a running data state (2 ops per stage). Outputs are emitted in
+// (addr, data) adjacent pairs — the layout mem_ops_from_outputs() expects —
+// so the sampled datapath outputs convert directly into LSU programs.
+Cdfg make_memory_traffic(const GenParams& p, Rng& rng) {
+  Cdfg g(std::string("gen_mem_") + std::to_string(p.seed));
+  // chain >= 2 keeps the data chain's final op (the state-next producer)
+  // from reading the data state directly — same anti-dependence rule.
+  const int chain = p.mem_chain < 2 ? 2 : p.mem_chain;
+  const int per_stream = 5 + 2 * chain;  // 4 addr ops, 2/stage, 1 output nop
+  const int streams = (p.target_ops + per_stream - 1) / per_stream;
+  const std::vector<ValueId> coeffs = coefficient_pool(g, rng, 8);
+  auto coeff = [&]() {
+    return coeffs[static_cast<size_t>(
+        rng.uniform(static_cast<int>(coeffs.size())))];
+  };
+
+  for (int j = 0; j < streams; ++j) {
+    const ValueId in = g.add_input(numbered("m", j));
+    // Affine address walker. The state's next-content producer must not
+    // read the state itself (the list scheduler's anti-dependence rule
+    // blocks direct self-accumulation), so the step add reads a same-
+    // iteration pass-through copy instead: a' = nop(a) + step.
+    const ValueId a = g.add_state(numbered("a", j));
+    const ValueId stride = g.add_const(rng.range(1, 7), numbered("str", j));
+    const ValueId step = g.add_const(rng.range(1, 9), numbered("stp", j));
+    const ValueId addr = g.add_op(OpKind::kAdd,
+                                  g.add_op(OpKind::kMul, a, stride), coeff());
+    g.set_state_next(a, g.add_op(OpKind::kAdd, g.add_nop(a), step));
+
+    const ValueId d = g.add_state(numbered("d", j));
+    ValueId data = d;
+    for (int s = 0; s < chain; ++s)
+      data = g.add_op(s % 2 ? OpKind::kSub : OpKind::kAdd,
+                      g.add_op(OpKind::kMul, in, coeff()), data);
+    g.set_state_next(d, data);
+
+    g.add_output(addr, numbered("addr", j));
+    // The data output taps the chain through a pass-through: a state-next
+    // value's storage wraps the iteration boundary, which output sampling
+    // cannot read (the other families avoid state-next outputs the same way).
+    g.add_output(g.add_nop(data), numbered("data", j));
+  }
+  g.validate();
+  return g;
+}
+
 }  // namespace
 
 Cdfg generate_cdfg(const GenParams& p) {
@@ -220,6 +271,8 @@ Cdfg generate_cdfg(const GenParams& p) {
       return make_gemm(p, rng);
     case GenFamily::kLayeredDag:
       return make_layered_dag(p, rng);
+    case GenFamily::kMemoryTraffic:
+      return make_memory_traffic(p, rng);
   }
   fail("unknown GenFamily");
 }

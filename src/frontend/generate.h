@@ -15,6 +15,13 @@
 //     from final-layer values, so anti-dependences are satisfiable by
 //     construction (no reachability search, unlike
 //     bench_suite/random_cdfg.cpp — that is what lets this family scale).
+//   * kMemoryTraffic — parallel address-generator/data-compute stream
+//     pairs: each stream walks an affine address (state * stride + base,
+//     stepped per iteration) beside a MAC chain over its input, and emits
+//     the (addr, data) outputs in adjacent pairs. The sampled output
+//     streams feed the event-driven memory subsystem
+//     (datapath/memory.h, mem_ops_from_outputs) as LSU programs — the
+//     design family whose datapath drives loads and stores.
 //
 // Determinism contract: generation draws only integer Rng variates (no
 // float thresholds), the list-scheduler path runs without jitter, and
@@ -32,9 +39,15 @@
 
 namespace salsa {
 
-enum class GenFamily { kFilterCascade, kGemmPipeline, kLayeredDag };
+enum class GenFamily {
+  kFilterCascade,
+  kGemmPipeline,
+  kLayeredDag,
+  kMemoryTraffic,
+};
 
-/// Short family mnemonic ("cascade", "gemm", "dag") for bench/audit labels.
+/// Short family mnemonic ("cascade", "gemm", "dag", "mem") for bench/audit
+/// labels.
 const char* gen_family_name(GenFamily f);
 
 struct GenParams {
@@ -51,6 +64,7 @@ struct GenParams {
   int dag_window = 3;         ///< operand window in layers
   int dag_mul_pct = 35;       ///< % of DAG ops that are multiplies
   int dag_sub_pct = 20;       ///< % of DAG ops that are subtractions
+  int mem_chain = 4;          ///< MAC stages per memory-traffic data chain
 
   // --- scheduling / resources ----------------------------------------------
   /// Schedule length margin over the critical path, in eighths (2 = +25%).

@@ -6,10 +6,13 @@
 
 #include <memory>
 
+#include "analysis/digest.h"
 #include "baseline/traditional.h"
 #include "bench_suite/dct.h"
 #include "bench_suite/ewf.h"
 #include "core/allocator.h"
+#include "datapath/vcd.h"
+#include "sched/asap_alap.h"
 #include "sched/fu_search.h"
 
 namespace salsa {
@@ -102,6 +105,46 @@ TEST(Golden, ScheduleEnvelopesArePinned) {
     EXPECT_EQ(sr.fus.mul, r.mul) << r.len << (r.pipe ? "P" : "");
     EXPECT_EQ(Lifetimes(sr.schedule).min_registers(), r.minregs)
         << r.len << (r.pipe ? "P" : "");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden VCD waveforms under the event-driven engine. The full dump —
+// header, signal declarations, every value change of every register, FU
+// output and port over five iterations — is pinned as an FNV-1a digest for
+// EWF and DCT. Any engine change that perturbs a single waveform bit lands
+// here; the differential suite (test_sim_differential) separately pins
+// event == full-eval, so these constants freeze BOTH engines at once.
+TEST(Golden, EventEngineVcdDigestsArePinned) {
+  struct Row {
+    const char* name;
+    Cdfg (*make)();
+    int extra_len;
+    uint64_t digest;
+  };
+  // Frozen on 2026-08-09; see file header before "fixing" these.
+  const Row rows[] = {
+      {"ewf", make_ewf, 2, 0x4bf52d857dd716d5ull},
+      {"dct", make_dct, 2, 0x5afdf582eb5523c2ull},
+  };
+  for (const Row& row : rows) {
+    const int len =
+        min_schedule_length(row.make(), HwSpec{}) + row.extra_len;
+    Ctx ctx(row.make(), len, false, 1);
+    Binding b = initial_allocation(*ctx.prob, InitialOptions{.seed = 1});
+    Netlist nl(b);
+    Rng rng(2024);
+    std::vector<std::vector<int64_t>> inputs(
+        6, std::vector<int64_t>(ctx.g->input_nodes().size(), 0));
+    for (auto& vec : inputs)
+      for (auto& v : vec) v = static_cast<int64_t>(rng.next() % 2001) - 1000;
+    const std::vector<int64_t> states(ctx.g->state_nodes().size(), 2);
+    const std::string vcd =
+        dump_vcd(nl, inputs, states, 5, row.name, SimEngine::kEventDriven);
+    Fnv1a h;
+    for (char c : vcd) h.byte(static_cast<uint8_t>(c));
+    EXPECT_EQ(h.value(), row.digest) << row.name << " actual 0x" << std::hex
+                                     << h.value();
   }
 }
 

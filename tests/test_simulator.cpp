@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <map>
 #include <memory>
 
 #include "bench_suite/ar_filter.h"
@@ -11,6 +13,8 @@
 #include "core/allocator.h"
 #include "core/moves.h"
 #include "core/verify.h"
+#include "datapath/controller.h"
+#include "datapath/event_sim.h"
 #include "datapath/simulator.h"
 #include "sched/asap_alap.h"
 #include "sched/fu_search.h"
@@ -157,6 +161,140 @@ TEST(Simulator, CompareReportsMismatchLocation) {
   std::vector<std::vector<int64_t>> inputs(4,
                                            std::vector<int64_t>{1, 2, 3, 4});
   EXPECT_EQ(compare_with_reference(nl, inputs, {}, 3), "");
+}
+
+TEST(Simulator, FeedthroughChainOfNops) {
+  // A chain of pass-through (nop) operations: each hop is a zero-latency
+  // combinational feedthrough from a register through an FU back into a
+  // register within one cycle. The output must be the identity of the
+  // input stream, and both engines must agree on every hop.
+  Cdfg g("feedthrough");
+  const ValueId a = g.add_input("a");
+  const ValueId n1 = g.add_nop(a, "n1");
+  const ValueId n2 = g.add_nop(n1, "n2");
+  const ValueId n3 = g.add_nop(n2, "n3");
+  g.add_output(n3, "o");
+  g.validate();
+  HwSpec hw;
+  Schedule sched = schedule_min_fu(g, hw, min_schedule_length(g, hw)).schedule;
+  AllocProblem prob(sched, FuPool::standard(peak_fu_demand(sched)),
+                    Lifetimes(sched).min_registers());
+  Binding b = initial_allocation(prob);
+  Netlist nl(b);
+  std::vector<std::vector<int64_t>> inputs{{10}, {-4}, {77}, {0}};
+  const SimResult r = simulate(nl, inputs, {}, 3);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(r.outputs[static_cast<size_t>(i)][0],
+                                        inputs[static_cast<size_t>(i)][0]);
+  EXPECT_EQ(random_equivalence_check(nl, 5, 11), "");
+  EXPECT_EQ(random_engine_diff(nl, 5, 11), "");
+}
+
+TEST(Simulator, SameCycleMultiDriverUpdates) {
+  // One multiplier result fans out to two ALUs in the same step, and both
+  // ALU results land in the same cycle — two registers load simultaneously
+  // from two different drivers. The landing-cycle load (register captures a
+  // freshly landed FU result on the very edge it arrives) is also on this
+  // path.
+  Cdfg g("fanout");
+  const ValueId a = g.add_input("a");
+  const ValueId bb = g.add_input("b");
+  const ValueId c3 = g.add_const(3);
+  const ValueId m = g.add_op(OpKind::kMul, a, c3, "m");
+  const ValueId x = g.add_op(OpKind::kAdd, m, bb, "x");
+  const ValueId y = g.add_op(OpKind::kSub, m, bb, "y");
+  g.add_output(x, "ox");
+  g.add_output(y, "oy");
+  g.validate();
+  HwSpec hw;
+  Schedule sch(g, hw, 4);
+  sch.set_start(g.producer(m), 0);  // lands at the end of step 1
+  sch.set_start(g.producer(x), 2);
+  sch.set_start(g.producer(y), 2);
+  sch.set_start(g.output_nodes()[0], 3);
+  sch.set_start(g.output_nodes()[1], 3);
+  sch.validate();
+  AllocProblem prob(sch, FuPool::standard(FuBudget{2, 1}),
+                    Lifetimes(sch).min_registers());
+  Binding b = initial_allocation(prob);
+  Netlist nl(b);
+  // The scenario is real: some step carries two simultaneous register loads.
+  std::map<int, int> loads_per_step;
+  for (const RegLoad& ld : nl.reg_loads()) ++loads_per_step[ld.step];
+  int peak = 0;
+  for (const auto& [step, n] : loads_per_step) peak = std::max(peak, n);
+  EXPECT_GE(peak, 2);
+  std::vector<std::vector<int64_t>> inputs{{5, 2}, {-7, 10}, {0, 0}};
+  const SimResult r = simulate(nl, inputs, {}, 2);
+  EXPECT_EQ(r.outputs[0][0], 17);   // 3*5 + 2
+  EXPECT_EQ(r.outputs[0][1], 13);   // 3*5 - 2
+  EXPECT_EQ(r.outputs[1][0], -11);  // 3*-7 + 10
+  EXPECT_EQ(r.outputs[1][1], -31);
+  EXPECT_EQ(random_equivalence_check(nl, 4, 21), "");
+  EXPECT_EQ(random_engine_diff(nl, 4, 21), "");
+}
+
+TEST(Simulator, ControllerStallStepsCoast) {
+  // A schedule much longer than the work leaves all-idle control words:
+  // no FU starts, no register loads. The controller reports them, the
+  // machine must coast through them (state held), and the event engine —
+  // which schedules nothing at idle steps — must coast identically.
+  Cdfg g("stall");
+  const ValueId in = g.add_input("in");
+  const ValueId st = g.add_state("st");
+  const ValueId sum = g.add_op(OpKind::kAdd, st, in, "sum");
+  g.set_state_next(st, sum);
+  g.add_output(sum, "o");
+  g.validate();
+  Schedule s(g, HwSpec{}, 7);
+  s.set_start(g.producer(sum), 0);
+  s.set_start(g.output_nodes()[0], 1);
+  s.validate();
+  AllocProblem prob(s, FuPool::standard(FuBudget{1, 0}),
+                    Lifetimes(s).min_registers());
+  Binding b = initial_allocation(prob);
+  Netlist nl(b);
+  EXPECT_GE(analyze_controller(nl).idle_steps, 4);
+  std::vector<std::vector<int64_t>> inputs{{5}, {6}, {7}, {8}};
+  const int64_t init[] = {100};
+  const SimResult r = simulate(nl, inputs, init, 3);
+  EXPECT_EQ(r.outputs[0][0], 105);
+  EXPECT_EQ(r.outputs[1][0], 111);
+  EXPECT_EQ(r.outputs[2][0], 118);
+  EXPECT_EQ(random_engine_diff(nl, 4, 33), "");
+}
+
+TEST(Simulator, FinalIterationFlushIgnoresMissingPrefetch) {
+  // The input port prefetches the next iteration's values; on the final
+  // iteration there is nothing left to prefetch. Supplying exactly
+  // `iterations` input vectors (no prefetch row) must produce the same
+  // outputs as supplying the extra row — the flush path skips the load
+  // instead of reading past the end.
+  Cdfg g("flush");
+  const ValueId in = g.add_input("in");
+  const ValueId st = g.add_state("st");
+  const ValueId sum = g.add_op(OpKind::kAdd, st, in, "sum");
+  g.set_state_next(st, sum);
+  g.add_output(sum, "o");
+  g.validate();
+  Schedule s(g, HwSpec{}, 3);
+  s.set_start(g.producer(sum), 0);
+  s.set_start(g.output_nodes()[0], 1);
+  s.validate();
+  AllocProblem prob(s, FuPool::standard(FuBudget{1, 0}),
+                    Lifetimes(s).min_registers());
+  Binding b = initial_allocation(prob);
+  Netlist nl(b);
+  const std::vector<std::vector<int64_t>> exact{{5}, {6}, {7}};
+  std::vector<std::vector<int64_t>> padded = exact;
+  padded.push_back({999});
+  const int64_t init[] = {100};
+  const SimResult a1 = simulate(nl, exact, init, 3);
+  const SimResult a2 = simulate(nl, padded, init, 3);
+  EXPECT_EQ(a1.outputs, a2.outputs);
+  const SimResult e1 = simulate_events(nl, exact, init, 3);
+  const SimResult e2 = simulate_events(nl, padded, init, 3);
+  EXPECT_EQ(e1.outputs, a1.outputs);
+  EXPECT_EQ(e2.outputs, a1.outputs);
 }
 
 TEST(Simulator, PipelinedMultiplierBackToBack) {
