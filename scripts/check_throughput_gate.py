@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Speculation-throughput gate for CI (stdlib only, no third-party deps).
+
+Judges a fresh BM_SpeculativeMoves run (BENCH_throughput.json rows) on one
+hardware-independent shape: the EWF served-move rate at (threads=8, k=8)
+versus the sequential (threads=1, k=1) rate, measured within the same run
+on the same machine. The speculative pipeline's contract is that it never
+costs throughput: on a multicore host batching overlaps scoring, and on a
+starved host (CI runners are 1-2 cores) the pipeline auto-degrades to the
+sequential path, so in both worlds the ratio must sit at or above ~1. The
+regression this gate pins out was a 0.35x inversion — per-candidate worker
+acquisition, catch-up replay amplification and per-batch pool sync made
+threads=8 three times *slower* than threads=1 (see EXPERIMENTS.md "Move
+throughput"). A floor below 1.0 leaves room for shared-runner noise, none
+for the inversion coming back.
+
+Usage: check_throughput_gate.py <fresh.json> <committed BENCH_throughput.json>
+       check_throughput_gate.py --self-test
+
+Both files are the JSON array bench_runtime emits via SALSA_BENCH_JSON
+(rows of {benchmark, moves_per_sec, threads, k, git}). The committed wall
+is read only to cross-check that it also upholds the contract — a wall
+regenerated with the inversion present must not be committable quietly.
+
+--self-test runs the unit tests for the ratio math and the missing-row /
+NaN / non-positive error paths (wired into ctest as
+throughput_gate_selftest and into the throughput-smoke CI job), exiting
+non-zero on any failure.
+"""
+
+import json
+import math
+import sys
+
+# Noise floor for t8k8 : t1k1 within one run. Shared runners wobble the two
+# measurements independently by a few percent; the inversion this gate
+# exists for was 0.35x.
+RATIO_FLOOR = 0.8
+
+
+class GateError(SystemExit):
+    """Malformed record: the gate refuses to judge, loudly (exit 1)."""
+
+    def __init__(self, message):
+        super().__init__(f"throughput gate: {message}")
+
+
+def spec_rate(rows, threads, k):
+    """moves/s of the EWF BM_SpeculativeMoves row at (threads, k).
+
+    Matches on the benchmark's base name so the DCT companion
+    (BM_SpeculativeMovesDct) cannot shadow the EWF row. Rejects rates that
+    are missing, NaN, infinite or <= 0: a NaN would sail through every
+    float comparison as 'not less', silently passing the gate.
+    """
+    for r in rows:
+        name = str(r.get("benchmark", "")).split("/")[0]
+        if name != "BM_SpeculativeMoves":
+            continue
+        if r.get("threads") != threads or r.get("k") != k:
+            continue
+        try:
+            rate = float(r["moves_per_sec"])
+        except KeyError:
+            raise GateError(
+                f"BM_SpeculativeMoves t{threads}/k{k} row has no "
+                f"moves_per_sec field")
+        except (TypeError, ValueError):
+            raise GateError(
+                f"BM_SpeculativeMoves t{threads}/k{k} row has a "
+                f"non-numeric moves_per_sec: {r['moves_per_sec']!r}")
+        if math.isnan(rate) or math.isinf(rate) or rate <= 0:
+            raise GateError(
+                f"BM_SpeculativeMoves t{threads}/k{k} row has an invalid "
+                f"moves_per_sec ({rate}); refusing to judge a ratio on it")
+        return rate
+    raise GateError(
+        f"no BM_SpeculativeMoves row with threads={threads}, k={k} "
+        f"in the throughput record")
+
+
+def ratio(rows):
+    seq = spec_rate(rows, 1, 1)
+    spec = spec_rate(rows, 8, 8)
+    return spec / seq, seq, spec
+
+
+def judge(fresh, wall):
+    """Returns (ok, lines): the gate verdict plus its printable report."""
+    fresh_ratio, fseq, fspec = ratio(fresh)
+    wall_ratio, wseq, wspec = ratio(wall)
+
+    lines = [
+        f"fresh: t1/k1 {fseq:.0f} moves/s, t8/k8 {fspec:.0f} moves/s "
+        f"-> ratio {fresh_ratio:.2f}",
+        f"wall:  t1/k1 {wseq:.0f} moves/s, t8/k8 {wspec:.0f} moves/s "
+        f"-> ratio {wall_ratio:.2f}",
+    ]
+    ok = True
+    if wall_ratio < RATIO_FLOOR:
+        lines.append(
+            f"FAIL: the committed wall itself has t8/k8 at "
+            f"{wall_ratio:.2f}x sequential — it was regenerated with the "
+            "speculation inversion present; fix the pipeline before "
+            "committing a record")
+        ok = False
+    if fresh_ratio < RATIO_FLOOR:
+        lines.append(
+            f"FAIL: speculative throughput ratio {fresh_ratio:.2f} below "
+            f"the {RATIO_FLOOR:.2f} floor; the pipeline costs throughput "
+            "again (per-candidate overhead is back — see EXPERIMENTS.md "
+            "\"Move throughput\")")
+        ok = False
+    if ok:
+        lines.append(
+            f"ok: t8/k8 holds {fresh_ratio:.2f}x sequential "
+            f"(floor {RATIO_FLOOR:.2f})")
+    return ok, lines
+
+
+def self_test():
+    """Unit tests for the ratio math and every error path."""
+    import unittest
+
+    def row(threads, k, rate, name="BM_SpeculativeMoves"):
+        return {"benchmark": f"{name}/{threads}/{k}/real_time",
+                "moves_per_sec": rate, "threads": threads, "k": k}
+
+    WALL = [row(1, 1, 1_000_000.0), row(8, 8, 1_050_000.0)]
+
+    class GateTests(unittest.TestCase):
+        def test_spec_rate_picks_matching_row(self):
+            self.assertEqual(spec_rate(WALL, 8, 8), 1_050_000.0)
+
+        def test_dct_rows_do_not_shadow_ewf(self):
+            rows = [row(1, 1, 5.0, name="BM_SpeculativeMovesDct"),
+                    row(1, 1, 900_000.0)]
+            self.assertEqual(spec_rate(rows, 1, 1), 900_000.0)
+
+        def test_ratio_math(self):
+            r, seq, spec = ratio(WALL)
+            self.assertAlmostEqual(r, 1.05)
+            self.assertEqual((seq, spec), (1_000_000.0, 1_050_000.0))
+
+        def test_gate_passes_at_parity(self):
+            fresh = [row(1, 1, 800_000.0), row(8, 8, 790_000.0)]
+            ok, lines = judge(fresh, WALL)
+            self.assertTrue(ok)
+            self.assertIn("ok:", lines[-1])
+
+        def test_gate_fails_on_inversion(self):
+            # The measured regression: t8/k8 at ~0.35x sequential.
+            fresh = [row(1, 1, 1_149_000.0), row(8, 8, 398_000.0)]
+            ok, lines = judge(fresh, WALL)
+            self.assertFalse(ok)
+            self.assertIn("FAIL", "".join(lines))
+
+        def test_gate_boundary_is_not_a_failure(self):
+            fresh = [row(1, 1, 1_000_000.0),
+                     row(8, 8, RATIO_FLOOR * 1_000_000.0)]
+            ok, _ = judge(fresh, WALL)
+            self.assertTrue(ok)
+
+        def test_inverted_wall_is_rejected_too(self):
+            bad_wall = [row(1, 1, 1_149_000.0), row(8, 8, 398_000.0)]
+            fresh = [row(1, 1, 1_000_000.0), row(8, 8, 1_000_000.0)]
+            ok, lines = judge(fresh, bad_wall)
+            self.assertFalse(ok)
+            self.assertIn("committed wall", "".join(lines))
+
+        def test_missing_row_errors(self):
+            with self.assertRaises(SystemExit) as ctx:
+                spec_rate([row(1, 1, 1.0)], 8, 8)
+            self.assertIn("no BM_SpeculativeMoves row", str(ctx.exception))
+
+        def test_nan_refused_not_silently_passed(self):
+            # float('nan') < floor is False — without the explicit check a
+            # NaN row would pass the gate unnoticed.
+            fresh = [row(1, 1, 1_000_000.0), row(8, 8, float("nan"))]
+            with self.assertRaises(SystemExit) as ctx:
+                judge(fresh, WALL)
+            self.assertIn("invalid moves_per_sec", str(ctx.exception))
+
+        def test_infinite_and_nonpositive_refused(self):
+            for bad in (float("inf"), 0.0, -3.0):
+                with self.assertRaises(SystemExit):
+                    spec_rate([row(1, 1, bad)], 1, 1)
+
+        def test_missing_rate_field_errors(self):
+            broken = [{"benchmark": "BM_SpeculativeMoves/1/1",
+                       "threads": 1, "k": 1}]
+            with self.assertRaises(SystemExit) as ctx:
+                spec_rate(broken, 1, 1)
+            self.assertIn("no moves_per_sec", str(ctx.exception))
+
+        def test_non_numeric_rate_errors(self):
+            with self.assertRaises(SystemExit) as ctx:
+                spec_rate([row(1, 1, "fast")], 1, 1)
+            self.assertIn("non-numeric", str(ctx.exception))
+
+    suite = unittest.defaultTestLoader.loadTestsFromTestCase(GateTests)
+    result = unittest.TextTestRunner(verbosity=2).run(suite)
+    return 0 if result.wasSuccessful() else 1
+
+
+def main():
+    if len(sys.argv) == 2 and sys.argv[1] == "--self-test":
+        raise SystemExit(self_test())
+    if len(sys.argv) != 3:
+        raise SystemExit(__doc__)
+    with open(sys.argv[1]) as f:
+        fresh = json.load(f)
+    with open(sys.argv[2]) as f:
+        wall = json.load(f)
+
+    ok, lines = judge(fresh, wall)
+    for line in lines:
+        print(line)
+    if not ok:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

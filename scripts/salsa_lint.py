@@ -42,6 +42,16 @@ before any fuzzer runs:
       the undo journal and the auditor's seam, so it is flagged whether or
       not it happens to keep the representations in lockstep.
 
+  simd-intrinsics-confined
+      Raw SIMD intrinsics (_mm*/_mm256*/_mm512* calls, __m128/__m256/__m512
+      vector types, the x86/NEON vector headers) live only in the kernel
+      headers src/util/bitplane.h and src/util/bits.h, behind portable
+      word-level wrappers with scalar fallbacks (SALSA_BITPLANE_SCALAR and
+      the no-__AVX2__ legs). Intrinsics sprinkled anywhere else fork the
+      packed/scalar differential: the scalar-fallback CI leg can no longer
+      swap the implementation out from under the caller, and a second
+      #ifdef jungle grows outside the audited kernels.
+
 Suppressions:
       // salsa-lint: allow(<check-id>) <one-line rationale>
   on the offending line, or alone on the line above it. The rationale is
@@ -92,6 +102,9 @@ CHECKS = {
     "transaction-seam-writes":
         "occupancy planes/grids are mutated only via the claim/release/"
         "staged-apply entry points in core/binding.* / core/search_engine.*",
+    "simd-intrinsics-confined":
+        "raw SIMD intrinsics (_mm*, __m128/__m256/__m512, vector headers) "
+        "appear only in src/util/bitplane.h / src/util/bits.h kernels",
     "bad-suppression":
         "salsa-lint: allow() must name a known check and carry a rationale",
 }
@@ -102,6 +115,10 @@ STRICT_DIRS = ("src/core", "src/sched", "src/analysis")
 SEAM_EXEMPT_FILES = (
     "src/core/binding.h", "src/core/binding.cpp",
     "src/core/search_engine.h", "src/core/search_engine.cpp",
+)
+# The sanctioned home of raw SIMD intrinsics (simd-intrinsics-confined).
+SIMD_EXEMPT_FILES = (
+    "src/util/bitplane.h", "src/util/bits.h",
 )
 
 UNORDERED_TYPE_RE = re.compile(
@@ -280,7 +297,8 @@ def range_for_exprs(code):
 class FileLint:
     """Lints one file: raw text for suppressions, blanked text for tokens."""
 
-    def __init__(self, path, rel, text, strict, seam_exempt, clang_facts=None):
+    def __init__(self, path, rel, text, strict, seam_exempt, clang_facts=None,
+                 simd_exempt=False):
         self.path = path
         self.rel = rel
         self.raw_lines = text.splitlines()
@@ -288,6 +306,7 @@ class FileLint:
         self.code_lines = self.code.splitlines()
         self.strict = strict
         self.seam_exempt = seam_exempt
+        self.simd_exempt = simd_exempt
         self.clang_facts = clang_facts or []
         self.violations = []
         self.allows = {}     # line -> list of (check, reason)
@@ -500,12 +519,42 @@ class FileLint:
                 f"outside the transaction seam is invisible to rollback "
                 f"and the auditor")
 
+    # -- check: simd-intrinsics-confined ----------------------------------
+    # Intrinsic calls (_mm_or_si128, _mm256_loadu_si256, ...), vector types
+    # (__m128i, __m256d, ...) and the x86/NEON vector headers. The check is
+    # not gated on STRICT_DIRS: confinement is repo-wide — a stray
+    # intrinsic in a report generator still forks the packed/scalar
+    # differential the scalar-fallback CI leg depends on.
+    SIMD_PATTERNS = (
+        (re.compile(r"\b_mm(?:256|512)?_[a-z0-9_]+\s*\("),
+         "raw SIMD intrinsic call"),
+        (re.compile(r"\b__m(?:64|128|256|512)[di]?\b"),
+         "raw SIMD vector type"),
+        (re.compile(
+            r"#\s*include\s*<(?:[a-z0-9]*mmintrin|immintrin|x86intrin|"
+            r"arm_neon|arm_sve)\.h>"),
+         "vector-intrinsics header include"),
+    )
+
+    def check_simd_intrinsics(self):
+        if self.simd_exempt:
+            return
+        for pat, what in self.SIMD_PATTERNS:
+            for m in pat.finditer(self.code):
+                self.report(
+                    line_of(self.code, m.start()), "simd-intrinsics-confined",
+                    f"{what} outside src/util/bitplane.h / src/util/bits.h: "
+                    f"wrap it in a word kernel there (with the scalar "
+                    f"fallback) so the SALSA_BITPLANE_SCALAR leg stays "
+                    f"exchangeable")
+
     def run(self):
         self.scan_directives()
         self.check_unordered_iteration()
         self.check_nondeterministic_sources()
         self.check_thread_local_scratch()
         self.check_transaction_seam()
+        self.check_simd_intrinsics()
         # Deduplicate (libclang facts can mirror lexer findings).
         seen = set()
         uniq = []
@@ -619,6 +668,7 @@ def lint_paths(root, paths, engine, compile_commands, force_strict=False):
         strict = force_strict or any(
             rel.startswith(d + "/") or rel == d for d in STRICT_DIRS)
         seam_exempt = rel in SEAM_EXEMPT_FILES
+        simd_exempt = rel in SIMD_EXEMPT_FILES
         try:
             with open(path, encoding="utf-8", errors="replace") as f:
                 text = f.read()
@@ -626,7 +676,8 @@ def lint_paths(root, paths, engine, compile_commands, force_strict=False):
             print(f"salsa_lint: cannot read {path}: {e}", file=sys.stderr)
             return None
         facts = (clang_facts or {}).get(os.path.realpath(path), [])
-        fl = FileLint(path, rel, text, strict, seam_exempt, facts)
+        fl = FileLint(path, rel, text, strict, seam_exempt, facts,
+                      simd_exempt=simd_exempt)
         violations.extend(fl.run())
     return violations
 

@@ -119,6 +119,113 @@ FuzzResult run_move_fuzz(const AllocProblem& prob, const FuzzParams& params) {
   return res;
 }
 
+// --- segment-window differential --------------------------------------------
+
+SegmentDiffResult run_segment_diff(const AllocProblem& prob,
+                                   const FuzzParams& params) {
+  SegmentDiffResult res;
+  Binding start = initial_allocation(
+      prob, InitialOptions{.seed = derive_seed(params.seed, 0)});
+  SearchEngine win(start);
+  SearchEngine whole(start);
+  whole.set_segment_windows(false);  // reference: whole-storage walks
+  Rng rng(derive_seed(params.seed, 1));
+  const long windowed_before = seg_window_hooks::windowed_txns;
+  const long cap = params.transactions * params.proposal_cap_factor;
+  long proposals = 0;
+  auto diverged = [&res](const std::string& what) {
+    res.ok = false;
+    res.divergence = res.transactions - 1;
+    res.failure = what + " at transaction " + std::to_string(res.divergence);
+  };
+  try {
+    while (res.transactions < params.transactions && proposals < cap &&
+           res.ok) {
+      ++proposals;
+      const MoveKind kind =
+          params.uniform_kinds
+              ? static_cast<MoveKind>(rng.uniform(kNumMoveKinds))
+              : params.moves.pick(rng);
+      // Both engines draw from identical RNG clones; identical engine
+      // states imply identical draws, so the shared stream advances by the
+      // windowed engine's copy. Any enumeration drift between the engines
+      // shows up as a delta/digest divergence below, never as silent
+      // stream skew.
+      const bool armed = seg_window_hooks::break_claim_window_after > 0;
+      Rng rw = rng;
+      Rng rf = rng;
+      const auto dw = win.propose(kind, rw);
+      const auto df = whole.propose(kind, rf);
+      rng = rw;
+      // --break-segment-window fires inside the windowed engine's claim
+      // staging; force that transaction to commit so the drift it plants
+      // must materialize in the cross-checked state (a rollback would
+      // restore both the binding and the spliced key cache, proving
+      // nothing).
+      const bool fired =
+          armed && seg_window_hooks::break_claim_window_after == 0;
+      if (dw.has_value() != df.has_value()) {
+        ++res.transactions;
+        diverged(std::string("feasibility diverged (windowed: ") +
+                 (dw ? "feasible" : "infeasible") + ", whole: " +
+                 (df ? "feasible" : "infeasible") + ")");
+        break;
+      }
+      if (!dw) continue;
+      ++res.transactions;
+      if (*dw != *df) {
+        diverged("proposal delta diverged (windowed " + std::to_string(*dw) +
+                 " vs whole " + std::to_string(*df) + ")");
+        break;
+      }
+      if (rng.chance(params.commit_prob) || fired) {
+        win.commit();
+        whole.commit();
+        ++res.commits;
+        const CostBreakdown& cw = win.cost();
+        const CostBreakdown& cf = whole.cost();
+        if (cw.fus_used != cf.fus_used || cw.regs_used != cf.regs_used ||
+            cw.connections != cf.connections || cw.muxes != cf.muxes) {
+          std::ostringstream os;
+          os << "cost integers diverged (windowed fus/regs/conns/muxes "
+             << cw.fus_used << "/" << cw.regs_used << "/" << cw.connections
+             << "/" << cw.muxes << " vs whole " << cf.fus_used << "/"
+             << cf.regs_used << "/" << cf.connections << "/" << cf.muxes
+             << ")";
+          diverged(os.str());
+          break;
+        }
+        if (digest_binding(win.binding()) != digest_binding(whole.binding())) {
+          diverged("binding digests diverged after commit");
+          break;
+        }
+        std::string why;
+        if (!win.index_matches_rebuild(&why)) {
+          diverged("windowed index diverged from rebuild: " + why);
+          break;
+        }
+      } else {
+        win.rollback();
+        whole.rollback();
+      }
+    }
+  } catch (const Error& e) {
+    res.ok = false;
+    if (res.divergence < 0) res.divergence = res.transactions;
+    res.failure = std::string("engine check failed: ") + e.what();
+  }
+  res.windowed = seg_window_hooks::windowed_txns - windowed_before;
+  if (res.ok && res.transactions < params.transactions) {
+    std::ostringstream os;
+    os << "differential starved: only " << res.transactions << " of "
+       << params.transactions << " feasible transactions in " << proposals
+       << " proposals";
+    res.ok = false;
+    res.failure = os.str();
+  }
+  return res;
+}
+
 // --- speculation fuzzer -----------------------------------------------------
 
 namespace {
@@ -153,9 +260,11 @@ SpecDrive drive_pipeline(const AllocProblem& prob, const SpecFuzzParams& params,
       prob, InitialOptions{.seed = derive_seed(params.seed, 0)});
   SearchEngine eng(start);
   if (auditor) eng.set_observer(auditor);
-  ProposalPipeline pipe(eng, params.moves,
-                        SpeculationConfig{k, Parallelism{threads}},
-                        derive_seed(params.seed, 1));
+  // The differential needs the speculative leg to actually speculate —
+  // pin the width past the pipeline's one-core auto-degrade.
+  SpeculationConfig sc{k, Parallelism{threads}};
+  sc.pin_width = true;
+  ProposalPipeline pipe(eng, params.moves, sc, derive_seed(params.seed, 1));
   if (skip_nth > 0) pipe.inject_skip_footprint_check_for_test(skip_nth);
   SpecDrive out(start);
   Binding best = start;

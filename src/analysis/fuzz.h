@@ -120,6 +120,29 @@ struct SpecFuzzResult {
 SpecFuzzResult run_speculation_fuzz(const AllocProblem& prob,
                                     const SpecFuzzParams& params);
 
+struct SegmentDiffResult {
+  bool ok = true;
+  std::string failure;    ///< first divergence / engine error when !ok
+  long transactions = 0;  ///< feasible transactions compared
+  long commits = 0;       ///< transactions that committed on both engines
+  long windowed = 0;      ///< transactions that took a non-whole window
+  /// Index (0-based transaction count) of the first divergence; -1 = none.
+  long divergence = -1;
+};
+
+/// Window-vs-whole differential for segment-windowed transactions
+/// (salsa_audit --segment): drives two engines — one with segment windows
+/// on (the default), one forced to whole-storage walks via
+/// SearchEngine::set_segment_windows(false) — through the identical
+/// proposal/commit/rollback stream and cross-checks after every
+/// transaction: the proposal deltas must be bit-identical, the cost
+/// breakdowns must match integer for integer, committed bindings must
+/// digest-match, and the windowed engine's connection index must match a
+/// from-scratch rebuild. This is the proof obligation of the windowed
+/// claim-staging walk: identical cost integers, not merely close ones.
+SegmentDiffResult run_segment_diff(const AllocProblem& prob,
+                                   const FuzzParams& params);
+
 /// A named standard fuzz target: the benchmark CDFG scheduled and wrapped
 /// into an AllocProblem the way the reproduction experiments do. Valid
 /// names: "ewf" (17 steps), "dct" (9 steps), "random" (24 ops, 12 steps).

@@ -117,6 +117,24 @@ Comparison run_comparison(const AllocProblem& prob, uint64_t seed) {
   return run_budget_comparison(prob, seed, TableBudget{});
 }
 
+namespace {
+
+// The committed walls (BENCH_throughput.json, BENCH_scaling.json) must come
+// from clean trees: a "-dirty" stamp means the record measures uncommitted
+// code against a committed baseline. The record is still written — local
+// iteration needs it — but loudly, so a dirty record is never committed by
+// accident.
+void warn_if_dirty_tree(const std::string& git_version,
+                        const std::string& path) {
+  if (git_version.find("-dirty") == std::string::npos) return;
+  std::fprintf(stderr,
+               "WARNING: %s was produced by a dirty tree (%s); do not commit "
+               "this record — regenerate from a clean checkout.\n",
+               path.c_str(), git_version.c_str());
+}
+
+}  // namespace
+
 std::vector<TableRow> table2_rows(const TableBudget& budget,
                                   Parallelism parallelism) {
   struct Sched {
@@ -163,6 +181,7 @@ std::string git_describe(std::string fallback) {
 void write_throughput_json(const std::string& path,
                            const std::vector<ThroughputRow>& rows,
                            const std::string& git_version) {
+  warn_if_dirty_tree(git_version, path);
   std::ofstream os(path);
   SALSA_CHECK_MSG(os.good(), "cannot open throughput record " + path);
   os << "[\n";
@@ -183,6 +202,7 @@ void write_throughput_json(const std::string& path,
 void write_scaling_json(const std::string& path,
                         const std::vector<ScalingRow>& rows,
                         const std::string& git_version) {
+  warn_if_dirty_tree(git_version, path);
   std::ofstream os(path);
   SALSA_CHECK_MSG(os.good(), "cannot open scaling record " + path);
   os << "[\n";

@@ -82,6 +82,11 @@ bool Occupancy::planes_match_grids(std::string* why) const {
       if (bit != (fu_user[f][t] != kFree))
         return mismatch("fu_busy", static_cast<int>(f), static_cast<int>(t),
                         bit, fu_user[f][t]);
+      const bool tbit =
+          fu_busy_t.test(static_cast<int>(t), static_cast<int>(f));
+      if (tbit != (fu_user[f][t] != kFree))
+        return mismatch("fu_busy_t", static_cast<int>(f), static_cast<int>(t),
+                        tbit, fu_user[f][t]);
     }
   for (size_t r = 0; r < reg_sto.size(); ++r)
     for (size_t t = 0; t < reg_sto[r].size(); ++t) {

@@ -100,6 +100,12 @@ struct Occupancy {
   /// moves flat. Maintained in lockstep with reg_busy by claim_reg /
   /// release_reg below.
   BitPlane reg_busy_t;
+  /// Transpose of fu_busy: rows = control steps, bits = FUs. The
+  /// pass-through binder's "which pass-capable FUs are free at step t"
+  /// scan masks this row against a static candidate mask instead of
+  /// probing one fu_busy row per candidate FU. Maintained in lockstep by
+  /// the claim/release methods below.
+  BitPlane fu_busy_t;
 
   /// Shapes both representations to all-free.
   void init(int num_fus, int num_regs, int steps) {
@@ -110,6 +116,7 @@ struct Occupancy {
     fu_busy.resize(num_fus, steps);
     reg_busy.resize(num_regs, steps);
     reg_busy_t.resize(steps, num_regs);
+    fu_busy_t.resize(steps, num_fus);
   }
 
   bool fu_free(FuId f, int step) const { return !fu_busy.test(f, step); }
@@ -130,17 +137,25 @@ struct Occupancy {
   void claim_fu(FuId f, int step, int user) {
     fu_slot(f, step) = user;
     fu_busy.set(f, step);
+    fu_busy_t.set(step, f);
   }
   void release_fu(FuId f, int step) {
     fu_slot(f, step) = kFree;
     fu_busy.clear(f, step);
+    fu_busy_t.clear(step, f);
   }
   void claim_fu_range(FuId f, int start, int len, int user) {
-    for (int t = start; t < start + len; ++t) fu_slot(f, t) = user;
+    for (int t = start; t < start + len; ++t) {
+      fu_slot(f, t) = user;
+      fu_busy_t.set(t, f);
+    }
     fu_busy.set_range(f, start, len);
   }
   void release_fu_range(FuId f, int start, int len) {
-    for (int t = start; t < start + len; ++t) fu_slot(f, t) = kFree;
+    for (int t = start; t < start + len; ++t) {
+      fu_slot(f, t) = kFree;
+      fu_busy_t.clear(t, f);
+    }
     fu_busy.clear_range(f, start, len);
   }
   void claim_reg(RegId r, int step, int sid) {

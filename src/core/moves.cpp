@@ -203,6 +203,7 @@ bool move_bind_pass(SearchEngine& eng, Rng& rng) {
   if (total == 0) return false;
   int rem = 0;
   const int sid = eng.xfer_storage_at(rng.uniform(total), &rem);
+  eng.prefetch_sto_txn(sid);
   const StorageBinding& sb = b.sto(sid);
   CellRef cr{sid, -1, -1};
   for (int seg = 1; cr.seg < 0 && seg < static_cast<int>(sb.cells.size());
@@ -224,28 +225,31 @@ bool move_bind_pass(SearchEngine& eng, Rng& rng) {
   SALSA_DCHECK(cr.seg > 0);
   const int tstep = lt.steps_of(cr.sid)[static_cast<size_t>(cr.seg - 1)];
   const Occupancy& occ = eng.occupancy();
-  // An FU whose output carries a landing result at tstep cannot pass
-  // (relevant for pipelined units whose occupancy ends before their delay).
-  // Landing steps are schedule-static; mark the landing ops' (dynamic) FU
-  // bindings once, then the filter below is one flag probe per candidate
-  // instead of a landing-list scan per candidate.
-  const std::vector<NodeId>& landing = eng.ops_finishing_at(tstep);
-  // salsa-lint: allow(thread-local-scratch-discipline) tag-guarded: the out_tag bump below invalidates every stale entry before any read compares against the fresh tag
-  static thread_local std::vector<uint64_t> out_mark;
-  static thread_local uint64_t out_tag = 0;
-  out_mark.resize(static_cast<size_t>(b.prob().fus().size()), 0);
-  const uint64_t tag = ++out_tag;
-  for (NodeId n : landing) out_mark[static_cast<size_t>(b.op(n).fu)] = tag;
-  static thread_local std::vector<FuId> fus;
-  fus.clear();
-  // Pre-filtered to single-cycle classes (only those forward
-  // combinationally) — same scan order as filtering pass_capable_fus().
-  for (FuId f : eng.single_cycle_pass_fus())
-    if (occ.fu_free(f, tstep) && out_mark[static_cast<size_t>(f)] != tag)
-      fus.push_back(f);
-  if (fus.empty()) return false;
-  mut_cell(eng.touch_sto(cr.sid), cr).via =
-      fus[static_cast<size_t>(rng.uniform(static_cast<int>(fus.size())))];
+  // Candidates = single-cycle pass-capable FUs (only those forward
+  // combinationally) that are idle at tstep and whose output carries no
+  // landing result there (relevant for pipelined units whose occupancy
+  // ends before their delay). The static candidate mask ANDed against the
+  // transposed busy row answers "idle candidates" in ceil(F/64) word ops
+  // instead of one fu_busy row probe per candidate; both ascend in FU id,
+  // so the k-th set bit of the mask is exactly the k-th entry the probe
+  // loop pushed and the uniform pick lands on the same FU.
+  const std::vector<uint64_t>& pmask = eng.single_cycle_pass_fu_mask();
+  const int words = static_cast<int>(pmask.size());
+  // salsa-lint: allow(thread-local-scratch-discipline) fully overwritten from pmask before any read
+  static thread_local std::vector<uint64_t> free_fus;
+  free_fus.resize(static_cast<size_t>(words));
+  const uint64_t* busy = occ.fu_busy_t.row(tstep);
+  for (int w = 0; w < words; ++w) free_fus[static_cast<size_t>(w)] =
+      pmask[static_cast<size_t>(w)] & ~busy[w];
+  for (NodeId n : eng.ops_finishing_at(tstep)) {
+    const FuId f = b.op(n).fu;
+    free_fus[static_cast<size_t>(f) >> 6] &= ~(uint64_t{1} << (f & 63));
+  }
+  const int nfree = popcount_words(free_fus.data(), words);
+  if (nfree == 0) return false;
+  mut_cell(eng.touch_sto(cr.sid, cr.seg, cr.seg), cr).via = nth_set_bit(
+      free_fus.data(), static_cast<int>(b.prob().fus().size()),
+      rng.uniform(nfree));
   return true;
 }
 
@@ -258,12 +262,14 @@ bool move_unbind_pass(SearchEngine& eng, Rng& rng) {
   if (total == 0) return false;
   int rem = 0;
   const int sid = eng.via_storage_at(rng.uniform(total), &rem);
+  eng.prefetch_sto_txn(sid);
   const StorageBinding& sb = b.sto(sid);
   for (int seg = 0; seg < static_cast<int>(sb.cells.size()); ++seg) {
     const auto& cells = sb.cells[static_cast<size_t>(seg)];
     for (int pos = 0; pos < static_cast<int>(cells.size()); ++pos)
       if (cells[static_cast<size_t>(pos)].via != kInvalidId && rem-- == 0) {
-        mut_cell(eng.touch_sto(sid), {sid, seg, pos}).via = kInvalidId;
+        mut_cell(eng.touch_sto(sid, seg, seg), {sid, seg, pos}).via =
+            kInvalidId;
         return true;
       }
   }
@@ -291,6 +297,8 @@ bool move_seg_exchange(SearchEngine& eng, Rng& rng) {
   };
   const CellRef ri = cr_of(i);
   const CellRef rj = cr_of(j);
+  eng.prefetch_sto_txn(ri.sid);
+  eng.prefetch_sto_txn(rj.sid);
   const RegId r1 = cell_at(b, ri).reg;
   const RegId r2 = cell_at(b, rj).reg;
   if (r1 == r2) return false;
@@ -303,8 +311,8 @@ bool move_seg_exchange(SearchEngine& eng, Rng& rng) {
     return false;
   };
   if (dup(ri, r2) || dup(rj, r1)) return false;
-  mut_cell(eng.touch_sto(ri.sid), ri).reg = r2;
-  mut_cell(eng.touch_sto(rj.sid), rj).reg = r1;
+  mut_cell(eng.touch_sto(ri.sid, ri.seg, ri.seg), ri).reg = r2;
+  mut_cell(eng.touch_sto(rj.sid, rj.seg, rj.seg), rj).reg = r1;
   return true;
 }
 
@@ -319,10 +327,8 @@ bool move_seg_move(SearchEngine& eng, Rng& rng) {
   if (total == 0) return false;
   int idx = 0;
   const int sid = eng.cell_storage_at(rng.uniform(total), &idx);
-  const StorageBinding& sbr = b.sto(sid);
-  int seg = 0;
-  while (idx >= static_cast<int>(sbr.cells[static_cast<size_t>(seg)].size()))
-    idx -= static_cast<int>(sbr.cells[static_cast<size_t>(seg++)].size());
+  eng.prefetch_sto_txn(sid);
+  const int seg = eng.seg_of_cell_rank(sid, &idx);
   const CellRef cr{sid, seg, idx};
   const int step = lt.steps_of(cr.sid)[static_cast<size_t>(cr.seg)];
   const Occupancy& occ = eng.occupancy();
@@ -333,7 +339,7 @@ bool move_seg_move(SearchEngine& eng, Rng& rng) {
   const int nregs = b.prob().num_regs();
   const int nfree = nregs - occ.reg_busy_t.popcount_row(step);
   if (nfree == 0) return false;
-  mut_cell(eng.touch_sto(cr.sid), cr).reg =
+  mut_cell(eng.touch_sto(cr.sid, cr.seg, cr.seg), cr).reg =
       nth_clear_bit(occ.reg_busy_t.row(step), nregs, rng.uniform(nfree));
   return true;
 }
@@ -371,6 +377,7 @@ bool move_val_move(SearchEngine& eng, Rng& rng) {
   const int n = lt.num_storages();
   if (n == 0) return false;
   const int sid = rng.uniform(n);
+  eng.prefetch_sto_txn(sid);
   const Occupancy& occ = eng.occupancy();
   const RegId cur = single_reg_of(b.sto(sid));
   const uint64_t* live = lt.live_row(sid);
@@ -382,27 +389,68 @@ bool move_val_move(SearchEngine& eng, Rng& rng) {
     // steps into one register mask — O(len x R/64) words instead of an
     // AND-any probe per register — and draw a clear bit. `cur` is busy on
     // its own arc, so it falls out of the mask automatically: same
-    // candidate set, same ascending order as the per-register loop.
+    // candidate set, same ascending order as the per-register loop. The
+    // mask lives in the engine's bound batch scratch when one is present
+    // (the speculation pipeline's contiguous per-candidate arena), with
+    // thread-local scratch as the sequential fallback; accumulation and
+    // reduction run through the word kernels of util/bitplane.h.
     const std::vector<int>& steps = lt.steps_of(sid);
     const BitPlane& bt = occ.reg_busy_t;
     const int words = bt.stride();
-    static thread_local std::vector<uint64_t> busy_union;
-    busy_union.assign(static_cast<size_t>(words), 0);
-    for (const int t : steps) {
-      const uint64_t* row = bt.row(t);
-      for (int i = 0; i < words; ++i) busy_union[static_cast<size_t>(i)] |= row[i];
+    static thread_local std::vector<uint64_t> busy_union_tl;
+    uint64_t* busy_union = eng.batch_scratch(words);
+    if (busy_union != nullptr) {
+      std::fill_n(busy_union, static_cast<size_t>(words), 0);
+    } else {
+      busy_union_tl.assign(static_cast<size_t>(words), 0);
+      busy_union = busy_union_tl.data();
     }
-    int busy = 0;
-    for (int i = 0; i < words; ++i)
-      busy += popcount64(busy_union[static_cast<size_t>(i)]);
+    for (const int t : steps) words_or_accumulate(busy_union, bt.row(t), words);
+    const int busy = popcount_words(busy_union, words);
     const int nregs = b.prob().num_regs();
     const int nfree = nregs - busy;
     if (nfree == 0) return false;
-    r = nth_clear_bit(busy_union.data(), nregs, rng.uniform(nfree));
+    r = nth_clear_bit(busy_union, nregs, rng.uniform(nfree));
+  } else if (lt.storage(sid).len <= b.prob().sched().length()) {
+    // General (split/multi-register) form, transposed: eligibility is
+    // busy(r) ∧ live(sid) ∧ ¬own(r) empty, so OR per-step (busy ∧ ¬own)
+    // register words into one mask — O(len x R/64) like the contiguous
+    // form instead of a row test per register. Own bits are cleared per
+    // step before accumulating (each live step is distinct when
+    // len <= L, so the per-step own set equals the per-(reg, step) own
+    // plane the row tests consulted): same candidate set, same ascending
+    // order, same single draw.
+    const std::vector<int>& steps = lt.steps_of(sid);
+    const StorageBinding& sb = b.sto(sid);
+    const BitPlane& bt = occ.reg_busy_t;
+    const int words = bt.stride();
+    static thread_local std::vector<uint64_t> busy_union_tl;
+    uint64_t* busy_union = eng.batch_scratch(words);
+    if (busy_union != nullptr) {
+      std::fill_n(busy_union, static_cast<size_t>(words), 0);
+    } else {
+      busy_union_tl.assign(static_cast<size_t>(words), 0);
+      busy_union = busy_union_tl.data();
+    }
+    // salsa-lint: allow(thread-local-scratch-discipline) every word is copy_n-overwritten from the busy row before any read
+    static thread_local std::vector<uint64_t> step_tmp;
+    step_tmp.resize(static_cast<size_t>(words));
+    for (size_t seg = 0; seg < sb.cells.size(); ++seg) {
+      const uint64_t* row = bt.row(steps[seg]);
+      std::copy_n(row, static_cast<size_t>(words), step_tmp.data());
+      for (const Cell& c : sb.cells[seg])
+        step_tmp[static_cast<size_t>(c.reg) >> 6] &=
+            ~(uint64_t{1} << (static_cast<unsigned>(c.reg) & 63u));
+      words_or_accumulate(busy_union, step_tmp.data(), words);
+    }
+    const int nregs = b.prob().num_regs();
+    const int nfree = nregs - popcount_words(busy_union, words);
+    if (nfree == 0) return false;
+    r = nth_clear_bit(busy_union, nregs, rng.uniform(nfree));
   } else {
-    // General (split/multi-register) form: mask the storage's own claims
-    // out of each register row before the emptiness test —
-    // busy(r) ∧ live(sid) ∧ ¬own(r) must be empty.
+    // Wrapped lifetime (len > L): several segments can share a control
+    // step, and the own mask must union across them before any step's
+    // test — keep the per-register row walk for this rare shape.
     static thread_local BitPlane own;
     own.resize(b.prob().num_regs(), b.prob().sched().length());
     const std::vector<int>& steps = lt.steps_of(sid);
@@ -432,6 +480,7 @@ bool move_val_split(SearchEngine& eng, Rng& rng) {
   const int n = lt.num_storages();
   if (n == 0) return false;
   const int sid = rng.uniform(n);
+  eng.prefetch_sto_txn(sid);
   const Storage& s = lt.storage(sid);
   const int seg = rng.uniform(s.len);
   const int step = lt.steps_of(sid)[static_cast<size_t>(seg)];
@@ -449,7 +498,7 @@ bool move_val_split(SearchEngine& eng, Rng& rng) {
       seg == 0 ? -1
                : rng.uniform(static_cast<int>(
                      b.sto(sid).cells[static_cast<size_t>(seg) - 1].size()));
-  StorageBinding& sb = eng.touch_sto(sid);
+  StorageBinding& sb = eng.touch_sto(sid, seg, seg);
   sb.cells[static_cast<size_t>(seg)].push_back(c);
   const int new_pos =
       static_cast<int>(sb.cells[static_cast<size_t>(seg)].size()) - 1;
@@ -471,6 +520,7 @@ bool move_val_merge(SearchEngine& eng, Rng& rng) {
   if (total == 0) return false;
   int rem = 0;
   const int msid = eng.leaf_storage_at(rng.uniform(total), &rem);
+  eng.prefetch_sto_txn(msid);
   const StorageBinding& msb = b.sto(msid);
   CellRef cr{msid, -1, -1};
   for (int seg = 0; cr.seg < 0 && seg < static_cast<int>(msb.cells.size());
@@ -494,7 +544,7 @@ bool move_val_merge(SearchEngine& eng, Rng& rng) {
     }
   }
   SALSA_DCHECK(cr.seg >= 0);
-  StorageBinding& sb = eng.touch_sto(cr.sid);
+  StorageBinding& sb = eng.touch_sto(cr.sid, cr.seg, cr.seg + 1);
   auto& cells = sb.cells[static_cast<size_t>(cr.seg)];
   cells.erase(cells.begin() + cr.pos);
   // Fix children parent indices and read targets shifted by the erase.
@@ -523,6 +573,7 @@ bool move_read_retarget(SearchEngine& eng, Rng& rng) {
   if (total == 0) return false;
   int rem = 0;
   const int sid = eng.fat_read_storage_at(rng.uniform(total), &rem);
+  eng.prefetch_sto_txn(sid);
   const Storage& s = lt.storage(sid);
   const StorageBinding& sbr = b.sto(sid);
   int ri = -1;
@@ -538,7 +589,7 @@ bool move_read_retarget(SearchEngine& eng, Rng& rng) {
           .size());
   int pos = rng.uniform(ncells - 1);
   if (pos >= b.sto(sid).read_cell[static_cast<size_t>(ri)]) ++pos;
-  eng.touch_sto(sid).read_cell[static_cast<size_t>(ri)] = pos;
+  eng.touch_sto_reads(sid).read_cell[static_cast<size_t>(ri)] = pos;
   return true;
 }
 

@@ -108,6 +108,11 @@ void SearchEngine::build_static() {
         prob.fus().fu(f).cls == FuClass::kAlu ? OpKind::kAdd : OpKind::kMul;
     if (sched.hw().delay(probe) == 1) st.pass_fus_1cyc.push_back(f);
   }
+  st.pass_fus_1cyc_mask.assign(
+      (prob.fus().size() + 63) / 64, 0);
+  for (FuId f : st.pass_fus_1cyc)
+    st.pass_fus_1cyc_mask[static_cast<size_t>(f) >> 6] |=
+        uint64_t{1} << (f & 63);
   // Ranks within the class lists, for the per-FU op index.
   st.pos_in_class.assign(static_cast<size_t>(g.num_nodes()), -1);
   for (const auto& class_list : st.ops_by_class)
@@ -150,6 +155,11 @@ void SearchEngine::init_from_statics() {
   op_epoch_.assign(static_cast<size_t>(g.num_nodes()), 0);
   sto_epoch_.assign(static_cast<size_t>(S), 0);
   sto_save_.assign(static_cast<size_t>(S), StorageBinding{});
+  sto_wlo_.assign(static_cast<size_t>(S), 0);
+  sto_whi_.assign(static_cast<size_t>(S), -1);
+  sto_whi_add_.assign(static_cast<size_t>(S), -1);
+  write_seg_keys_.assign(
+      static_cast<size_t>(statics_->sto_seg_off[static_cast<size_t>(S)]), 0);
   epoch_ = 0;
   // The audited index tables are the targets of the backward-shift
   // mutation hook (flat_map_hooks; no effect unless a test arms it).
@@ -168,6 +178,7 @@ void SearchEngine::init_from_statics() {
   undo_ints_.reserve(1024);
   undo_words_.reserve(512);
   pending_uses_.reserve(512);
+  sink_scratch_.reserve(256);
   touched_ops_.reserve(16);
   touched_sids_.reserve(16);
   removed_gens_.reserve(64);
@@ -242,13 +253,31 @@ void SearchEngine::rebuild() {
           ++cost_.fus_used;
       }
     }
-    add_gen(gen_reads(sid));
-    add_gen(gen_writes(sid));
+    add_gen(gen_reads(sid),
+            gen_keys_[static_cast<size_t>(gen_reads(sid))]);
+    add_gen(gen_writes(sid),
+            gen_keys_[static_cast<size_t>(gen_writes(sid))]);
   }
   for (NodeId n : g.operations())
     if (statics_->op_info[static_cast<size_t>(n)].has_const_ins)
-      add_gen(gen_const(n));
+      add_gen(gen_const(n), gen_keys_[static_cast<size_t>(gen_const(n))]);
   recompute_total();
+#ifndef NDEBUG
+  // Segment-windowed transactions rely on the binding being normalized
+  // whenever no transaction is open (no hold cell carries a via): every
+  // transaction normalizes its touched window before the re-adds, and a
+  // window covers every segment whose parent regs or vias can change, so
+  // the invariant holds inductively from a normalized start.
+  for (int sid = 0; sid < S; ++sid) {
+    const StorageBinding& sb = b_.sto(sid);
+    for (size_t seg = 1; seg < sb.cells.size(); ++seg)
+      for (const Cell& c : sb.cells[seg])
+        SALSA_DCHECK(c.parent < 0 ||
+                     sb.cells[seg - 1][static_cast<size_t>(c.parent)].reg !=
+                         c.reg ||
+                     c.via == kInvalidId);
+  }
+#endif
   SALSA_DCHECK(matches_full_eval());
 }
 
@@ -315,31 +344,38 @@ void SearchEngine::enum_gen_uses(int gen, Fn&& fn) const {
   }
 
   // Cell writes: producer latches, environment loads, transfers.
-  for (int seg = 0; seg < s.len; ++seg) {
-    for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
-      const Pin sink{Pin::Kind::kRegIn, c.reg};
-      if (seg == 0) {
-        if (s.producer == kInvalidId) {
-          fn(Endpoint{Endpoint::Kind::kInPort, g.producer(s.members[0])},
-             sink);
-        } else {
-          fn(Endpoint{Endpoint::Kind::kFuOut, b_.op(s.producer).fu}, sink);
-        }
-        continue;
-      }
-      const Cell& parent =
-          sb.cells[static_cast<size_t>(seg) - 1][static_cast<size_t>(c.parent)];
-      if (parent.reg == c.reg) continue;  // hold: no interconnect
-      if (c.via == kInvalidId) {
-        fn(Endpoint{Endpoint::Kind::kRegOut, parent.reg}, sink);
+  for (int seg = 0; seg < s.len; ++seg)
+    enum_write_seg_uses(sid, s, sb, seg, fn);
+  (void)L;
+}
+
+template <typename Fn>
+void SearchEngine::enum_write_seg_uses(int sid, const Storage& s,
+                                       const StorageBinding& sb, int seg,
+                                       Fn&& fn) const {
+  const Cdfg& g = b_.prob().cdfg();
+  (void)sid;
+  for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
+    const Pin sink{Pin::Kind::kRegIn, c.reg};
+    if (seg == 0) {
+      if (s.producer == kInvalidId) {
+        fn(Endpoint{Endpoint::Kind::kInPort, g.producer(s.members[0])}, sink);
       } else {
-        fn(Endpoint{Endpoint::Kind::kRegOut, parent.reg},
-           Pin{Pin::Kind::kFuIn0, c.via});
-        fn(Endpoint{Endpoint::Kind::kFuOut, c.via}, sink);
+        fn(Endpoint{Endpoint::Kind::kFuOut, b_.op(s.producer).fu}, sink);
       }
+      continue;
+    }
+    const Cell& parent =
+        sb.cells[static_cast<size_t>(seg) - 1][static_cast<size_t>(c.parent)];
+    if (parent.reg == c.reg) continue;  // hold: no interconnect
+    if (c.via == kInvalidId) {
+      fn(Endpoint{Endpoint::Kind::kRegOut, parent.reg}, sink);
+    } else {
+      fn(Endpoint{Endpoint::Kind::kRegOut, parent.reg},
+         Pin{Pin::Kind::kFuIn0, c.via});
+      fn(Endpoint{Endpoint::Kind::kFuOut, c.via}, sink);
     }
   }
-  (void)L;
 }
 
 void SearchEngine::add_key(uint64_t key) {
@@ -376,14 +412,15 @@ void SearchEngine::apply_pending_uses() {
   pending_uses_.clear();
 }
 
-void SearchEngine::add_gen(int gen) {
-  // Enumerate from the binding and refresh the generator's key cache in
-  // the same pass (see gen_keys_ in the header): the cache stays current
-  // for as long as the generator's enumeration inputs do, which the
-  // touch-before-mutate protocol guarantees.
-  std::vector<uint64_t>& keys = gen_keys_[static_cast<size_t>(gen)];
+void SearchEngine::add_gen(int gen, std::vector<uint64_t>& keys) {
+  // Enumerate from the binding into `keys`. Outside a transaction the
+  // target is the generator's cache itself (rebuild); inside one it is the
+  // removal's stash slot, so the cache keeps the pre-move list — it is the
+  // netting's "old" side and rollback's ground truth — and commit installs
+  // the fresh list with one capacity-stable copy (see gen_keys_ in the
+  // header).
   keys.clear();
-  enum_gen_uses(gen, [this, &keys](const Endpoint& src, const Pin& sink) {
+  auto emit = [this, &keys](const Endpoint& src, const Pin& sink) {
     if (!statics_->charge_consts && src.kind == Endpoint::Kind::kConstPort)
       return;
     const uint32_t sk = pack(sink);
@@ -398,25 +435,165 @@ void SearchEngine::add_gen(int gen) {
       // unchanged uses never reach the scratch table at all.
       txn_delta_.add(key, +1);
     }
-  });
+  };
+  if (is_write_gen(gen)) {
+    // Write generators enumerate per segment so the cache's per-segment
+    // key counts stay current — the spliced windowed refresh needs them to
+    // locate a window inside the flat key list. Count writes are journaled
+    // (rollback keeps the old key list — the cache was never overwritten —
+    // and the journal replay restores the matching counts).
+    const int sid = gen / 2;
+    const Storage& s = b_.prob().lifetimes().storage(sid);
+    const StorageBinding& sb = b_.sto(sid);
+    const int off = statics_->sto_seg_off[static_cast<size_t>(sid)];
+    for (int seg = 0; seg < s.len; ++seg) {
+      const size_t before = keys.size();
+      enum_write_seg_uses(sid, s, sb, seg, emit);
+      int& slot = write_seg_keys_[static_cast<size_t>(off + seg)];
+      const int now = static_cast<int>(keys.size() - before);
+      if (slot != now) {
+        journal_int(slot);
+        slot = now;
+      }
+    }
+    return;
+  }
+  enum_gen_uses(gen, emit);
+}
+
+void SearchEngine::add_write_gen_spliced(int sid, size_t stash_idx, int wlo,
+                                         int whi, int whi_add) {
+  // Sequential path only (no footprint, no index side effects): refresh
+  // the write generator's cache by copying the pre-move key list's
+  // unchanged prefix and suffix around a fresh enumeration of the touched
+  // window. Segments outside the window kept their exact binding bytes, so
+  // the spliced list equals what a full re-enumeration would produce and
+  // the generic netting in finish_mutation sees identical inputs.
+  const int gen = gen_writes(sid);
+  // The cache still holds the pre-move list (retirement is bookkeeping
+  // only); the spliced replacement builds in this removal's stash slot,
+  // whose buffer is pooled across transactions — no steady-state
+  // allocation.
+  const std::vector<uint64_t>& olds = gen_keys_[static_cast<size_t>(gen)];
+  std::vector<uint64_t>& keys = gen_stash_[stash_idx];
+  keys.clear();
+  const Storage& s = b_.prob().lifetimes().storage(sid);
+  const StorageBinding& sb = b_.sto(sid);
+  const int off = statics_->sto_seg_off[static_cast<size_t>(sid)];
+  size_t pre = 0;
+  for (int seg = 0; seg < wlo; ++seg)
+    pre += static_cast<size_t>(write_seg_keys_[static_cast<size_t>(off + seg)]);
+  size_t old_win = 0;
+  for (int seg = wlo; seg <= whi; ++seg)
+    old_win +=
+        static_cast<size_t>(write_seg_keys_[static_cast<size_t>(off + seg)]);
+  keys.reserve(olds.size() + 4);
+  keys.insert(keys.end(), olds.begin(),
+              olds.begin() + static_cast<ptrdiff_t>(pre));
+  for (int seg = wlo; seg <= whi_add; ++seg) {
+    const size_t before = keys.size();
+    enum_write_seg_uses(sid, s, sb, seg,
+                        [&keys](const Endpoint& src, const Pin& sink) {
+                          keys.push_back(
+                              (static_cast<uint64_t>(pack(sink)) << 32) |
+                              pack(src));
+                        });
+    int& slot = write_seg_keys_[static_cast<size_t>(off + seg)];
+    const int now = static_cast<int>(keys.size() - before);
+    if (slot != now) {
+      journal_int(slot);
+      slot = now;
+    }
+  }
+  keys.insert(keys.end(),
+              olds.begin() + static_cast<ptrdiff_t>(pre + old_win),
+              olds.end());
+}
+
+bool SearchEngine::add_read_gen_spliced(int sid, size_t stash_idx) {
+  // Sequential path only. Read keys depend on exactly three things: the
+  // register of the cell the read fetches from (changes only when that
+  // cell's segment is inside the mutation window), which cell the read
+  // fetches from (read_cell, saved on every touch), and the consumer's
+  // operand routing (ob.swap/ob.fu, changes only when the op was touched
+  // this epoch). Everything else copies from the cached pre-move list —
+  // for the common case of a storage with many reads outside a one-segment
+  // window, that's a memcpy-speed pass instead of re-deriving every key.
+  const Storage& s = b_.prob().lifetimes().storage(sid);
+  const StorageBinding& sb = b_.sto(sid);
+  const std::vector<uint64_t>& olds =
+      gen_keys_[static_cast<size_t>(gen_reads(sid))];
+  if (olds.size() != s.reads.size()) return false;
+  // The generator may have been retired through touch_op alone (a consumer
+  // changed FU or swap) with the storage itself untouched — then its cells
+  // and read_cell are unchanged, the window is empty, and the save buffer
+  // may never have been filled for this storage at all.
+  const bool sto_touched = sto_epoch_[static_cast<size_t>(sid)] == epoch_;
+  const StorageBinding& save = sto_save_[static_cast<size_t>(sid)];
+  const int wlo = sto_touched ? sto_wlo_[static_cast<size_t>(sid)] : 0;
+  const int whi = sto_touched ? sto_whi_[static_cast<size_t>(sid)] : -1;
+  std::vector<uint64_t>& keys = gen_stash_[stash_idx];
+  keys.clear();
+  keys.reserve(olds.size());
+  for (size_t ri = 0; ri < s.reads.size(); ++ri) {
+    const StorageRead& r = s.reads[ri];
+    if ((r.seg < wlo || r.seg > whi) &&
+        (!sto_touched || sb.read_cell[ri] == save.read_cell[ri]) &&
+        op_epoch_[static_cast<size_t>(r.consumer)] != epoch_) {
+      keys.push_back(olds[ri]);
+      continue;
+    }
+    const RegId rreg = sb.cells[static_cast<size_t>(r.seg)]
+                               [static_cast<size_t>(sb.read_cell[ri])].reg;
+    const uint32_t src = pack(Endpoint{Endpoint::Kind::kRegOut, rreg});
+    uint32_t sk;
+    if (statics_->node_is_output[static_cast<size_t>(r.consumer)]) {
+      sk = pack(Pin{Pin::Kind::kOutPort, r.consumer});
+    } else {
+      const OpBind& ob = b_.op(r.consumer);
+      const int slot = ob.swap ? 1 - r.operand : r.operand;
+      sk = pack(Pin{slot == 0 ? Pin::Kind::kFuIn0 : Pin::Kind::kFuIn1, ob.fu});
+    }
+    keys.push_back((static_cast<uint64_t>(sk) << 32) | src);
+  }
+  return true;
+}
+
+void SearchEngine::install_fresh_gen_caches() {
+  // Commit-side half of the retire/re-add protocol: each removed
+  // generator's fresh enumeration (built in its stash slot) becomes the
+  // cache. assign() reuses both buffers' capacity, so steady-state commits
+  // never allocate; a rollback skips this and the caches — never
+  // overwritten mid-transaction — still hold the pre-move lists.
+  for (size_t i = 0; i < removed_gens_.size(); ++i)
+    gen_keys_[static_cast<size_t>(removed_gens_[i])].assign(
+        gen_stash_[i].begin(), gen_stash_[i].end());
 }
 
 void SearchEngine::remove_gen_once(int gen) {
   if (gen_epoch_[static_cast<size_t>(gen)] == epoch_) return;
   gen_epoch_[static_cast<size_t>(gen)] = epoch_;
+  // The cached key list is walked by finish_mutation's splice and netting;
+  // start its (scattered, per-generator) data line towards the cache now so
+  // the refresh doesn't stall on it. The header itself was hinted by the
+  // proposer's prefetch_sto_txn where a storage pick preceded the touch.
+  {
+    const std::vector<uint64_t>& cached = gen_keys_[static_cast<size_t>(gen)];
+    if (!cached.empty()) __builtin_prefetch(cached.data());
+  }
   const size_t stash = removed_gens_.size();
   removed_gens_.push_back(gen);
   if (stash >= gen_stash_.size()) gen_stash_.emplace_back();
-  // Stash the still-fresh cache (rollback swaps it back) and retire the
-  // generator's uses by replaying it — no binding re-enumeration. The
-  // cache slot left behind is refilled by finish_mutation's add_gen.
-  std::vector<uint64_t>& keys = gen_stash_[stash];
-  keys.swap(gen_keys_[static_cast<size_t>(gen)]);
-  // Footprint capture retires the cached keys into the scratch table here;
-  // the sequential path leaves them in the stash and lets finish_mutation
-  // diff them against the fresh enumeration (see add_gen).
+  // Retirement is bookkeeping only: the cache keeps the pre-move key list
+  // in place (finish_mutation nets it against the fresh enumeration built
+  // in the stash slot, commit installs the replacement, rollback has
+  // nothing to undo). Swapping buffers here looked free but alternated
+  // each slot's capacity between unrelated generators, so the refill
+  // reallocated nearly every transaction.
   if (fp_) {
-    for (const uint64_t key : keys) {
+    // Footprint capture retires the cached keys into the scratch table
+    // eagerly; the sequential path nets old-vs-new in finish_mutation.
+    for (const uint64_t key : gen_keys_[static_cast<size_t>(gen)]) {
       fp_->add_sink(static_cast<uint32_t>(key >> 32));
       txn_delta_.add(key, -1);
     }
@@ -436,6 +613,7 @@ void SearchEngine::add_op_claims(NodeId n) {
   for (int t = start; t < start + oc; ++t) {
     SALSA_DCHECK(occ_.fu_slot(f, t) == Occupancy::kFree);
     journal_int(occ_.fu_slot(f, t));
+    journal_word(occ_.fu_busy_t.word(t, f));
   }
   journal_range_words(occ_.fu_busy, f, start, oc);
   occ_.claim_fu_range(f, start, oc, n);
@@ -458,7 +636,10 @@ void SearchEngine::remove_op_claims(NodeId n) {
   // restores the saved units and re-claims from them (see rollback), so
   // the removal writes need no per-entry record.
   if (fp_) {
-    for (int t = start; t < start + oc; ++t) journal_int(occ_.fu_slot(f, t));
+    for (int t = start; t < start + oc; ++t) {
+      journal_int(occ_.fu_slot(f, t));
+      journal_word(occ_.fu_busy_t.word(t, f));
+    }
     journal_range_words(occ_.fu_busy, f, start, oc);
     fp_->fu_events.push_back({f, -1});
     journal_int(fu_refs_[static_cast<size_t>(f)]);
@@ -467,12 +648,11 @@ void SearchEngine::remove_op_claims(NodeId n) {
   if (--fu_refs_[static_cast<size_t>(f)] == 0) --cost_.fus_used;
 }
 
-void SearchEngine::add_sto_claims(int sid) {
+void SearchEngine::add_sto_claims(int sid, int lo, int hi) {
   const Lifetimes& lt = b_.prob().lifetimes();
   const std::vector<int>& steps = lt.steps_of(sid);
   const StorageBinding& sb = b_.sto(sid);
-  const int len = static_cast<int>(steps.size());
-  for (int seg = 0; seg < len; ++seg) {
+  for (int seg = lo; seg <= hi; ++seg) {
     const int step = steps[static_cast<size_t>(seg)];
     for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
       SALSA_DCHECK(occ_.reg_slot(c.reg, step) == -1 ||
@@ -490,6 +670,7 @@ void SearchEngine::add_sto_claims(int sid) {
         SALSA_DCHECK(occ_.fu_slot(c.via, tstep) == Occupancy::kFree);
         journal_int(occ_.fu_slot(c.via, tstep));
         journal_word(occ_.fu_busy.word(c.via, tstep));
+        journal_word(occ_.fu_busy_t.word(tstep, c.via));
         occ_.claim_fu(c.via, tstep, Occupancy::kPassThrough);
         if (fp_) fp_->fu_events.push_back({c.via, +1});
         int& frefs = fu_refs_[static_cast<size_t>(c.via)];
@@ -500,12 +681,11 @@ void SearchEngine::add_sto_claims(int sid) {
   }
 }
 
-void SearchEngine::remove_sto_claims(int sid) {
+void SearchEngine::remove_sto_claims(int sid, int lo, int hi) {
   const Lifetimes& lt = b_.prob().lifetimes();
   const std::vector<int>& steps = lt.steps_of(sid);
   const StorageBinding& sb = b_.sto(sid);
-  const int len = static_cast<int>(steps.size());
-  for (int seg = 0; seg < len; ++seg) {
+  for (int seg = lo; seg <= hi; ++seg) {
     const int step = steps[static_cast<size_t>(seg)];
     // Several cells of one segment may share the step slot only across
     // distinct registers (legality), so each clears its own slot.
@@ -528,6 +708,7 @@ void SearchEngine::remove_sto_claims(int sid) {
         if (fp_) {
           journal_int(occ_.fu_slot(c.via, tstep));
           journal_word(occ_.fu_busy.word(c.via, tstep));
+          journal_word(occ_.fu_busy_t.word(tstep, c.via));
           fp_->fu_events.push_back({c.via, -1});
           journal_int(fu_refs_[static_cast<size_t>(c.via)]);
         }
@@ -551,18 +732,20 @@ void SearchEngine::stage_op_claims(NodeId n) {
     fu_staged_.push_back(static_cast<int>(f));
 }
 
-void SearchEngine::normalize_and_stage_sto(int sid) {
+void SearchEngine::normalize_and_stage_sto(int sid, int lo, int hi) {
   // One fused walk per touched storage: Binding::normalize_storage's
   // hold-via clearing and the claim staging visit exactly the same cells,
   // and fusing them halves the pointer-chasing over the per-segment cell
   // vectors. Per cell, normalisation runs first (staging must see the
   // final via), and it only reads the parent's reg — a field staging
   // never writes — so the fusion is order-equivalent to the two passes.
+  // Windowed calls pass the touched interval; its first segment's parent
+  // row sits outside the window but is unmutated, so reading it from the
+  // live binding is exact.
   const Lifetimes& lt = b_.prob().lifetimes();
-  const std::vector<int>& steps = lt.steps_of(sid);
+  [[maybe_unused]] const std::vector<int>& steps = lt.steps_of(sid);
   StorageBinding& sb = b_.sto(sid);
-  const int len = static_cast<int>(steps.size());
-  for (int seg = 0; seg < len; ++seg) {
+  for (int seg = lo; seg <= hi; ++seg) {
     for (Cell& c : sb.cells[static_cast<size_t>(seg)]) {
       if (seg > 0 && c.parent >= 0 &&
           sb.cells[static_cast<size_t>(seg - 1)][static_cast<size_t>(c.parent)]
@@ -619,8 +802,12 @@ void SearchEngine::apply_claims_walk() {
   for (const int sid : touched_sids_) {
     const std::vector<int>& steps = lt.steps_of(sid);
     const StorageBinding& sb = b_.sto(sid);
-    const int len = static_cast<int>(steps.size());
-    for (int seg = 0; seg < len; ++seg) {
+    // Windowed transactions only released the window's claims, so only the
+    // window re-claims (sto_whi_add_ == sto_whi_ unless the
+    // --break-segment-window mutation hook shortened the re-add side).
+    const int lo = sto_wlo_[static_cast<size_t>(sid)];
+    const int hi = sto_whi_add_[static_cast<size_t>(sid)];
+    for (int seg = lo; seg <= hi; ++seg) {
       const int step = steps[static_cast<size_t>(seg)];
       for (const Cell& c : sb.cells[static_cast<size_t>(seg)]) {
         occ_.claim_reg(c.reg, step, sid);
@@ -639,7 +826,18 @@ void SearchEngine::apply_pending_claims() {
   if (!claims_pending_) return;
   claims_pending_ = false;
   apply_claims_walk();
-  for (const int sid : touched_sids_) refresh_sto_stats(sid);
+  for (const int sid : touched_sids_) {
+    const int wlo = sto_wlo_[static_cast<size_t>(sid)];
+    const int whi = sto_whi_[static_cast<size_t>(sid)];
+    const int len =
+        static_cast<int>(b_.sto(sid).cells.size());
+    if (whi < wlo) continue;  // read-only touch: no stat reads read_cell
+    if (wlo == 0 && whi == len - 1) {
+      refresh_sto_stats(sid);
+    } else {
+      refresh_sto_stats_window(sid, wlo, whi);
+    }
+  }
 }
 
 void SearchEngine::refresh_sto_stats(int sid) {
@@ -717,6 +915,104 @@ void SearchEngine::refresh_sto_stats(int sid) {
   }
 }
 
+void SearchEngine::refresh_sto_stats_window(int sid, int wlo, int whi) {
+  // Sequential commit only (in_txn_ already false, journaling a no-op):
+  // diff the saved pre-move window against the current binding and fold
+  // the difference into the counters. Every predicate is evaluated the
+  // exact way the full recount evaluates it, on both sides, so
+  // old + (new_window - old_window) equals a from-scratch recount — the
+  // out-of-window rows are byte-identical in both states.
+  const Lifetimes& lt = b_.prob().lifetimes();
+  const StorageBinding& sb = b_.sto(sid);
+  const StorageBinding& sv = sto_save_[static_cast<size_t>(sid)];
+  const int len = static_cast<int>(sb.cells.size());
+  auto old_row = [&](int s) -> const std::vector<Cell>& {
+    return (s >= wlo && s <= whi) ? sv.cells[static_cast<size_t>(s)]
+                                  : sb.cells[static_cast<size_t>(s)];
+  };
+  auto new_row = [&](int s) -> const std::vector<Cell>& {
+    return sb.cells[static_cast<size_t>(s)];
+  };
+  // Via/transfer contribution of one segment (parent row from the same
+  // binding state).
+  auto via_xfer = [](int s, const std::vector<Cell>& row,
+                     const std::vector<Cell>* parents, int* vias, int* xfers) {
+    for (const Cell& c : row) {
+      if (c.via != kInvalidId) {
+        ++*vias;
+      } else if (s > 0 &&
+                 (*parents)[static_cast<size_t>(c.parent)].reg != c.reg) {
+        ++*xfers;
+      }
+    }
+  };
+  // Merge-candidate (leaf) contribution of one segment: leaf cells of
+  // multi-cell segments, children marked from the next segment.
+  static thread_local std::vector<char> mark;
+  auto leaf_count = [&](const std::vector<Cell>& row,
+                        const std::vector<Cell>* children) {
+    if (row.size() < 2) return 0;
+    if (!children) return static_cast<int>(row.size());
+    mark.assign(row.size(), 0);
+    for (const Cell& child : *children)
+      mark[static_cast<size_t>(child.parent)] = 1;
+    int leaves = 0;
+    for (const char m : mark) leaves += !m;
+    return leaves;
+  };
+  int d_cells = 0, d_vias = 0, d_xfers = 0, d_leaves = 0, d_fat = 0;
+  for (int s = wlo; s <= whi; ++s) {
+    d_cells += static_cast<int>(new_row(s).size()) -
+               static_cast<int>(old_row(s).size());
+    int nv = 0, nx = 0, ov = 0, ox = 0;
+    via_xfer(s, new_row(s), s > 0 ? &new_row(s - 1) : nullptr, &nv, &nx);
+    via_xfer(s, old_row(s), s > 0 ? &old_row(s - 1) : nullptr, &ov, &ox);
+    d_vias += nv - ov;
+    d_xfers += nx - ox;
+  }
+  // A window's first segment changes the child marks of the segment before
+  // it, so the leaf diff extends one segment left.
+  for (int s = wlo > 0 ? wlo - 1 : 0; s <= whi; ++s) {
+    d_leaves +=
+        leaf_count(new_row(s), s + 1 < len ? &new_row(s + 1) : nullptr) -
+        leaf_count(old_row(s), s + 1 < len ? &old_row(s + 1) : nullptr);
+  }
+  const Storage& s = lt.storage(sid);
+  for (const StorageRead& r : s.reads) {
+    if (r.seg < wlo || r.seg > whi) continue;
+    d_fat += (new_row(r.seg).size() >= 2) - (old_row(r.seg).size() >= 2);
+  }
+  auto J = [this](int& slot) { journal_int(slot); };
+  auto upd = [&](std::vector<int>& row, Fenwick& fw, int d) {
+    if (d == 0) return;
+    int& slot = row[static_cast<size_t>(sid)];
+    journal_int(slot);
+    fw.add(sid, d, J);
+    slot += d;
+  };
+  if (d_cells != 0) {
+    journal_int(total_cells_);
+    total_cells_ += d_cells;
+  }
+  upd(sto_cells_, fw_cells_, d_cells);
+  upd(sto_vias_, fw_vias_, d_vias);
+  upd(sto_xfers_, fw_xfers_, d_xfers);
+  upd(sto_leaves_, fw_leaves_, d_leaves);
+  upd(sto_fat_reads_, fw_fat_reads_, d_fat);
+  const int off = statics_->sto_seg_off[static_cast<size_t>(sid)];
+  const std::vector<int>& steps = lt.steps_of(sid);
+  for (int seg = wlo; seg <= whi; ++seg) {
+    int& slot = seg_size_[static_cast<size_t>(off + seg)];
+    const int sz = static_cast<int>(sb.cells[static_cast<size_t>(seg)].size());
+    if (slot != sz) {
+      journal_int(slot);
+      step_cells_[static_cast<size_t>(steps[static_cast<size_t>(seg)])].add(
+          statics_->pos_in_step[static_cast<size_t>(off + seg)], sz - slot, J);
+      slot = sz;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Transactions.
 
@@ -733,19 +1029,102 @@ OpBind& SearchEngine::touch_op(NodeId n) {
 }
 
 StorageBinding& SearchEngine::touch_sto(int sid) {
+  return touch_sto(sid, 0,
+                   static_cast<int>(b_.sto(sid).cells.size()) - 1);
+}
+
+StorageBinding& SearchEngine::touch_sto(int sid, int mlo, int mhi) {
   SALSA_DCHECK(in_txn_);
+  StorageBinding& sb = b_.sto(sid);
+  const int len = static_cast<int>(sb.cells.size());
+  // The claim/normalize/recount window extends one segment past the
+  // mutation: a reg change at mhi retargets the transfers into mhi+1 and
+  // can clear hold-vias there. Everything further right keeps its exact
+  // bytes (no insert/erase outside [mlo, mhi] means stable parent indices
+  // and regs), so the windowed walks are exact. Footprint capture and
+  // windows-off mode force the whole storage.
+  int lo = mlo;
+  int hi = mhi + 1 < len ? mhi + 1 : len - 1;
+  if (fp_ || !seg_windows_) {
+    lo = 0;
+    hi = len - 1;
+  }
+  SALSA_DCHECK(lo >= 0 && lo <= hi && hi < len);
+  StorageBinding& save = sto_save_[static_cast<size_t>(sid)];
   if (sto_epoch_[static_cast<size_t>(sid)] != epoch_) {
     sto_epoch_[static_cast<size_t>(sid)] = epoch_;
-    // The per-sid save buffer has this storage's exact segment shape after
-    // the first touch ever, so the copy-assignment refills the existing
-    // cell vectors in place — no reallocation on the steady-state path.
     touched_sids_.push_back(sid);
-    sto_save_[static_cast<size_t>(sid)] = b_.sto(sid);
-    remove_sto_claims(sid);
+    // The per-sid save buffer has this storage's exact segment shape after
+    // the first touch ever, so the per-segment copy-assignments refill the
+    // existing cell vectors in place — no reallocation on the steady-state
+    // path.
+    if (save.cells.size() != sb.cells.size()) save.cells.resize(sb.cells.size());
+    save.read_cell = sb.read_cell;
+    for (int seg = lo; seg <= hi; ++seg)
+      save.cells[static_cast<size_t>(seg)] = sb.cells[static_cast<size_t>(seg)];
+    remove_sto_claims(sid, lo, hi);
+    sto_wlo_[static_cast<size_t>(sid)] = lo;
+    sto_whi_[static_cast<size_t>(sid)] = hi;
+    sto_whi_add_[static_cast<size_t>(sid)] = hi;
     remove_gen_once(gen_reads(sid));
     remove_gen_once(gen_writes(sid));
+    return sb;
   }
-  return b_.sto(sid);
+  // Re-touch: extend the stored window to the convex hull, saving and
+  // releasing only the newly covered segments (a prior read-only touch has
+  // the empty window, so everything in [lo, hi] is new).
+  int& wlo = sto_wlo_[static_cast<size_t>(sid)];
+  int& whi = sto_whi_[static_cast<size_t>(sid)];
+  if (whi < wlo) {
+    for (int seg = lo; seg <= hi; ++seg)
+      save.cells[static_cast<size_t>(seg)] = sb.cells[static_cast<size_t>(seg)];
+    remove_sto_claims(sid, lo, hi);
+    wlo = lo;
+    whi = hi;
+  } else {
+    if (lo < wlo) {
+      for (int seg = lo; seg < wlo; ++seg)
+        save.cells[static_cast<size_t>(seg)] =
+            sb.cells[static_cast<size_t>(seg)];
+      remove_sto_claims(sid, lo, wlo - 1);
+      wlo = lo;
+    }
+    if (hi > whi) {
+      for (int seg = whi + 1; seg <= hi; ++seg)
+        save.cells[static_cast<size_t>(seg)] =
+            sb.cells[static_cast<size_t>(seg)];
+      remove_sto_claims(sid, whi + 1, hi);
+      whi = hi;
+    }
+  }
+  sto_whi_add_[static_cast<size_t>(sid)] = whi;
+  // A read-only first touch left the write generator live; the protocol
+  // needs it retired before any cell mutates (dedup makes this a no-op
+  // when the first touch already removed it).
+  remove_gen_once(gen_writes(sid));
+  return sb;
+}
+
+StorageBinding& SearchEngine::touch_sto_reads(int sid) {
+  SALSA_DCHECK(in_txn_);
+  if (fp_ || !seg_windows_) return touch_sto(sid);
+  StorageBinding& sb = b_.sto(sid);
+  // Any prior touch of this storage already saved read_cell and retired
+  // the read generator.
+  if (sto_epoch_[static_cast<size_t>(sid)] == epoch_) return sb;
+  sto_epoch_[static_cast<size_t>(sid)] = epoch_;
+  touched_sids_.push_back(sid);
+  StorageBinding& save = sto_save_[static_cast<size_t>(sid)];
+  if (save.cells.size() != sb.cells.size()) save.cells.resize(sb.cells.size());
+  save.read_cell = sb.read_cell;
+  // Empty cell window: no claims move, the write generator's cache stays
+  // live (cells are untouched) and the per-storage statistics are
+  // read_cell-independent.
+  sto_wlo_[static_cast<size_t>(sid)] = 0;
+  sto_whi_[static_cast<size_t>(sid)] = -1;
+  sto_whi_add_[static_cast<size_t>(sid)] = -1;
+  remove_gen_once(gen_reads(sid));
+  return sb;
 }
 
 void SearchEngine::finish_mutation() {
@@ -756,7 +1135,9 @@ void SearchEngine::finish_mutation() {
     for (int sid : touched_sids_) b_.normalize_storage(sid);
     for (const TouchedOp& t : touched_ops_) add_op_claims(t.n);
     for (int sid : touched_sids_) {
-      add_sto_claims(sid);
+      // Footprint-path touches always cover the whole storage (touch_sto
+      // forces the full window under capture).
+      add_sto_claims(sid, 0, static_cast<int>(b_.sto(sid).cells.size()) - 1);
       refresh_sto_stats(sid);
     }
   } else {
@@ -768,21 +1149,75 @@ void SearchEngine::finish_mutation() {
     // pending delta, so their recount rides along to commit too.
     claims_pending_ = true;
     for (const TouchedOp& t : touched_ops_) stage_op_claims(t.n);
-    for (int sid : touched_sids_) normalize_and_stage_sto(sid);
+    for (int sid : touched_sids_) {
+      const int wlo = sto_wlo_[static_cast<size_t>(sid)];
+      const int whi = sto_whi_[static_cast<size_t>(sid)];
+      if (whi < wlo) continue;  // read-only touch: no cells changed
+      const int len = static_cast<int>(b_.sto(sid).cells.size());
+      if (!(wlo == 0 && whi == len - 1)) {
+        // Mutation hook (--break-segment-window): the Nth windowed re-add
+        // drops its last segment on the add side only. The removals kept
+        // the full window, so the occupancy grid, refcounts and key cache
+        // drift from the binding — the audit wall must catch it.
+        ++seg_window_hooks::windowed_txns;
+        if (seg_window_hooks::break_claim_window_after > 0 &&
+            seg_window_hooks::windowed_txns >=
+                seg_window_hooks::break_claim_window_after) {
+          seg_window_hooks::break_claim_window_after = 0;  // one-shot
+          sto_whi_add_[static_cast<size_t>(sid)] = whi - 1;
+        }
+      }
+      const int hi = sto_whi_add_[static_cast<size_t>(sid)];
+      if (hi >= wlo) normalize_and_stage_sto(sid, wlo, hi);
+    }
     settle_staged_claims();
   }
   for (size_t i = 0; i < removed_gens_.size(); ++i) {
     const int gen = removed_gens_[i];
-    add_gen(gen);
+    // Sequential windowed refresh for write generators: splice the cached
+    // key list instead of re-enumerating the whole storage. A write
+    // generator retired through touch_op (producer FU change) with no
+    // storage touch only changes segment 0's keys, so it splices over the
+    // [0, 0] window.
+    bool spliced = false;
+    if (!fp_ && seg_windows_ && is_write_gen(gen)) {
+      const int sid = gen / 2;
+      const int len = static_cast<int>(b_.sto(sid).cells.size());
+      int wlo = len, whi = -1, whi_add = -1;
+      if (sto_epoch_[static_cast<size_t>(sid)] == epoch_ &&
+          sto_whi_[static_cast<size_t>(sid)] >=
+              sto_wlo_[static_cast<size_t>(sid)]) {
+        wlo = sto_wlo_[static_cast<size_t>(sid)];
+        whi = sto_whi_[static_cast<size_t>(sid)];
+        whi_add = sto_whi_add_[static_cast<size_t>(sid)];
+      }
+      const NodeId prod = b_.prob().lifetimes().storage(sid).producer;
+      if (prod != kInvalidId && op_epoch_[static_cast<size_t>(prod)] == epoch_ &&
+          wlo > 0) {
+        wlo = 0;
+        if (whi < 0) {
+          whi = 0;
+          whi_add = 0;
+        }
+      }
+      if (whi >= wlo && !(wlo == 0 && whi >= len - 1)) {
+        add_write_gen_spliced(sid, i, wlo, whi, whi_add);
+        spliced = true;
+      }
+    } else if (!fp_ && seg_windows_ && is_read_gen(gen)) {
+      spliced = add_read_gen_spliced(gen / 2, i);
+    }
+    if (!spliced) add_gen(gen, gen_stash_[i]);
     if (fp_) continue;  // footprint capture already pushed both sides
-    // Net the retired (stashed) key list against the fresh one. A touched
-    // generator usually re-enumerates almost the same uses in the same
-    // deterministic order, so skipping the common prefix and suffix keeps
-    // the unchanged bulk out of the scratch table; whatever the middle
-    // still shares nets to zero inside it. Per-key refcount arithmetic
-    // commutes, so the final nets are what full push-both-sides would give.
-    const std::vector<uint64_t>& olds = gen_stash_[i];
-    const std::vector<uint64_t>& news = gen_keys_[static_cast<size_t>(gen)];
+    // Net the retired key list (still in the cache) against the fresh one
+    // (in the stash slot). A touched generator usually re-enumerates
+    // almost the same uses in the same deterministic order, so skipping
+    // the common prefix and suffix keeps the unchanged bulk out of the
+    // scratch table; whatever the middle still shares nets to zero inside
+    // it. Per-key refcount arithmetic commutes, so the final nets are what
+    // full push-both-sides would give.
+    const std::vector<uint64_t>& olds = gen_keys_[static_cast<size_t>(gen)];
+    const std::vector<uint64_t>& news = gen_stash_[i];
     size_t lo = 0, oe = olds.size(), ne = news.size();
     const size_t common = oe < ne ? oe : ne;
     while (lo < common && olds[lo] == news[lo]) ++lo;
@@ -803,28 +1238,43 @@ void SearchEngine::finish_mutation() {
   // has nothing to replay against the index at all. Per-key refcount
   // arithmetic commutes, so the scratch tables' layout-dependent drain
   // order yields the exact counts sequential application would.
+  // Each drain runs as two passes: collect the netted entries (issuing a
+  // prefetch for the index slot each will probe), then probe. The probe
+  // loop's loads then overlap instead of serializing — on large designs
+  // pair_refs_ spans megabytes and a cold probe per changed key was the
+  // single largest per-transaction memory stall. Entry order, probe
+  // results and all count arithmetic are unchanged.
+  SALSA_DCHECK(pending_uses_.empty());  // the probe loop assumes it owns all
   // salsa-lint: allow(no-unordered-iteration) per-key refcount arithmetic commutes; any drain order yields the same counts
   txn_delta_.drain([this](uint64_t key, int net) {
     pending_uses_.push_back({key, net});
-    const int* p = pair_refs_.find(key);
+    pair_refs_.prefetch(key);
+  });
+  for (const PendingUse& u : pending_uses_) {
+    const int* p = pair_refs_.find(u.key);
     const int before = p ? *p : 0;
-    const int after = before + net;
+    const int after = before + u.net;
     if (before == 0) {
       ++cost_.connections;
-      sink_delta_.add(static_cast<uint32_t>(key >> 32), +1);
+      sink_delta_.add(static_cast<uint32_t>(u.key >> 32), +1);
     } else if (after == 0) {
       --cost_.connections;
-      sink_delta_.add(static_cast<uint32_t>(key >> 32), -1);
+      sink_delta_.add(static_cast<uint32_t>(u.key >> 32), -1);
     }
-  });
+  }
+  sink_scratch_.clear();
   // salsa-lint: allow(no-unordered-iteration) per-sink max(0, n-1) mux folds are independent across sinks; order cannot matter
   sink_delta_.drain([this](uint32_t sink, int d) {
+    sink_scratch_.push_back({sink, d});
+    sink_sources_.prefetch(sink);
+  });
+  for (const auto& [sink, d] : sink_scratch_) {
     const int* p = sink_sources_.find(sink);
     const int before = p ? *p : 0;
     const int after = before + d;
     // muxes = sum over sinks of max(0, sources - 1).
     cost_.muxes += (after > 1 ? after - 1 : 0) - (before > 1 ? before - 1 : 0);
-  });
+  }
   // cost_.total is deliberately left stale here: the decision reads only
   // the component-diff delta computed in propose(), rollback restores the
   // whole struct, and commit recomputes the total once the move is kept —
@@ -910,6 +1360,7 @@ void SearchEngine::commit() {
   recompute_total();  // finish_mutation leaves the weighted total stale
   apply_pending_claims();
   apply_pending_uses();
+  install_fresh_gen_caches();
   // Re-file committed FU changes in the per-FU op index. Only commit (and
   // the broken-undo test path below) mutate fu_ops_ — proposals read it,
   // and a rolled-back move restores the saved FU, so the index stays
@@ -936,6 +1387,7 @@ void SearchEngine::rollback() {
     recompute_total();
     apply_pending_claims();
     apply_pending_uses();
+    install_fresh_gen_caches();
     for (const TouchedOp& t : touched_ops_)
       update_fu_ops(t.n, t.saved.fu, b_.op(t.n).fu);
     end_txn();
@@ -947,16 +1399,23 @@ void SearchEngine::rollback() {
   // occupancy slot and refcount row returns to its recorded value — no
   // re-enumeration of the touched units' uses or claims.
   for (const TouchedOp& t : touched_ops_) b_.op(t.n) = t.saved;
-  // The retired generators' caches were refreshed from the post-move
-  // binding; swap the stashed pre-move key lists back so they match the
-  // binding being restored.
-  for (size_t i = removed_gens_.size(); i-- > 0;)
-    gen_keys_[static_cast<size_t>(removed_gens_[i])].swap(gen_stash_[i]);
+  // The retired generators' caches still hold the pre-move key lists (the
+  // fresh enumerations built in the stash slots and are simply dropped),
+  // so they already match the binding being restored.
   for (int sid : touched_sids_) {
     // Swap, not copy: the saved pre-move cells move back wholesale, the
     // save buffer inherits the discarded post-move vectors, and the next
-    // touch's copy-assign reuses their (same-shaped) capacity.
-    std::swap(b_.sto(sid), sto_save_[static_cast<size_t>(sid)]);
+    // touch's copy-assign reuses their (same-shaped) capacity. Only the
+    // touch window was saved, so only it swaps (read_cell always rides
+    // along — every touch saves it).
+    StorageBinding& sb = b_.sto(sid);
+    StorageBinding& save = sto_save_[static_cast<size_t>(sid)];
+    const int lo = sto_wlo_[static_cast<size_t>(sid)];
+    const int hi = sto_whi_[static_cast<size_t>(sid)];
+    for (int seg = lo; seg <= hi; ++seg)
+      std::swap(sb.cells[static_cast<size_t>(seg)],
+                save.cells[static_cast<size_t>(seg)]);
+    std::swap(sb.read_cell, save.read_cell);
   }
   // The shared index was never written (the netted deltas are still
   // pending); dropping them in end_txn is the whole index rollback.
@@ -1064,7 +1523,8 @@ bool SearchEngine::index_matches_rebuild(std::string* why) const {
     ok = diverged("occupancy grid differs from a rebuild");
   if (!(occ_.fu_busy == fresh.occ_.fu_busy) ||
       !(occ_.reg_busy == fresh.occ_.reg_busy) ||
-      !(occ_.reg_busy_t == fresh.occ_.reg_busy_t))
+      !(occ_.reg_busy_t == fresh.occ_.reg_busy_t) ||
+      !(occ_.fu_busy_t == fresh.occ_.fu_busy_t))
     ok = diverged("occupancy bitplanes differ from a rebuild");
   if (sto_cells_ != fresh.sto_cells_ || sto_vias_ != fresh.sto_vias_ ||
       sto_xfers_ != fresh.sto_xfers_ || sto_leaves_ != fresh.sto_leaves_ ||

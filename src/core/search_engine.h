@@ -62,6 +62,19 @@ namespace salsa {
 class SearchEngine;
 struct MoveFootprint;  // core/footprint.h
 
+/// Mutation-testing hooks for the segment-windowed transaction path
+/// (salsa_audit --break-segment-window): when armed, the Nth windowed
+/// claim re-add deliberately narrows its window by one segment on the
+/// add side only — touch-time removals keep the full window — so the
+/// occupancy grid, refcounts and connection index drift from the binding
+/// and the audit wall must catch it. Process-wide cumulative counters,
+/// armed relative to the current count (break_after = windowed_txns + N),
+/// one-shot. No effect unless a test arms them.
+namespace seg_window_hooks {
+inline long break_claim_window_after = 0;  ///< 0 = disarmed
+inline long windowed_txns = 0;  ///< cumulative windowed (non-whole) re-adds
+}  // namespace seg_window_hooks
+
 /// Transaction observer: the seam the SalsaCheck invariant auditor
 /// (src/analysis/auditor.h) hooks into. The engine invokes the callbacks
 /// around every move transaction; with no observer installed the cost is a
@@ -151,6 +164,30 @@ class SearchEngine {
   // a unit saves its undo state and retires its uses from the index.
   OpBind& touch_op(NodeId n);
   StorageBinding& touch_sto(int sid);
+  /// Segment-windowed touch: the proposer promises to mutate only cells of
+  /// segments [mlo, mhi] (and read_cell, which every touch covers). The
+  /// engine extends the window one segment right — a reg change at mhi can
+  /// retarget transfers and clear hold-vias at mhi+1 — and restricts the
+  /// save/claim/normalize/recount walks to that interval; everything
+  /// outside it is untouched by construction, so the windowed transaction
+  /// produces cost integers identical to the whole-storage walk (the
+  /// salsa_audit --segment differential proves it). Falls back to the
+  /// whole-storage touch during footprint capture (speculation needs
+  /// whole-unit sink sets for conflict invalidation) and when segment
+  /// windows are disabled. Repeated touches of one storage extend the
+  /// window to the convex hull.
+  StorageBinding& touch_sto(int sid, int mlo, int mhi);
+  /// Read-retarget touch: only read_cell will be mutated — no cell, reg or
+  /// via changes. Saves read_cell, retires the read generator and leaves
+  /// claims, the write generator and the per-storage statistics alone (none
+  /// of them read read_cell).
+  StorageBinding& touch_sto_reads(int sid);
+
+  /// Enables/disables the segment-windowed transaction path (default on).
+  /// Off forces every touch through the whole-storage walk — the reference
+  /// side of the salsa_audit --segment window-vs-whole differential.
+  void set_segment_windows(bool on) { seg_windows_ = on; }
+  bool segment_windows() const { return seg_windows_; }
 
   // Cached problem-side candidate tables for move proposers (equal to
   // cdfg().operations(), fus().of_class(c) and fus().pass_capable(), but
@@ -179,6 +216,9 @@ class SearchEngine {
   }
   const std::vector<FuId>& single_cycle_pass_fus() const {
     return statics_->pass_fus_1cyc;
+  }
+  const std::vector<uint64_t>& single_cycle_pass_fu_mask() const {
+    return statics_->pass_fus_1cyc_mask;
   }
   const std::vector<std::pair<int, int>>& live_at_step(int step) const {
     return statics_->live_at[static_cast<size_t>(step)];
@@ -247,6 +287,31 @@ class SearchEngine {
     const int p = step_cells_[static_cast<size_t>(step)].select(idx, &pos);
     return {p, pos};
   }
+  /// Maps rank `*idx` of storage `sid`'s (seg, pos)-lexicographic cell
+  /// enumeration to its segment, leaving the position within that segment
+  /// in `*idx`. Walks the flat per-segment count mirror — the same counts
+  /// the inner cell vectors report, without touching a vector header per
+  /// segment.
+  int seg_of_cell_rank(int sid, int* idx) const {
+    const int off = statics_->sto_seg_off[static_cast<size_t>(sid)];
+    int seg = 0;
+    while (*idx >= seg_size_[static_cast<size_t>(off + seg)])
+      *idx -= seg_size_[static_cast<size_t>(off + seg++)];
+    return seg;
+  }
+  /// Pure cache hints for the per-storage transaction structures a touch
+  /// of `sid` will walk (gen caches, save buffer, lifetime row). Proposers
+  /// issue them as soon as a candidate storage is known, so the scattered
+  /// per-storage lines load in parallel with the remaining legality work
+  /// instead of stalling the touch/refresh path serially. Hints only — no
+  /// side effects, so candidate sets and trajectories are untouched.
+  void prefetch_sto_txn(int sid) const {
+    __builtin_prefetch(&gen_keys_[static_cast<size_t>(gen_reads(sid))]);
+    __builtin_prefetch(&gen_keys_[static_cast<size_t>(gen_writes(sid))]);
+    __builtin_prefetch(&sto_save_[static_cast<size_t>(sid)]);
+    __builtin_prefetch(&b_.prob().lifetimes().storage(sid));
+  }
+
   /// Operations currently bound to FU `f` (all of f's class).
   int ops_on_fu(FuId f) const {
     return static_cast<int>(fu_ops_[static_cast<size_t>(f)].size());
@@ -309,6 +374,24 @@ class SearchEngine {
   void set_observer(SearchObserver* obs) { observer_ = obs; }
   SearchObserver* observer() const { return observer_; }
 
+  /// Binds a caller-owned register-mask scratch row (`n` words; nullptr
+  /// clears). Move proposers that accumulate a register mask use it instead
+  /// of thread-local heap scratch — the speculation pipeline binds one row
+  /// of a contiguous per-chunk arena per worker engine so batch scoring
+  /// stays on one cache-resident block (see ProposalPipeline::fill_batch).
+  /// The row is dead storage between proposals; contents never survive a
+  /// call, so binding or clearing it cannot change any result.
+  void bind_batch_scratch(uint64_t* words, int n) {
+    scratch_row_ = words;
+    scratch_row_words_ = n;
+  }
+  /// The bound scratch row if it holds at least `n` words, else nullptr
+  /// (callers fall back to their own scratch).
+  uint64_t* batch_scratch(int n) const {
+    return scratch_row_ != nullptr && n <= scratch_row_words_ ? scratch_row_
+                                                              : nullptr;
+  }
+
   /// Test-only fault injection: the next rollback() skips restoring the
   /// touched units' saved state — a deliberately broken undo. Exists so the
   /// auditor's digest check can be proven to catch silent state drift (the
@@ -367,6 +450,13 @@ class SearchEngine {
     std::array<std::vector<NodeId>, 2> ops_by_class;  // indexed by FuClass
     std::vector<NodeId> commutative_ops;
     std::vector<FuId> pass_fus_1cyc;
+    // Bitmask twin of pass_fus_1cyc (bit f set iff f is a single-cycle
+    // pass candidate), sized to ceil(num_fus / 64) words. The pass binder
+    // ANDs it against the transposed FU busy row instead of probing one
+    // fu_busy row per candidate; pass_fus_1cyc ascends in FU id, so the
+    // mask's bit order IS the list's candidate order and the k-th set bit
+    // of the free mask is the k-th free candidate the probe loop found.
+    std::vector<uint64_t> pass_fus_1cyc_mask;
     std::vector<std::vector<std::pair<int, int>>> live_at;  // [step]->(sid,seg)
     // Index of each operation within its ops_by_class list — the rank the
     // per-FU op lists (fu_ops_) store, so fu-exchange selection stays in
@@ -419,7 +509,50 @@ class SearchEngine {
 
   template <typename Fn>
   void enum_gen_uses(int gen, Fn&& fn) const;
-  void add_gen(int gen);
+  /// Enumerates the write uses of one segment of storage `sid` (the
+  /// per-segment body of enum_gen_uses' write branch): producer latch /
+  /// environment load for segment 0, nothing for a hold, one transfer key
+  /// or a via key pair otherwise.
+  template <typename Fn>
+  void enum_write_seg_uses(int sid, const Storage& s, const StorageBinding& sb,
+                           int seg, Fn&& fn) const;
+  /// Enumerates generator `gen`'s uses from the binding into `keys`:
+  /// the cache itself outside a transaction (rebuild), the removal's stash
+  /// slot inside one (commit installs it via install_fresh_gen_caches).
+  void add_gen(int gen, std::vector<uint64_t>& keys);
+  /// Copies each removed generator's fresh enumeration (stash slot) into
+  /// its cache — the commit-side half of retire/re-add. Capacity-stable on
+  /// both sides, so steady-state commits never allocate.
+  void install_fresh_gen_caches();
+  /// Windowed write-generator refresh (sequential path): builds the
+  /// generator's replacement key list in the stash slot by splicing the
+  /// cached pre-move list's unchanged prefix and suffix around a fresh
+  /// enumeration of just the touched window — the per-segment key counts
+  /// (write_seg_keys_) locate the window inside the flat cached list.
+  /// Produces the exact key list a full re-enumeration would
+  /// (out-of-window segments are byte-identical), so the generic
+  /// old-vs-new netting downstream is unchanged. `whi` is the window the
+  /// cached list's suffix starts after; `whi_add` the last segment
+  /// re-enumerated (differs only under the --break-segment-window
+  /// mutation hook).
+  void add_write_gen_spliced(int sid, size_t stash_idx, int wlo, int whi,
+                             int whi_add);
+  /// Windowed read-generator refresh (sequential path): a read generator
+  /// emits exactly one key per StorageRead, and read ri's key can change
+  /// only if its segment lies inside the cell-mutation window, its
+  /// read_cell retargeted, or its consumer op was touched this epoch.
+  /// Every other entry is copied from the cached pre-move list verbatim;
+  /// the changed ones are recomputed in place with the same logic as
+  /// enum_gen_uses' read branch. Returns false (caller falls back to the
+  /// full enumeration) if the cache doesn't hold the expected
+  /// one-key-per-read shape.
+  bool add_read_gen_spliced(int sid, size_t stash_idx);
+  bool is_write_gen(int gen) const {
+    return gen < statics_->const_gen_base && (gen & 1) != 0;
+  }
+  bool is_read_gen(int gen) const {
+    return gen < statics_->const_gen_base && (gen & 1) == 0;
+  }
   void remove_gen_once(int gen);
   /// The packed-key halves of a use charge/retire: maintain the two index
   /// tables and the connections/muxes counts for one charged pair key.
@@ -451,8 +584,13 @@ class SearchEngine {
 
   void add_op_claims(NodeId n);
   void remove_op_claims(NodeId n);
-  void add_sto_claims(int sid);
-  void remove_sto_claims(int sid);
+  /// Storage claim walks, restricted to segments [lo, hi] (a whole-storage
+  /// walk passes [0, len - 1]). A segment's claims are self-contained: the
+  /// cell's register at its own step plus, for a via, the pass-through FU
+  /// at the previous step — so a ranged walk releases/claims exactly the
+  /// window's slots.
+  void add_sto_claims(int sid, int lo, int hi);
+  void remove_sto_claims(int sid, int lo, int hi);
   /// Read-only twins of add_op_claims/add_sto_claims for the sequential
   /// (no-footprint) path: they only accumulate which fu/reg refcount rows
   /// are about to gain claims (fu_stage_/reg_stage_ scratch), writing
@@ -465,8 +603,9 @@ class SearchEngine {
   void stage_op_claims(NodeId n);
   /// Fuses Binding::normalize_storage with the storage claim staging into
   /// a single walk over the storage's cells (sequential path only; the
-  /// footprint path normalises and re-adds separately).
-  void normalize_and_stage_sto(int sid);
+  /// footprint path normalises and re-adds separately). Ranged like the
+  /// claim walks above.
+  void normalize_and_stage_sto(int sid, int lo, int hi);
   void settle_staged_claims();
   /// Claims every touched unit's occupancy from its *current* binding
   /// state, without journaling or cost accounting. Serves two symmetric
@@ -483,6 +622,14 @@ class SearchEngine {
   /// Recounts sto_cells_/sto_vias_/sto_xfers_ (and total_cells_) for one
   /// storage from its current binding, journaling the overwritten values.
   void refresh_sto_stats(int sid);
+  /// Windowed stats refresh (sequential commit only): folds the difference
+  /// between the saved pre-move window (sto_save_) and the current binding
+  /// window into the counters instead of recounting the whole storage.
+  /// Out-of-window cells are byte-identical on both sides, so the diffed
+  /// counts equal a full recount exactly (integer arithmetic, no
+  /// approximation). Leaf counting extends one segment left (a window's
+  /// first segment changes the child marks of the segment before it).
+  void refresh_sto_stats_window(int sid, int wlo, int whi);
 
   void finish_mutation();
   void end_txn();
@@ -564,15 +711,18 @@ class SearchEngine {
   std::shared_ptr<const EngineStatics> statics_;
 
   // Per-generator cache of the charged packed pair keys the generator's
-  // enumeration produced last time add_gen ran. The transaction protocol
-  // guarantees a generator is removed (remove_gen_once) before any binding
-  // state its enumeration reads can change — touch_op/touch_sto retire all
+  // enumeration last produced. The transaction protocol guarantees a
+  // generator is removed (remove_gen_once) before any binding state its
+  // enumeration reads can change — touch_op/touch_sto retire all
   // dependent generators up front — so a live cache is always current and
-  // retiring a generator replays the cached keys instead of re-walking the
-  // binding. finish_mutation's add_gen refreshes the cache from the
-  // post-move binding; rollback swaps the pre-move cache back from the
-  // stash pool below (indexed parallel to removed_gens_, buffers pooled
-  // across transactions).
+  // retiring a generator replays the cached keys instead of re-walking
+  // the binding. Mid-transaction the cache keeps the pre-move list
+  // (netting's "old" side and rollback's ground truth); the fresh
+  // enumeration builds in the stash slot indexed parallel to
+  // removed_gens_ (buffers pooled across transactions — each gen's cache
+  // and each slot hold a stable capacity, so neither side of the
+  // steady-state protocol allocates) and commit installs it
+  // (install_fresh_gen_caches) while rollback simply drops it.
   std::vector<std::vector<uint64_t>> gen_keys_;
   std::vector<std::vector<uint64_t>> gen_stash_;
 
@@ -592,6 +742,22 @@ class SearchEngine {
   // different lengths.
   std::vector<int> touched_sids_;
   std::vector<StorageBinding> sto_save_;
+  // Segment window of each touched storage (valid for sids in
+  // touched_sids_ this epoch): the save/claim/normalize walks cover
+  // segments [sto_wlo_, sto_whi_]; a read-only touch is the empty window
+  // (whi < wlo). sto_whi_add_ is the re-add side's upper bound — equal to
+  // sto_whi_ except when the --break-segment-window mutation hook narrows
+  // it to prove the audit wall catches a short re-add.
+  std::vector<int> sto_wlo_;
+  std::vector<int> sto_whi_;
+  std::vector<int> sto_whi_add_;
+  // Keys the write generator's cache holds per segment, flat-indexed by
+  // sto_seg_off[sid] + seg (a hold emits 0, a via 2, a transfer or a
+  // segment-0 latch 1). Locates a window inside the flat cached key list
+  // for the spliced refresh; journaled like every other derived scalar.
+  std::vector<int> write_seg_keys_;
+  // Segment-windowed transactions enabled (see set_segment_windows).
+  bool seg_windows_ = true;
   std::vector<int> removed_gens_;
   // Undo journal (see the class comment): replayed in reverse by rollback.
   std::vector<IntUndo> undo_ints_;
@@ -599,6 +765,10 @@ class SearchEngine {
   // Netted index deltas awaiting commit (see PendingUse): applied by
   // commit, discarded by rollback.
   std::vector<PendingUse> pending_uses_;
+  // Per-transaction sink-delta staging for the prefetch-then-probe pass in
+  // finish_mutation (collected from sink_delta_'s drain, probed against
+  // sink_sources_ after the prefetches land).
+  std::vector<std::pair<uint32_t, int>> sink_scratch_;
   bool in_txn_ = false;
   CostBreakdown cost_before_;  ///< breakdown at propose() entry
   MoveKind pending_kind_{};
@@ -612,6 +782,8 @@ class SearchEngine {
   const char* aux_name_ = nullptr;
   double aux_ = 0;
   SearchObserver* observer_ = nullptr;
+  uint64_t* scratch_row_ = nullptr;  ///< see bind_batch_scratch
+  int scratch_row_words_ = 0;
   bool break_next_undo_ = false;
 };
 

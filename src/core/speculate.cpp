@@ -1,7 +1,9 @@
 #include "core/speculate.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "util/diagnostics.h"
@@ -31,6 +33,19 @@ ProposalPipeline::ProposalPipeline(SearchEngine& eng, const MoveConfig& moves,
     : eng_(eng), moves_(moves), cfg_(cfg), seed_(seed) {
   k_ = force_sequential ? 1 : cfg_.resolve_k();
   SALSA_CHECK_MSG(k_ >= 1, "speculation width must be >= 1");
+  if (k_ > 1 && !cfg_.pin_width) {
+    // Speculation only pays when batch scoring can overlap: with one
+    // effective participant (one-core host, or an explicit thread budget of
+    // 1) every snapshot score runs serially on the caller and the worker
+    // machinery is pure per-candidate overhead over next_sequential() —
+    // measured as a ~3x throughput inversion on a one-core container
+    // (EXPERIMENTS.md "Move throughput"). Trajectories are k-invariant by
+    // contract, so degrading to sequential proposing changes no result.
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int eff = std::min(cfg_.parallelism.resolve(),
+                             hw > 0 ? static_cast<int>(hw) : k_);
+    if (eff <= 1) k_ = 1;
+  }
 }
 
 ProposalPipeline::~ProposalPipeline() {
@@ -225,39 +240,60 @@ void ProposalPipeline::catch_up(Worker& w) {
     replay_commit(*w.eng, commit_log_[w.applied++]);
 }
 
+void ProposalPipeline::score_entry(SearchEngine& worker, int i, long base) {
+  Entry& e = batch_[static_cast<size_t>(i)];
+  e.step = base + i;
+  Rng r(derive_seed(seed_, static_cast<uint64_t>(e.step)));
+  e.kind = moves_.pick(r);
+  const auto d = worker.propose(e.kind, r, &e.fp);
+  e.feasible = d.has_value();
+  e.valid = true;
+  // Written unconditionally: entries are reused, and the sequential path
+  // also reports the post-proposal RNG state for infeasible candidates.
+  e.rng_after = r;
+  if (d) {
+    e.delta = *d;
+    if (SearchObserver* obs = eng_.observer()) {
+      // Serialized: observers (the invariant auditor) are not
+      // thread-safe. The worker's transaction is still open so the
+      // observer can cross-check the speculative delta in place.
+      MutexLock lk(observer_mu_);
+      obs->on_speculate(worker, *d);
+    }
+    worker.rollback();
+  }
+}
+
 void ProposalPipeline::fill_batch() {
   ++stats_.batches;
   stats_.speculated += k_;
   // Entries (and their footprint buffers) are reused across batches: every
-  // field is rewritten below, and propose() clears the footprint before
-  // capturing into it.
+  // field is rewritten by score_entry, and propose() clears the footprint
+  // before capturing into it.
   if (batch_.size() != static_cast<size_t>(k_))
     batch_.resize(static_cast<size_t>(k_));
   const long base = step_;
-  parallel_for(cfg_.parallelism, k_, [&](int i) {
+  // Chunked scoring: one contiguous candidate slice per participant, so a
+  // batch costs P worker acquisitions and catch-ups instead of k. What a
+  // candidate computes is chunking-invariant — every worker is caught up to
+  // the same snapshot before scoring and rolls each proposal back — so the
+  // split only moves per-candidate pool overhead off the hot path.
+  const int chunks = std::min(k_, cfg_.parallelism.resolve());
+  if (scratch_words_ == 0)
+    scratch_words_ = (eng_.binding().prob().num_regs() + 63) >> 6;
+  scratch_.resize(static_cast<size_t>(chunks) *
+                  static_cast<size_t>(scratch_words_));
+  parallel_for(cfg_.parallelism, chunks, [&](int c) {
     Worker w = acquire_worker();
     catch_up(w);
-    Entry& e = batch_[static_cast<size_t>(i)];
-    e.step = base + i;
-    Rng r(derive_seed(seed_, static_cast<uint64_t>(e.step)));
-    e.kind = moves_.pick(r);
-    const auto d = w.eng->propose(e.kind, r, &e.fp);
-    e.feasible = d.has_value();
-    e.valid = true;
-    // Written unconditionally: entries are reused, and the sequential path
-    // also reports the post-proposal RNG state for infeasible candidates.
-    e.rng_after = r;
-    if (d) {
-      e.delta = *d;
-      if (SearchObserver* obs = eng_.observer()) {
-        // Serialized: observers (the invariant auditor) are not
-        // thread-safe. The worker's transaction is still open so the
-        // observer can cross-check the speculative delta in place.
-        MutexLock lk(observer_mu_);
-        obs->on_speculate(*w.eng, *d);
-      }
-      w.eng->rollback();
-    }
+    w.eng->bind_batch_scratch(
+        scratch_.data() +
+            static_cast<size_t>(c) * static_cast<size_t>(scratch_words_),
+        scratch_words_);
+    const int lo = static_cast<int>((static_cast<long>(k_) * c) / chunks);
+    const int hi = static_cast<int>((static_cast<long>(k_) * (c + 1)) / chunks);
+    for (int i = lo; i < hi; ++i) score_entry(*w.eng, i, base);
+    w.eng->bind_batch_scratch(nullptr, 0);
     release_worker(std::move(w));
   });
   batch_pos_ = 0;

@@ -62,6 +62,13 @@ struct SpeculationConfig {
   int k = 0;
   /// Thread budget for scoring one batch (the caller participates).
   Parallelism parallelism;
+  /// Keep the configured width even where the pipeline would auto-degrade
+  /// it to 1 (effective parallelism <= 1, where snapshot scoring cannot
+  /// overlap anything and is pure per-candidate overhead — see
+  /// EXPERIMENTS.md "Move throughput"). Trajectories are width-invariant by
+  /// contract, so degrading never changes results, only SpecStats; tests
+  /// that assert on those counters pin the width.
+  bool pin_width = false;
 
   /// Resolved batch width (always >= 1).
   int resolve_k() const { return k > 0 ? k : default_speculation_k(); }
@@ -174,6 +181,7 @@ class ProposalPipeline {
 
   Candidate next_sequential();
   void fill_batch();
+  void score_entry(SearchEngine& worker, int i, long base);
   Worker acquire_worker() SALSA_EXCLUDES(workers_mu_);
   void release_worker(Worker w) SALSA_EXCLUDES(workers_mu_);
   void catch_up(Worker& w);
@@ -211,6 +219,13 @@ class ProposalPipeline {
   Mutex workers_mu_;
   std::vector<Worker> free_workers_ SALSA_GUARDED_BY(workers_mu_);
   Mutex observer_mu_;
+
+  // Contiguous per-chunk register-mask scratch (chunks x stride words):
+  // every scoring chunk binds its own row to its worker engine, so the
+  // proposers' mask accumulations run on one cache-resident arena through
+  // the word kernels of util/bitplane.h instead of per-thread heap scratch.
+  std::vector<uint64_t> scratch_;
+  int scratch_words_ = 0;
 
   std::array<MoveKindStats, kNumMoveKinds> kind_stats_{};
   SpecStats stats_;

@@ -33,6 +33,14 @@
 #include "util/bits.h"
 #include "util/diagnostics.h"
 
+// Raw SIMD intrinsics live only here and in util/bits.h — everything else
+// goes through the word kernels below, so the SALSA_BITPLANE_SCALAR
+// reference build swaps implementations at exactly one seam
+// (scripts/salsa_lint.py enforces the confinement).
+#if !defined(SALSA_BITPLANE_SCALAR) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
 namespace salsa {
 
 /// Test-only fault injection for the ranged word-update path
@@ -255,6 +263,35 @@ inline bool words_and_any(const uint64_t* a, const uint64_t* b, int n) {
 #endif
 }
 
+/// acc |= row over n words — the accumulate half of the batched
+/// register-mask scoring kernel: proposers OR the transposed busy rows of a
+/// storage's live steps into one mask, then reduce it with popcount_words /
+/// nth_clear_bit (util/bits.h). The speculation pipeline points `acc` into
+/// a contiguous per-candidate scratch arena so batch scoring across k
+/// candidates streams through one cache-resident block. On AVX2 targets the
+/// packed path runs four words per vector op; the scalar-reference build
+/// runs the per-bit loop and produces identical words.
+inline void words_or_accumulate(uint64_t* acc, const uint64_t* row, int n) {
+#if defined(SALSA_BITPLANE_SCALAR)
+  for (int i = 0; i < n; ++i)
+    for (int bit = 0; bit < 64; ++bit)
+      if ((row[i] >> bit) & 1ull) acc[i] |= 1ull << bit;
+#elif defined(__AVX2__)
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < n; ++i) acc[i] |= row[i];
+#else
+  for (int i = 0; i < n; ++i) acc[i] |= row[i];
+#endif
+}
+
 /// (a & b & ~c) != 0 over n words.
 inline bool words_and_andnot_any(const uint64_t* a, const uint64_t* b,
                                  const uint64_t* c, int n) {
@@ -297,6 +334,32 @@ inline int nth_clear_bit(const uint64_t* w, int bits, int k) {
     k -= n;
   }
   SALSA_DCHECK(false);  // k exceeded the clear-bit count
+  return -1;
+}
+
+/// The k-th (0-based) SET bit among the first `bits` bits of the word span
+/// `w` — the select half of candidate-mask picks (e.g. the pass binder's
+/// free pass-FU mask): count candidates via popcount_words, then descend
+/// to the k-th. The caller guarantees k < (number of set bits).
+inline int nth_set_bit(const uint64_t* w, int bits, int k) {
+  for (int i = 0; (i << 6) < bits; ++i) {
+    const int span = bits - (i << 6) >= 64 ? 64 : bits - (i << 6);
+    const uint64_t tail = span == 64 ? ~0ull : (1ull << span) - 1;
+    const uint64_t set_bits = w[i] & tail;
+    const int n = popcount64(set_bits);
+    if (k < n) {
+      uint64_t v = set_bits;
+      for (int b = 0;; ++b) {
+        if (v & 1ull) {
+          if (k == 0) return (i << 6) + b;
+          --k;
+        }
+        v >>= 1;
+      }
+    }
+    k -= n;
+  }
+  SALSA_DCHECK(false);  // k exceeded the set-bit count
   return -1;
 }
 

@@ -64,4 +64,22 @@ inline int ctz64(uint64_t w) { return __builtin_ctzll(w); }
 
 #endif
 
+/// Sum of popcount64 over `n` words — the reduction half of the batched
+/// register-mask kernels (see words_or_accumulate in util/bitplane.h). Four
+/// independent accumulators keep the per-word popcounts pipelined on the
+/// packed path; the scalar-reference build routes through the software
+/// popcount64 above and produces the identical sum.
+inline int popcount_words(const uint64_t* w, int n) {
+  int a = 0, b = 0, c = 0, d = 0;
+  int i = 0;
+  for (; i + 4 <= n; i += 4) {
+    a += popcount64(w[i]);
+    b += popcount64(w[i + 1]);
+    c += popcount64(w[i + 2]);
+    d += popcount64(w[i + 3]);
+  }
+  for (; i < n; ++i) a += popcount64(w[i]);
+  return a + b + c + d;
+}
+
 }  // namespace salsa

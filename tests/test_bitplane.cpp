@@ -280,5 +280,31 @@ TEST(BitWords, GrowSetTestAndIntersect) {
   }
 }
 
+// The batch-scoring kernels (words_or_accumulate + popcount_words) against
+// their naive per-bit references, across word counts straddling the unroll
+// widths (the AVX2 leg runs four words per vector op, popcount_words four
+// accumulators per round) so every remainder-tail length is exercised.
+TEST(WordKernels, OrAccumulateAndPopcountMatchNaive) {
+  Rng rng(47);
+  for (const int n : {0, 1, 2, 3, 4, 5, 7, 8, 9, 12, 13}) {
+    for (int iter = 0; iter < 20; ++iter) {
+      std::vector<uint64_t> acc(static_cast<size_t>(n)),
+          row(static_cast<size_t>(n));
+      for (uint64_t& w : acc) w = rng.next();
+      for (uint64_t& w : row) w = rng.next();
+      std::vector<uint64_t> want = acc;
+      int want_bits = 0;
+      for (size_t i = 0; i < want.size(); ++i) {
+        want[i] |= row[i];
+        for (int bit = 0; bit < 64; ++bit)
+          want_bits += static_cast<int>((want[i] >> bit) & 1ull);
+      }
+      words_or_accumulate(acc.data(), row.data(), n);
+      EXPECT_EQ(acc, want) << "n=" << n;
+      EXPECT_EQ(popcount_words(acc.data(), n), want_bits) << "n=" << n;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace salsa

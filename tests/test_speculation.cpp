@@ -61,6 +61,9 @@ ImproveParams speculative_params(uint64_t seed, int k, int threads) {
   p.seed = seed;
   p.speculation.k = k;
   p.speculation.parallelism.threads = threads;
+  // These tests assert on SpecStats, which require the configured width to
+  // actually run — opt out of the one-core auto-degrade.
+  p.speculation.pin_width = true;
   return p;
 }
 
@@ -179,6 +182,7 @@ TEST(Speculation, AnnealerTrajectoryIdentical) {
     AnnealParams sp = ap;
     sp.observer = &rec;
     sp.speculation = SpeculationConfig{k, Parallelism{2}};
+    sp.speculation.pin_width = true;  // exercise the pipeline on any host
     const ImproveResult res = anneal(start, sp);
     EXPECT_EQ(rec.commits, ref_rec.commits) << "k=" << k;
     EXPECT_EQ(res.best, ref.best);
@@ -202,6 +206,7 @@ TEST(Speculation, IlsTrajectoryIdentical) {
     IlsParams sp = ip;
     sp.observer = &rec;
     sp.speculation = SpeculationConfig{k, Parallelism{2}};
+    sp.speculation.pin_width = true;  // exercise the pipeline on any host
     const ImproveResult res = iterated_local_search(start, sp);
     EXPECT_EQ(rec.commits, ref_rec.commits) << "k=" << k;
     EXPECT_EQ(res.best, ref.best);
@@ -262,6 +267,7 @@ TEST(Speculation, FirstCommitDiscardsWholeRegisterBatch) {
   rconf.weight[static_cast<size_t>(MoveKind::kSegMove)] = 1.0;
   const int k = 4;
   SpeculationConfig sc{k, Parallelism{2}};
+  sc.pin_width = true;  // exercise the pipeline on any host
   ProposalPipeline pipe(eng, rconf, sc, /*seed=*/11);
   int served_in_batch = 0;
   bool committed = false;

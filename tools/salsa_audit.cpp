@@ -65,6 +65,10 @@ audit modes
   --bitplane         run the packed-vs-scalar occupancy differential after
                      every commit
   --bitplane-commits N  commits per bitplane audit run (default: 2000)
+  --segment          window-vs-whole differential: a segment-windowed engine
+                     against a whole-storage-walk reference on the identical
+                     move stream, cost integers and digests cross-checked
+                     after every transaction
   --scaling          fuzz a generated mid-size cascade under the
                      size-sampled auditor (fails if sampling never engages)
   --scaling-ops N    target operation count for --scaling (default: 5000)
@@ -83,6 +87,7 @@ mutation tests (expected output: a VIOLATION; CI asserts non-zero exit)
   --spec-skip N            let the Nth footprint-conflict hit slip through
   --break-flat-erase N     Nth FlatMap erase skips backward-shift compaction
   --break-bitplane-word N  Nth ranged busy-plane word update left broken
+  --break-segment-window N Nth windowed claim re-add drops its last segment
   --break-event-skip N     Nth event wake-up lost (occurrence marked handled)
 )";
 
@@ -328,6 +333,8 @@ int main(int argc, char** argv) {
   bool bitplane_audit = false;
   long bitplane_commits = 2000;
   long break_bitplane_word = 0;
+  bool segment_audit = false;
+  long break_segment_window = 0;
   bool scaling = false;
   int scaling_ops = 5000;
   bool sim_audit = false;
@@ -396,6 +403,15 @@ int main(int argc, char** argv) {
       // watch the packed-vs-scalar differential catch the stale bit.
       bitplane_audit = true;
       break_bitplane_word = std::atol(next().c_str());
+    } else if (arg == "--segment") {
+      segment_audit = true;
+    } else if (arg == "--break-segment-window") {
+      // Mutation testing: the Nth windowed claim re-add drops its last
+      // segment on the add side only, drifting occupancy/refcounts/key
+      // cache from the binding — the window-vs-whole differential must
+      // catch it.
+      segment_audit = true;
+      break_segment_window = std::atol(next().c_str());
     } else if (arg == "--scaling") {
       scaling = true;
     } else if (arg == "--scaling-ops") {
@@ -548,6 +564,50 @@ int main(int argc, char** argv) {
                      "  --break-bitplane-word %ld never fired (only %ld "
                      "ranged word updates)\n",
                      break_bitplane_word, bitplane_hooks::word_update_count);
+      }
+    }
+
+    if (segment_audit) {
+      if (break_segment_window > 0) {
+        // Like the other mutation counters: the windowed-transaction
+        // counter is process-wide and cumulative, so arm relative to its
+        // current value in case an earlier target already consumed the
+        // mutation.
+        seg_window_hooks::break_claim_window_after =
+            seg_window_hooks::windowed_txns + break_segment_window;
+      }
+      FuzzParams sp = fuzz;
+      sp.name = name + "-segment";
+      const SegmentDiffResult sgr = run_segment_diff(t.prob(), sp);
+      std::printf(
+          "segm  %-6s seed %llu: %ld txns (%ld commits, %ld windowed) "
+          "window-vs-whole — %s\n",
+          name.c_str(), static_cast<unsigned long long>(sp.seed),
+          sgr.transactions, sgr.commits, sgr.windowed,
+          sgr.ok ? "ok" : "VIOLATION");
+      if (!sgr.ok) {
+        failed = true;
+        std::fprintf(stderr, "  %s\n", sgr.failure.c_str());
+      } else if (sgr.windowed == 0) {
+        // A run where no transaction took a non-whole window proved
+        // nothing about the windowed path — the audit must not pass on
+        // vacuous coverage.
+        failed = true;
+        std::fprintf(stderr,
+                     "  no transaction took a segment window — the windowed "
+                     "path was never exercised\n");
+      }
+      if (break_segment_window > 0 &&
+          seg_window_hooks::break_claim_window_after != 0) {
+        // The armed mutation never fired (fewer windowed transactions than
+        // N): the run proved nothing, which a CI step expecting a VIOLATION
+        // must not mistake for the wall standing.
+        failed = true;
+        seg_window_hooks::break_claim_window_after = 0;
+        std::fprintf(stderr,
+                     "  --break-segment-window %ld never fired (only %ld "
+                     "windowed transactions)\n",
+                     break_segment_window, seg_window_hooks::windowed_txns);
       }
     }
 
